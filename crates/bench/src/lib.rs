@@ -1,0 +1,5 @@
+//! Shared helpers for the benchmark harness (see `benches/`).
+//!
+//! Each Criterion bench target in this crate regenerates one experiment from
+//! `EXPERIMENTS.md`; this library holds the workload generators and reporting
+//! helpers they share.

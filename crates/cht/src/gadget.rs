@@ -1,0 +1,290 @@
+//! Decision gadgets: forks and hooks (Appendix B, Figures 3 and 5).
+//!
+//! Below a bivalent vertex of the simulation tree there is always a *decision
+//! gadget*: a small subtree in which a single step of one process decides
+//! between a 0-valent and a 1-valent future. The deciding process of a
+//! gadget is necessarily correct (Lemma 8) — if it were faulty, the two
+//! futures could be merged by removing its step, contradicting univalence —
+//! and that is the process the reduction elects.
+//!
+//! In the eventual-consensus formulation the branching that matters for
+//! instance `k` includes the *input* branching (`proposeEC_k(0)` vs
+//! `proposeEC_k(1)`), because the single-initial-configuration model of
+//! Jayanti–Toueg encodes inputs as part of the schedule. A **fork** is a
+//! bivalent vertex with two steps of the same process leading to a 0-valent
+//! and a 1-valent child; a **hook** is a bivalent vertex `σ` with a child
+//! `σ' = σ · e` and a process `q'` whose (identical) step applied at `σ` and
+//! at `σ'` yields children of opposite valence.
+
+use ec_core::types::EventualConsensus;
+use ec_sim::ProcessId;
+
+use crate::tree::{SimulationTree, VertexId};
+
+/// The shape of a decision gadget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetKind {
+    /// Two steps of the deciding process at the pivot lead to opposite
+    /// valences (Figure 3 (a)).
+    Fork,
+    /// The deciding process's step applied before and after another step
+    /// leads to opposite valences (Figure 3 (b)).
+    Hook,
+}
+
+/// A located decision gadget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionGadget {
+    /// Fork or hook.
+    pub kind: GadgetKind,
+    /// The bivalent pivot vertex.
+    pub pivot: VertexId,
+    /// The instance `k` whose valences the gadget separates.
+    pub instance: u64,
+    /// The deciding process (provably correct).
+    pub deciding_process: ProcessId,
+    /// The 0-valent side of the gadget.
+    pub zero_side: VertexId,
+    /// The 1-valent side of the gadget.
+    pub one_side: VertexId,
+}
+
+/// Searches the subtree rooted at `start` for the first decision gadget for
+/// instance `k` (Figure 5's procedure, restricted to the explored fragment).
+///
+/// Returns `None` if the explored fragment contains no gadget — which, per
+/// the paper, can only happen because the fragment is finite (a bivalent
+/// limit tree always contains one).
+pub fn locate_gadget<E>(
+    tree: &SimulationTree<E>,
+    k: u64,
+    start: VertexId,
+) -> Option<DecisionGadget>
+where
+    E: EventualConsensus<Value = bool> + Clone,
+    E::Fd: Clone + PartialEq,
+{
+    for v in tree.subtree(start) {
+        if !tree.tag(v, k).is_bivalent() {
+            continue;
+        }
+        // Fork: two children of v, same process, opposite univalent tags.
+        if let Some(g) = find_fork(tree, k, v) {
+            return Some(g);
+        }
+        // Hook: a child v' of v and a process q' whose step from v and from
+        // v' lead to opposite univalent tags.
+        if let Some(g) = find_hook(tree, k, v) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+fn find_fork<E>(tree: &SimulationTree<E>, k: u64, pivot: VertexId) -> Option<DecisionGadget>
+where
+    E: EventualConsensus<Value = bool> + Clone,
+    E::Fd: Clone + PartialEq,
+{
+    let children = tree.children(pivot);
+    for (i, &a) in children.iter().enumerate() {
+        for &b in &children[i + 1..] {
+            let (pa, pb) = (tree.step(a)?.process, tree.step(b)?.process);
+            if pa != pb {
+                continue;
+            }
+            let (ta, tb) = (tree.tag(a, k), tree.tag(b, k));
+            match (ta.univalent_value(), tb.univalent_value()) {
+                (Some(false), Some(true)) => {
+                    return Some(DecisionGadget {
+                        kind: GadgetKind::Fork,
+                        pivot,
+                        instance: k,
+                        deciding_process: pa,
+                        zero_side: a,
+                        one_side: b,
+                    })
+                }
+                (Some(true), Some(false)) => {
+                    return Some(DecisionGadget {
+                        kind: GadgetKind::Fork,
+                        pivot,
+                        instance: k,
+                        deciding_process: pa,
+                        zero_side: b,
+                        one_side: a,
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn find_hook<E>(tree: &SimulationTree<E>, k: u64, pivot: VertexId) -> Option<DecisionGadget>
+where
+    E: EventualConsensus<Value = bool> + Clone,
+    E::Fd: Clone + PartialEq,
+{
+    for &mid in tree.children(pivot) {
+        for &a in tree.children(pivot) {
+            if a == mid {
+                continue;
+            }
+            let pa = tree.step(a)?.process;
+            let ea = tree.step(a)?.effect;
+            for &b in tree.children(mid) {
+                let pb = tree.step(b)?.process;
+                let eb = tree.step(b)?.effect;
+                if pa != pb || ea != eb {
+                    continue;
+                }
+                let (ta, tb) = (tree.tag(a, k), tree.tag(b, k));
+                match (ta.univalent_value(), tb.univalent_value()) {
+                    (Some(false), Some(true)) => {
+                        return Some(DecisionGadget {
+                            kind: GadgetKind::Hook,
+                            pivot,
+                            instance: k,
+                            deciding_process: pa,
+                            zero_side: a,
+                            one_side: b,
+                        })
+                    }
+                    (Some(true), Some(false)) => {
+                        return Some(DecisionGadget {
+                            kind: GadgetKind::Hook,
+                            pivot,
+                            instance: k,
+                            deciding_process: pa,
+                            zero_side: b,
+                            one_side: a,
+                        })
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::FdDag;
+    use crate::tree::TreeConfig;
+    use ec_core::ec_omega::{EcConfig, EcOmega};
+    use ec_sim::{FailurePattern, Time};
+
+    type Alg = EcOmega<bool>;
+
+    fn factory(_p: ProcessId) -> Alg {
+        EcOmega::new(EcConfig { poll_period: 1 })
+    }
+
+    fn dag_with_leader(n: usize, leader: ProcessId, samples: usize) -> FdDag<ProcessId> {
+        let mut dag = FdDag::new(n);
+        for i in 0..samples {
+            dag.add_sample(ProcessId::new(i % n), leader, Time::new(i as u64));
+        }
+        dag
+    }
+
+    #[test]
+    fn a_fork_is_found_below_the_bivalent_root_and_decides_the_leader() {
+        let n = 2;
+        let leader = ProcessId::new(0);
+        let tree = SimulationTree::build(
+            n,
+            &factory,
+            dag_with_leader(n, leader, 4),
+            TreeConfig::default(),
+        );
+        let (k, pivot) = tree.first_bivalent_any().expect("bivalent vertex");
+        let gadget = locate_gadget(&tree, k, pivot).expect("gadget below a bivalent vertex");
+        assert_eq!(gadget.kind, GadgetKind::Fork);
+        assert_eq!(gadget.instance, 1);
+        // Lemma 8: the deciding process is correct — here it is the Ω leader
+        // whose proposal decides instance 1.
+        assert_eq!(gadget.deciding_process, leader);
+        // the two sides really have opposite valences
+        assert_eq!(tree.tag(gadget.zero_side, k).univalent_value(), Some(false));
+        assert_eq!(tree.tag(gadget.one_side, k).univalent_value(), Some(true));
+    }
+
+    #[test]
+    fn the_deciding_process_tracks_the_omega_value_in_the_samples() {
+        // With all samples naming p1 as leader, the extracted deciding
+        // process must be p1: the reduction follows the detector, not the
+        // process identifiers.
+        let n = 3;
+        let leader = ProcessId::new(1);
+        let tree = SimulationTree::build(
+            n,
+            &factory,
+            dag_with_leader(n, leader, 6),
+            TreeConfig {
+                max_depth: 6,
+                ..Default::default()
+            },
+        );
+        let (k, pivot) = tree.first_bivalent_any().expect("bivalent vertex");
+        let gadget = locate_gadget(&tree, k, pivot).expect("gadget");
+        assert_eq!(gadget.deciding_process, leader);
+    }
+
+    #[test]
+    fn deciding_process_is_correct_under_a_crash_respecting_dag() {
+        // p0 crashes: its samples stop early and the detector samples name p1
+        // afterwards. The gadget's deciding process must be the correct p1,
+        // not the crashed p0 (Lemma 8's content).
+        let n = 2;
+        let failures = FailurePattern::no_failures(n).with_crash(ProcessId::new(0), Time::new(2));
+        let mut dag = FdDag::new(n);
+        dag.add_sample(ProcessId::new(0), ProcessId::new(0), Time::new(0));
+        dag.add_sample(ProcessId::new(1), ProcessId::new(0), Time::new(1));
+        // after the crash only p1 samples, and Ω has switched to p1
+        for i in 2..8u64 {
+            dag.add_sample(ProcessId::new(1), ProcessId::new(1), Time::new(i));
+        }
+        let tree = SimulationTree::build(
+            n,
+            &factory,
+            dag,
+            TreeConfig {
+                max_depth: 8,
+                ..Default::default()
+            },
+        );
+        let (k, pivot) = tree.first_bivalent_any().expect("bivalent vertex");
+        let gadget = locate_gadget(&tree, k, pivot).expect("gadget");
+        assert!(
+            failures.is_correct(gadget.deciding_process),
+            "deciding process {:?} must be correct",
+            gadget.deciding_process
+        );
+        assert_eq!(gadget.deciding_process, ProcessId::new(1));
+    }
+
+    #[test]
+    fn no_gadget_is_reported_when_the_fragment_has_no_bivalent_vertex() {
+        // A single-sample DAG explored to depth 0 has no decisions at all in
+        // the tree itself; the root is still bivalent thanks to closures, but
+        // it has no children, so no gadget can be located in the fragment.
+        let n = 2;
+        let dag = dag_with_leader(n, ProcessId::new(0), 1);
+        let tree = SimulationTree::build(
+            n,
+            &factory,
+            dag,
+            TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
+        let pivot = tree.root();
+        assert!(locate_gadget(&tree, 1, pivot).is_none());
+    }
+}

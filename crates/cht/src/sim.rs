@@ -1,0 +1,316 @@
+//! Local simulation of the algorithm under reduction.
+//!
+//! The reduction never runs the EC algorithm "for real": every process uses
+//! the failure-detector samples collected in its DAG to *simulate* runs of
+//! the algorithm locally. A simulated run is driven by explicit steps: which
+//! process moves, whether it consumes the oldest pending message or takes a
+//! local-timeout step (the empty message λ), which failure-detector value it
+//! observes (stipulated by a DAG vertex), and — for the eventual-consensus
+//! interface — which value it proposes when it opens the next instance.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ec_core::types::{EcInput, EcOutput, EventualConsensus};
+use ec_sim::{Actions, Context, ProcessId, Time};
+
+/// The effect of one simulated step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEffect {
+    /// The process consumed the oldest message addressed to it.
+    ReceiveOldest,
+    /// The process took a local-timeout (λ) step.
+    Timer,
+    /// The process invoked `proposeEC_ℓ(value)` for its next instance `ℓ`.
+    Propose {
+        /// The proposed (binary) value.
+        value: bool,
+    },
+}
+
+/// One step of a simulated schedule: process `process` moves with
+/// failure-detector value taken from DAG vertex `dag_vertex`, performing
+/// `effect`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimStep {
+    /// The process taking the step.
+    pub process: ProcessId,
+    /// Index of the DAG vertex stipulating the failure-detector value.
+    pub dag_vertex: usize,
+    /// What the step does.
+    pub effect: StepEffect,
+}
+
+/// A locally simulated run of an [`EventualConsensus`] algorithm with binary
+/// values.
+///
+/// The run holds one automaton per process, per-destination message queues
+/// (FIFO, which suffices because the reduction only ever consumes the oldest
+/// pending message, as in Figure 4), the decisions observed so far and the
+/// proposal bookkeeping needed to drive sequential instances.
+pub struct LocalRun<E: EventualConsensus<Value = bool> + Clone> {
+    n: usize,
+    states: Vec<E>,
+    /// `inbox[p]`: messages addressed to `p`, oldest first.
+    inboxes: Vec<VecDeque<(ProcessId, E::Msg)>>,
+    /// Decisions observed: `(process, instance, value)` in order.
+    decisions: Vec<(ProcessId, u64, bool)>,
+    /// Last instance proposed by each process (0 = none).
+    proposed: Vec<u64>,
+    /// Number of steps simulated.
+    steps: usize,
+}
+
+impl<E: EventualConsensus<Value = bool> + Clone> Clone for LocalRun<E> {
+    fn clone(&self) -> Self {
+        LocalRun {
+            n: self.n,
+            states: self.states.clone(),
+            inboxes: self.inboxes.clone(),
+            decisions: self.decisions.clone(),
+            proposed: self.proposed.clone(),
+            steps: self.steps,
+        }
+    }
+}
+
+impl<E: EventualConsensus<Value = bool> + Clone> LocalRun<E> {
+    /// Creates the single initial configuration: every process in its initial
+    /// state, no message in transit, nothing proposed yet.
+    pub fn new(n: usize, factory: &dyn Fn(ProcessId) -> E) -> Self {
+        LocalRun {
+            n,
+            states: (0..n).map(|i| factory(ProcessId::new(i))).collect(),
+            inboxes: vec![VecDeque::new(); n],
+            decisions: Vec::new(),
+            proposed: vec![0; n],
+            steps: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of steps simulated so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The decisions observed so far, as `(process, instance, value)`.
+    pub fn decisions(&self) -> &[(ProcessId, u64, bool)] {
+        &self.decisions
+    }
+
+    /// The values returned by `proposeEC_k` in this run (at any process).
+    pub fn decisions_for_instance(&self, k: u64) -> Vec<bool> {
+        self.decisions
+            .iter()
+            .filter(|(_, inst, _)| *inst == k)
+            .map(|(_, _, v)| *v)
+            .collect()
+    }
+
+    /// Returns `true` if some process has returned from `proposeEC_k`.
+    pub fn instance_decided(&self, k: u64) -> bool {
+        self.decisions.iter().any(|(_, inst, _)| *inst == k)
+    }
+
+    /// The last instance proposed by `p` (0 if none).
+    pub fn proposed_instance(&self, p: ProcessId) -> u64 {
+        self.proposed[p.index()]
+    }
+
+    /// Returns `true` if `p` has completed every instance it has proposed and
+    /// is therefore ready to invoke the next one (per the EC usage
+    /// discipline).
+    pub fn ready_to_propose(&self, p: ProcessId) -> bool {
+        let current = self.proposed[p.index()];
+        current == 0
+            || self
+                .decisions
+                .iter()
+                .any(|(q, inst, _)| *q == p && *inst == current)
+    }
+
+    /// Returns `true` if a message is pending for `p`.
+    pub fn has_pending_message(&self, p: ProcessId) -> bool {
+        !self.inboxes[p.index()].is_empty()
+    }
+
+    /// Number of messages in transit (all inboxes).
+    pub fn messages_in_transit(&self) -> usize {
+        self.inboxes.iter().map(|q| q.len()).sum()
+    }
+
+    /// Applies one step with the given failure-detector value and returns
+    /// `true` if the step was enabled (a `ReceiveOldest` step with an empty
+    /// inbox, or a `Propose` step by a process that is not ready, is simply
+    /// skipped and returns `false`).
+    pub fn apply(&mut self, process: ProcessId, fd_value: E::Fd, effect: StepEffect) -> bool {
+        let p = process.index();
+        let mut actions = Actions::<E>::new();
+        let now = Time::new(self.steps as u64);
+        {
+            let mut ctx = Context::new(process, now, self.n, fd_value, &mut actions);
+            match effect {
+                StepEffect::ReceiveOldest => {
+                    let Some((from, msg)) = self.inboxes[p].pop_front() else {
+                        return false;
+                    };
+                    self.states[p].on_message(from, msg, &mut ctx);
+                }
+                StepEffect::Timer => {
+                    self.states[p].on_timer(&mut ctx);
+                }
+                StepEffect::Propose { value } => {
+                    if !self.ready_to_propose(process) {
+                        return false;
+                    }
+                    let instance = self.proposed[p] + 1;
+                    self.proposed[p] = instance;
+                    self.states[p].on_input(EcInput { instance, value }, &mut ctx);
+                }
+            }
+        }
+        self.steps += 1;
+        self.absorb(process, actions);
+        true
+    }
+
+    /// Runs the `on_start` handler of every process (the first step of the
+    /// single initial configuration), with the given failure-detector value
+    /// provider.
+    pub fn start_all(&mut self, mut fd_for: impl FnMut(ProcessId) -> E::Fd) {
+        for i in 0..self.n {
+            let p = ProcessId::new(i);
+            let mut actions = Actions::<E>::new();
+            {
+                let mut ctx = Context::new(p, Time::ZERO, self.n, fd_for(p), &mut actions);
+                self.states[i].on_start(&mut ctx);
+            }
+            self.absorb(p, actions);
+        }
+    }
+
+    fn absorb(&mut self, from: ProcessId, actions: Actions<E>) {
+        for (to, msg) in actions.sends {
+            if to.index() < self.n {
+                self.inboxes[to.index()].push_back((from, msg));
+            }
+        }
+        for out in actions.outputs {
+            let EcOutput { instance, value } = out;
+            self.decisions.push((from, instance, value));
+        }
+        // timers are not queued: λ-steps are always enabled in the simulation
+        // (a Timer step may be scheduled at any point), matching the model
+        // where a step is always enabled even if no message is sent to the
+        // process.
+    }
+}
+
+impl<E: EventualConsensus<Value = bool> + Clone> fmt::Debug for LocalRun<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalRun")
+            .field("n", &self.n)
+            .field("steps", &self.steps)
+            .field("decisions", &self.decisions.len())
+            .field("in_transit", &self.messages_in_transit())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::ec_omega::{EcConfig, EcOmega};
+
+    type Alg = EcOmega<bool>;
+
+    fn factory(_p: ProcessId) -> Alg {
+        EcOmega::new(EcConfig { poll_period: 1 })
+    }
+
+    fn leader() -> ProcessId {
+        ProcessId::new(0)
+    }
+
+    /// Drives one EC instance to a decision at every process, with Ω = p0.
+    fn run_one_instance(values: [bool; 2]) -> LocalRun<Alg> {
+        let n = 2;
+        let mut run = LocalRun::new(n, &factory);
+        run.start_all(|_| leader());
+        // both processes propose instance 1
+        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: values[0] }));
+        assert!(run.apply(ProcessId::new(1), leader(), StepEffect::Propose { value: values[1] }));
+        // deliver all promote messages, then let timers fire
+        for _ in 0..8 {
+            for i in 0..n {
+                let p = ProcessId::new(i);
+                if run.has_pending_message(p) {
+                    run.apply(p, leader(), StepEffect::ReceiveOldest);
+                }
+            }
+        }
+        for i in 0..n {
+            run.apply(ProcessId::new(i), leader(), StepEffect::Timer);
+        }
+        run
+    }
+
+    #[test]
+    fn simulated_instance_decides_the_leaders_value() {
+        let run = run_one_instance([true, false]);
+        assert!(run.instance_decided(1));
+        let decisions = run.decisions_for_instance(1);
+        assert!(!decisions.is_empty());
+        // Ω = p0, so every decision is p0's proposal (true)
+        assert!(decisions.iter().all(|v| *v));
+        let run = run_one_instance([false, true]);
+        assert!(run.decisions_for_instance(1).iter().all(|v| !*v));
+    }
+
+    #[test]
+    fn disabled_steps_are_reported() {
+        let mut run = LocalRun::new(2, &factory);
+        run.start_all(|_| leader());
+        // no message pending → receive step disabled
+        assert!(!run.apply(ProcessId::new(0), leader(), StepEffect::ReceiveOldest));
+        // propose enabled the first time, disabled while instance 1 is open
+        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true }));
+        assert!(!run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: false }));
+        assert_eq!(run.proposed_instance(ProcessId::new(0)), 1);
+        assert!(!run.ready_to_propose(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn cloning_branches_the_run() {
+        let mut run = LocalRun::new(2, &factory);
+        run.start_all(|_| leader());
+        let mut branch = run.clone();
+        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true }));
+        assert!(branch.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: false }));
+        assert_eq!(run.steps(), 1);
+        assert_eq!(branch.steps(), 1);
+        // the two branches evolve independently: the messages in transit now
+        // carry different proposal values, which later yields different
+        // decisions (exercised end to end by the tree tests)
+        assert_eq!(run.messages_in_transit(), 2);
+        assert_eq!(branch.messages_in_transit(), 2);
+        assert!(format!("{run:?}").contains("LocalRun"));
+    }
+
+    #[test]
+    fn messages_flow_between_processes() {
+        let mut run = LocalRun::new(2, &factory);
+        run.start_all(|_| leader());
+        run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true });
+        // the proposal broadcast a promote to both processes
+        assert_eq!(run.messages_in_transit(), 2);
+        assert!(run.has_pending_message(ProcessId::new(1)));
+        assert!(run.apply(ProcessId::new(1), leader(), StepEffect::ReceiveOldest));
+        assert_eq!(run.messages_in_transit(), 1);
+    }
+}

@@ -1,0 +1,539 @@
+//! Simulation trees and k-tags (Appendix B adapted to eventual consensus).
+//!
+//! A simulation tree Υ is induced by a sample DAG: every vertex is a finite
+//! schedule of simulated steps compatible with a path through the DAG (the
+//! step of depth `j` uses the process and failure-detector value of the
+//! DAG's `j`-th vertex), and children are one-step extensions. Because the
+//! reduction drives the *eventual consensus* interface, a step is either the
+//! consumption of the oldest pending message, a local-timeout (λ) step, or
+//! the invocation `proposeEC_ℓ(v)` of the process's next instance with
+//! `v ∈ {0, 1}` — the input branching that, in the single-initial-
+//! configuration formulation the paper follows, replaces the per-initial-
+//! configuration forest of the original CHT proof.
+//!
+//! Each vertex is assigned a *k-tag*: the set of values that `proposeEC_k`
+//! returns in its descendants, with `⊥` added when a single descendant run
+//! returns two different values for instance `k`. To make tags well-defined
+//! on the explored finite fragment, every leaf is *closed* by two
+//! deterministic fair extensions (one proposing 0 everywhere, one proposing
+//! 1 everywhere) whose decisions also count towards the tags — the
+//! executable counterpart of observation (*) in the paper's Lemma 1 proof.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ec_core::types::EventualConsensus;
+use ec_sim::ProcessId;
+
+use crate::dag::FdDag;
+use crate::sim::{LocalRun, SimStep, StepEffect};
+
+/// Identifier of a vertex in a [`SimulationTree`] (its insertion index; the
+/// root is 0 and identifiers increase in breadth-first order).
+pub type VertexId = usize;
+
+/// Exploration bounds for a [`SimulationTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum schedule length (tree depth).
+    pub max_depth: usize,
+    /// Length of the deterministic fair closure run appended to every leaf
+    /// when computing tags.
+    pub closure_steps: usize,
+    /// Largest consensus instance `k` for which tags are computed.
+    pub max_instance: u64,
+    /// Hard cap on the number of tree vertices (exploration stops early if
+    /// reached).
+    pub max_vertices: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            closure_steps: 60,
+            max_instance: 1,
+            max_vertices: 4_096,
+        }
+    }
+}
+
+/// The k-tag of a vertex: which values `proposeEC_k` can return in its
+/// descendants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KTag {
+    /// Values returned by `proposeEC_k` in some descendant.
+    pub values: BTreeSet<bool>,
+    /// `⊥ ∈ tag`: some descendant run returns two different values for
+    /// instance `k` (an agreement violation within a single run).
+    pub invalid: bool,
+    /// Whether the vertex is `k`-enabled (`k = 1`, or some process has
+    /// completed instance `k - 1` in the vertex's schedule).
+    pub enabled: bool,
+}
+
+impl KTag {
+    /// `{0, 1} ⊆ tag`: both values are reachable.
+    pub fn is_bivalent(&self) -> bool {
+        self.enabled && self.values.len() == 2
+    }
+
+    /// Exactly one value is reachable (and the tag is valid).
+    pub fn is_univalent(&self) -> bool {
+        self.enabled && self.values.len() == 1 && !self.invalid
+    }
+
+    /// The single reachable value of a univalent tag.
+    pub fn univalent_value(&self) -> Option<bool> {
+        if self.is_univalent() {
+            self.values.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+struct Vertex<E: EventualConsensus<Value = bool> + Clone> {
+    parent: Option<VertexId>,
+    step: Option<SimStep>,
+    depth: usize,
+    dag_pos: usize,
+    run: LocalRun<E>,
+    children: Vec<VertexId>,
+    /// `tags[k - 1]` is the k-tag, for `k` in `1..=max_instance`.
+    tags: Vec<KTag>,
+}
+
+/// A (finite fragment of a) simulation tree Υ induced by a sample DAG.
+pub struct SimulationTree<E: EventualConsensus<Value = bool> + Clone> {
+    config: TreeConfig,
+    n: usize,
+    dag: FdDag<E::Fd>,
+    vertices: Vec<Vertex<E>>,
+}
+
+impl<E> SimulationTree<E>
+where
+    E: EventualConsensus<Value = bool> + Clone,
+    E::Fd: Clone + PartialEq,
+{
+    /// Builds the tree fragment induced by `dag` for the algorithm produced
+    /// by `factory`, then tags every vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DAG is empty (there are no stimuli to simulate with).
+    pub fn build(
+        n: usize,
+        factory: &dyn Fn(ProcessId) -> E,
+        dag: FdDag<E::Fd>,
+        config: TreeConfig,
+    ) -> Self {
+        assert!(!dag.is_empty(), "cannot simulate runs from an empty DAG");
+        let mut root_run = LocalRun::new(n, factory);
+        let first_value_of = |p: ProcessId| -> E::Fd {
+            dag.vertices()
+                .iter()
+                .find(|v| v.process == p)
+                .map(|v| v.value.clone())
+                .unwrap_or_else(|| dag.vertices()[0].value.clone())
+        };
+        root_run.start_all(first_value_of);
+        let root = Vertex {
+            parent: None,
+            step: None,
+            depth: 0,
+            dag_pos: 0,
+            run: root_run,
+            children: Vec::new(),
+            tags: Vec::new(),
+        };
+        let mut tree = SimulationTree {
+            config,
+            n,
+            dag,
+            vertices: vec![root],
+        };
+        tree.expand();
+        tree.compute_tags();
+        tree
+    }
+
+    fn expand(&mut self) {
+        let mut frontier: Vec<VertexId> = vec![0];
+        while let Some(v) = frontier.pop() {
+            if self.vertices.len() >= self.config.max_vertices {
+                break;
+            }
+            let (depth, dag_pos) = (self.vertices[v].depth, self.vertices[v].dag_pos);
+            if depth >= self.config.max_depth || dag_pos >= self.dag.len() {
+                continue;
+            }
+            let dag_vertex = self.dag.vertices()[dag_pos].clone();
+            let q = dag_vertex.process;
+            let mut effects = Vec::new();
+            if self.vertices[v].run.has_pending_message(q) {
+                effects.push(StepEffect::ReceiveOldest);
+            }
+            effects.push(StepEffect::Timer);
+            if self.vertices[v].run.ready_to_propose(q)
+                && self.vertices[v].run.proposed_instance(q) < self.config.max_instance
+            {
+                effects.push(StepEffect::Propose { value: false });
+                effects.push(StepEffect::Propose { value: true });
+            }
+            for effect in effects {
+                let mut run = self.vertices[v].run.clone();
+                if !run.apply(q, dag_vertex.value.clone(), effect) {
+                    continue;
+                }
+                let child = Vertex {
+                    parent: Some(v),
+                    step: Some(SimStep {
+                        process: q,
+                        dag_vertex: dag_pos,
+                        effect,
+                    }),
+                    depth: depth + 1,
+                    dag_pos: dag_pos + 1,
+                    run,
+                    children: Vec::new(),
+                    tags: Vec::new(),
+                };
+                let child_id = self.vertices.len();
+                self.vertices.push(child);
+                self.vertices[v].children.push(child_id);
+                frontier.push(child_id);
+            }
+        }
+    }
+
+    /// The processes that take part in leaf closures: those with a sample in
+    /// the second half of the DAG. In the paper's limit argument only the
+    /// *correct* processes appear infinitely often in the paths used to
+    /// extend schedules; on a finite DAG, "appears in the recent samples" is
+    /// the executable counterpart (a crashed process's samples stop, so it
+    /// drops out of the closures).
+    fn closure_participants(&self) -> Vec<ProcessId> {
+        let cutoff = self.dag.len() / 2;
+        let recent = &self.dag.vertices()[cutoff..];
+        let participants: Vec<ProcessId> = (0..self.n)
+            .map(ProcessId::new)
+            .filter(|p| recent.iter().any(|v| v.process == *p))
+            .collect();
+        if participants.is_empty() {
+            (0..self.n).map(ProcessId::new).collect()
+        } else {
+            participants
+        }
+    }
+
+    /// A deterministic, fair closure of a run: cycle over the participating
+    /// processes, delivering pending messages, taking λ-steps and proposing
+    /// `value` for every instance up to `max_instance`, using each process's
+    /// last recorded failure-detector value.
+    fn close(&self, run: &LocalRun<E>, value: bool) -> LocalRun<E> {
+        let mut run = run.clone();
+        let last_value_of = |p: ProcessId| -> E::Fd {
+            self.dag
+                .vertices()
+                .iter()
+                .rev()
+                .find(|v| v.process == p)
+                .map(|v| v.value.clone())
+                .unwrap_or_else(|| self.dag.vertices()[self.dag.len() - 1].value.clone())
+        };
+        let participants = self.closure_participants();
+        for round in 0..self.config.closure_steps {
+            let p = participants[round % participants.len()];
+            let fd = last_value_of(p);
+            if run.has_pending_message(p) {
+                run.apply(p, fd.clone(), StepEffect::ReceiveOldest);
+            }
+            if run.ready_to_propose(p) && run.proposed_instance(p) < self.config.max_instance {
+                run.apply(p, fd.clone(), StepEffect::Propose { value });
+            }
+            run.apply(p, fd, StepEffect::Timer);
+        }
+        run
+    }
+
+    fn tag_from_runs(&self, runs: &[&LocalRun<E>], base: &LocalRun<E>, k: u64) -> KTag {
+        let enabled = k == 1 || base.instance_decided(k - 1);
+        let mut tag = KTag {
+            values: BTreeSet::new(),
+            invalid: false,
+            enabled,
+        };
+        for run in runs {
+            let decisions = run.decisions_for_instance(k);
+            for v in &decisions {
+                tag.values.insert(*v);
+            }
+            if decisions.iter().any(|v| *v) && decisions.iter().any(|v| !*v) {
+                tag.invalid = true;
+            }
+        }
+        tag
+    }
+
+    fn compute_tags(&mut self) {
+        // bottom-up: children have larger ids than parents (BFS-ish insertion)
+        for v in (0..self.vertices.len()).rev() {
+            let max_k = self.config.max_instance;
+            let mut tags = Vec::with_capacity(max_k as usize);
+            if self.vertices[v].children.is_empty() {
+                // leaf: tags from the two closures
+                let closed_false = self.close(&self.vertices[v].run, false);
+                let closed_true = self.close(&self.vertices[v].run, true);
+                for k in 1..=max_k {
+                    tags.push(self.tag_from_runs(
+                        &[&closed_false, &closed_true, &self.vertices[v].run],
+                        &self.vertices[v].run,
+                        k,
+                    ));
+                }
+            } else {
+                for k in 1..=max_k {
+                    let enabled = k == 1 || self.vertices[v].run.instance_decided(k - 1);
+                    let mut tag = KTag {
+                        values: BTreeSet::new(),
+                        invalid: false,
+                        enabled,
+                    };
+                    // own decisions
+                    for value in self.vertices[v].run.decisions_for_instance(k) {
+                        tag.values.insert(value);
+                    }
+                    // union of children tags
+                    for &c in &self.vertices[v].children {
+                        let child_tag = &self.vertices[c].tags[(k - 1) as usize];
+                        tag.values.extend(child_tag.values.iter().copied());
+                        tag.invalid |= child_tag.invalid;
+                    }
+                    tags.push(tag);
+                }
+            }
+            self.vertices[v].tags = tags;
+        }
+    }
+
+    /// Number of vertices in the explored fragment.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if the tree has only the root (it never does: the root
+    /// always exists and exploration adds children whenever the DAG allows).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        0
+    }
+
+    /// The children of a vertex.
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.vertices[v].children
+    }
+
+    /// The parent of a vertex.
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.vertices[v].parent
+    }
+
+    /// The step labelling the edge from the parent of `v` to `v`.
+    pub fn step(&self, v: VertexId) -> Option<&SimStep> {
+        self.vertices[v].step.as_ref()
+    }
+
+    /// The schedule length of a vertex.
+    pub fn depth(&self, v: VertexId) -> usize {
+        self.vertices[v].depth
+    }
+
+    /// The simulated run state at a vertex.
+    pub fn run(&self, v: VertexId) -> &LocalRun<E> {
+        &self.vertices[v].run
+    }
+
+    /// The k-tag of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than the configured `max_instance`.
+    pub fn tag(&self, v: VertexId, k: u64) -> &KTag {
+        assert!(k >= 1 && k <= self.config.max_instance, "k out of range");
+        &self.vertices[v].tags[(k - 1) as usize]
+    }
+
+    /// The first (in breadth-first order) k-bivalent vertex, if any.
+    pub fn first_bivalent(&self, k: u64) -> Option<VertexId> {
+        (0..self.vertices.len()).find(|&v| self.tag(v, k).is_bivalent())
+    }
+
+    /// The smallest `k` for which a k-bivalent vertex exists, together with
+    /// that vertex.
+    pub fn first_bivalent_any(&self) -> Option<(u64, VertexId)> {
+        (1..=self.config.max_instance)
+            .find_map(|k| self.first_bivalent(k).map(|v| (k, v)))
+    }
+
+    /// Iterates over the vertices of the subtree rooted at `v` in
+    /// breadth-first order (including `v`).
+    pub fn subtree(&self, v: VertexId) -> Vec<VertexId> {
+        let mut acc = vec![v];
+        let mut i = 0;
+        while i < acc.len() {
+            acc.extend(self.children(acc[i]).iter().copied());
+            i += 1;
+        }
+        acc
+    }
+
+    /// The exploration configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// The DAG that induced this tree.
+    pub fn dag(&self) -> &FdDag<E::Fd> {
+        &self.dag
+    }
+}
+
+impl<E> fmt::Debug for SimulationTree<E>
+where
+    E: EventualConsensus<Value = bool> + Clone,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimulationTree")
+            .field("vertices", &self.vertices.len())
+            .field("dag_len", &self.dag.len())
+            .field("max_depth", &self.config.max_depth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::ec_omega::{EcConfig, EcOmega};
+    use ec_sim::Time;
+
+    type Alg = EcOmega<bool>;
+
+    fn factory(_p: ProcessId) -> Alg {
+        EcOmega::new(EcConfig { poll_period: 1 })
+    }
+
+    /// A small DAG in the shape of Figure 2(a): three samples, alternating
+    /// between two processes, all with the same Ω value (p0).
+    fn figure2_dag() -> FdDag<ProcessId> {
+        let mut dag = FdDag::new(2);
+        dag.add_sample(ProcessId::new(0), ProcessId::new(0), Time::new(1));
+        dag.add_sample(ProcessId::new(1), ProcessId::new(0), Time::new(2));
+        dag.add_sample(ProcessId::new(0), ProcessId::new(0), Time::new(3));
+        dag
+    }
+
+    fn build(dag: FdDag<ProcessId>, config: TreeConfig) -> SimulationTree<Alg> {
+        SimulationTree::build(2, &factory, dag, config)
+    }
+
+    #[test]
+    fn figure2_tree_has_one_schedule_per_step_choice() {
+        let tree = build(figure2_dag(), TreeConfig::default());
+        // the root exists and has children labelled by steps of p0 (the
+        // process of the first DAG vertex)
+        assert!(tree.len() > 3);
+        assert!(!tree.is_empty());
+        for &c in tree.children(tree.root()) {
+            let step = tree.step(c).expect("non-root vertices are labelled");
+            assert_eq!(step.process, ProcessId::new(0));
+            assert_eq!(step.dag_vertex, 0);
+            assert_eq!(tree.parent(c), Some(tree.root()));
+            assert_eq!(tree.depth(c), 1);
+        }
+        // depth never exceeds the DAG length
+        for v in 0..tree.len() {
+            assert!(tree.depth(v) <= 3);
+        }
+        assert!(format!("{tree:?}").contains("SimulationTree"));
+    }
+
+    #[test]
+    fn root_is_bivalent_because_inputs_are_free() {
+        // Before anyone proposes, both 0 and 1 are reachable decisions for
+        // instance 1 — the executable counterpart of observation (*).
+        let tree = build(figure2_dag(), TreeConfig::default());
+        let root_tag = tree.tag(tree.root(), 1);
+        assert!(root_tag.enabled);
+        assert!(root_tag.is_bivalent(), "root tag: {root_tag:?}");
+        assert!(!root_tag.invalid, "no simulated run may violate agreement under a constant Ω sample");
+    }
+
+    #[test]
+    fn proposal_children_of_the_leader_are_univalent() {
+        let tree = build(figure2_dag(), TreeConfig::default());
+        // find the children of the root reached by p0 proposing 0 / 1
+        let mut saw_false = false;
+        let mut saw_true = false;
+        for &c in tree.children(tree.root()) {
+            match tree.step(c).unwrap().effect {
+                StepEffect::Propose { value } => {
+                    let tag = tree.tag(c, 1);
+                    assert!(tag.is_univalent(), "tag of propose({value}) child: {tag:?}");
+                    assert_eq!(tag.univalent_value(), Some(value));
+                    if value {
+                        saw_true = true;
+                    } else {
+                        saw_false = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_false && saw_true, "the leader's proposal must branch both ways");
+    }
+
+    #[test]
+    fn first_bivalent_vertex_is_found() {
+        let tree = build(figure2_dag(), TreeConfig::default());
+        let (k, v) = tree.first_bivalent_any().expect("a bivalent vertex exists");
+        assert_eq!(k, 1);
+        assert_eq!(v, tree.root(), "the root is the first bivalent vertex here");
+        assert!(tree.first_bivalent(1).is_some());
+    }
+
+    #[test]
+    fn subtree_enumerates_descendants() {
+        let tree = build(figure2_dag(), TreeConfig::default());
+        let all = tree.subtree(tree.root());
+        assert_eq!(all.len(), tree.len());
+        let child = tree.children(tree.root())[0];
+        let sub = tree.subtree(child);
+        assert!(sub.len() < all.len());
+        assert!(sub.contains(&child));
+    }
+
+    #[test]
+    fn vertex_cap_bounds_exploration() {
+        let config = TreeConfig {
+            max_vertices: 5,
+            ..Default::default()
+        };
+        let tree = build(figure2_dag(), config);
+        assert!(tree.len() <= 5 + 4, "cap is approximately respected (one expansion may overshoot)");
+        assert_eq!(tree.config().max_vertices, 5);
+        assert_eq!(tree.dag().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty DAG")]
+    fn empty_dag_panics() {
+        let _ = build(FdDag::new(2), TreeConfig::default());
+    }
+}

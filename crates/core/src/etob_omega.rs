@@ -1,0 +1,556 @@
+//! **Algorithm 5** of the paper: eventual total order broadcast (ETOB)
+//! directly from Ω.
+//!
+//! Every process that broadcasts a message sends its causality graph to
+//! everyone. Every process maintains (1) a causality graph `CG_i` of all
+//! messages it knows about and (2) a *promotion sequence* `promote_i`, a
+//! linearization of `CG_i` that respects causal order and only ever grows by
+//! appending. As long as a process considers itself the leader (its Ω module
+//! outputs itself), it periodically sends its promotion sequence to everyone.
+//! A process adopts a received promotion sequence as its delivered sequence
+//! `d_i` only if the sender is the process its own Ω module currently trusts.
+//!
+//! The three headline properties of the paper:
+//!
+//! * **P1 — two communication steps.** A broadcast reaches the leader in one
+//!   message hop (`update`) and the resulting promotion sequence reaches all
+//!   processes in one more hop (`promote`). With
+//!   [`EtobConfig::eager_promote`] the leader promotes immediately upon
+//!   learning a new message, making the two-hop latency visible end to end;
+//!   otherwise a fraction of the promotion period is added.
+//! * **P2 — strong consistency under a stable leader.** If Ω outputs the same
+//!   leader at every process from the very beginning, delivered sequences are
+//!   prefix-ordered from time 0: the algorithm implements full TOB.
+//! * **P3 — causal order always.** Promotion sequences linearize the causal
+//!   graph, so causal order holds even while processes trust different
+//!   leaders.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ec_sim::{Algorithm, Context, ProcessId};
+
+use crate::types::{AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
+
+/// The causality graph `CG_i`: all messages known to a process together with
+/// the causal edges `(m′, m)` for every declared dependency `m′ ∈ C(m)`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CausalGraph {
+    nodes: BTreeMap<MsgId, AppMessage>,
+    /// Edges `(before, after)`.
+    edges: BTreeSet<(MsgId, MsgId)>,
+}
+
+impl CausalGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `UpdateCG(m, C(m))`: adds the node `m` and the edges
+    /// `{(m′, m) | m′ ∈ C(m)}`.
+    pub fn update(&mut self, message: AppMessage) {
+        for dep in &message.deps {
+            self.edges.insert((*dep, message.id));
+        }
+        self.nodes.insert(message.id, message);
+    }
+
+    /// `UnionCG(CG_j)`: merges another causality graph into this one.
+    pub fn union(&mut self, other: &CausalGraph) {
+        for (id, msg) in &other.nodes {
+            self.nodes.entry(*id).or_insert_with(|| msg.clone());
+        }
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Number of known messages.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no message is known.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if the graph contains the message.
+    pub fn contains(&self, id: MsgId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// The causal predecessors of `id` recorded in the graph.
+    pub fn predecessors(&self, id: MsgId) -> impl Iterator<Item = MsgId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, after)| *after == id)
+            .map(|(before, _)| *before)
+    }
+
+    /// The messages of the graph, keyed by identifier.
+    pub fn messages(&self) -> impl Iterator<Item = &AppMessage> + '_ {
+        self.nodes.values()
+    }
+
+    /// The causal edges of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = (MsgId, MsgId)> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+/// Messages of [`EtobOmega`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EtobMsg {
+    /// `update(CG_i)`: the sender's causality graph.
+    Update(CausalGraph),
+    /// `promote(promote_i)`: the sender's promotion sequence.
+    Promote(Vec<AppMessage>),
+}
+
+/// Configuration of [`EtobOmega`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EtobConfig {
+    /// Ticks between the leader's periodic `promote` broadcasts.
+    pub promote_period: u64,
+    /// If `true`, a process that currently considers itself the leader sends
+    /// a `promote` immediately whenever its promotion sequence grows, instead
+    /// of waiting for the next period. This realizes the paper's optimal
+    /// two-communication-step delivery; ablation A2 quantifies the trade-off.
+    pub eager_promote: bool,
+}
+
+impl Default for EtobConfig {
+    fn default() -> Self {
+        EtobConfig {
+            promote_period: 5,
+            eager_promote: false,
+        }
+    }
+}
+
+impl EtobConfig {
+    /// Configuration with eager promotion enabled (used by the latency
+    /// experiment E1).
+    pub fn eager() -> Self {
+        EtobConfig {
+            eager_promote: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Algorithm 5: ETOB from Ω.
+pub struct EtobOmega {
+    me: ProcessId,
+    config: EtobConfig,
+    /// `d_i`: the delivered sequence output by this process.
+    delivered: Vec<AppMessage>,
+    /// `promote_i`: the sequence this process promotes while it trusts itself.
+    promote: Vec<AppMessage>,
+    /// identifiers already in `promote`, for O(log n) membership checks.
+    promoted_ids: BTreeSet<MsgId>,
+    /// `CG_i`: the causality graph.
+    graph: CausalGraph,
+}
+
+impl EtobOmega {
+    /// Creates the automaton for process `me`.
+    pub fn new(me: ProcessId, config: EtobConfig) -> Self {
+        EtobOmega {
+            me,
+            config,
+            delivered: Vec::new(),
+            promote: Vec::new(),
+            promoted_ids: BTreeSet::new(),
+            graph: CausalGraph::new(),
+        }
+    }
+
+    /// The current delivered sequence `d_i`.
+    pub fn delivered(&self) -> &[AppMessage] {
+        &self.delivered
+    }
+
+    /// The current promotion sequence `promote_i`.
+    pub fn promotion_sequence(&self) -> &[AppMessage] {
+        &self.promote
+    }
+
+    /// The causality graph `CG_i`.
+    pub fn causal_graph(&self) -> &CausalGraph {
+        &self.graph
+    }
+
+    /// `UpdatePromote()`: extends the promotion sequence with every message of
+    /// the causality graph not yet present, in an order that respects the
+    /// causal edges (and keeps the existing sequence as a prefix). Messages
+    /// whose causal predecessors are not yet known are held back until the
+    /// predecessors arrive. Returns `true` if the sequence grew.
+    fn update_promote(&mut self) -> bool {
+        let before = self.promote.len();
+        loop {
+            let mut appended = false;
+            // Deterministic scan order: by message identifier.
+            let candidates: Vec<MsgId> = self
+                .graph
+                .nodes
+                .keys()
+                .filter(|id| !self.promoted_ids.contains(id))
+                .copied()
+                .collect();
+            for id in candidates {
+                let deps_satisfied = self
+                    .graph
+                    .predecessors(id)
+                    .all(|dep| self.promoted_ids.contains(&dep));
+                if deps_satisfied {
+                    let msg = self.graph.nodes[&id].clone();
+                    self.promote.push(msg);
+                    self.promoted_ids.insert(id);
+                    appended = true;
+                }
+            }
+            if !appended {
+                break;
+            }
+        }
+        self.promote.len() > before
+    }
+}
+
+impl fmt::Debug for EtobOmega {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EtobOmega")
+            .field("me", &self.me)
+            .field("delivered", &self.delivered.len())
+            .field("promote", &self.promote.len())
+            .field("known", &self.graph.len())
+            .finish()
+    }
+}
+
+impl Algorithm for EtobOmega {
+    type Msg = EtobMsg;
+    type Input = EtobBroadcast;
+    type Output = DeliveredSequence;
+    type Fd = ProcessId;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        ctx.set_timer(self.config.promote_period);
+    }
+
+    fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
+        // On broadcastETOB(m, C(m)): UpdateCG(m, C(m)); send update(CG_i) to all.
+        self.graph.update(input.message);
+        ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: EtobMsg, ctx: &mut Context<'_, Self>) {
+        match msg {
+            EtobMsg::Update(graph) => {
+                // On reception of update(CG_j): UnionCG(CG_j); UpdatePromote().
+                self.graph.union(&graph);
+                let grew = self.update_promote();
+                if grew && self.config.eager_promote && *ctx.fd() == self.me {
+                    ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+                }
+            }
+            EtobMsg::Promote(sequence) => {
+                // On reception of promote(promote_j): adopt it iff Ω_i = p_j.
+                if *ctx.fd() == from && self.delivered != sequence {
+                    self.delivered = sequence;
+                    ctx.output(self.delivered.clone());
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
+        // On local timeout: if Ω_i = p_i then send promote(promote_i) to all.
+        if *ctx.fd() == self.me {
+            ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+        }
+        ctx.set_timer(self.config.promote_period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EtobChecker;
+    use crate::workload::BroadcastWorkload;
+    use ec_detectors::omega::{OmegaOracle, PreStabilization};
+    use ec_sim::{
+        FailurePattern, NetworkModel, OutputHistory, PartitionSpec, ProcessSet, Time, WorldBuilder,
+    };
+
+    fn run_etob(
+        n: usize,
+        workload: &BroadcastWorkload,
+        failures: FailurePattern,
+        omega: OmegaOracle,
+        network: NetworkModel,
+        horizon: u64,
+        config: EtobConfig,
+    ) -> OutputHistory<DeliveredSequence> {
+        let mut world = WorldBuilder::new(n)
+            .network(network)
+            .failures(failures)
+            .seed(42)
+            .build_with(|p| EtobOmega::new(p, config), omega);
+        workload.submit_to(&mut world);
+        world.run_until(horizon);
+        world.trace().output_history()
+    }
+
+    #[test]
+    fn stable_leader_from_start_gives_full_tob() {
+        // Property P2: Ω stable from time 0 ⇒ strong TOB (tau = 0).
+        let n = 4;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let workload = BroadcastWorkload::uniform(n, 12, 10, 7);
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            NetworkModel::fixed_delay(2),
+            5_000,
+            EtobConfig::default(),
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all_with_causal().is_ok(), "{:?}", checker.check_all_with_causal());
+    }
+
+    #[test]
+    fn divergent_leaders_satisfy_etob_after_stabilization() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let tau_omega = Time::new(300);
+        let omega = OmegaOracle::stabilizing_at(failures.clone(), tau_omega)
+            .with_pre_stabilization(PreStabilization::SelfLeader);
+        let workload = BroadcastWorkload::uniform(n, 15, 5, 11);
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            NetworkModel::fixed_delay(3),
+            8_000,
+            EtobConfig::default(),
+        );
+        // tau = tau_Omega + Delta_t + Delta_c as in the paper's proof
+        let tau = Time::new(300 + 5 + 3 + 1);
+        let checker =
+            EtobChecker::from_delivered(&history, workload.records(), failures.correct(), tau);
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        // causal order holds from the beginning (property P3)
+        assert!(checker.check_causal_order().is_empty());
+    }
+
+    #[test]
+    fn causal_chains_are_respected_even_during_divergence() {
+        let n = 4;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stabilizing_at(failures.clone(), Time::new(400))
+            .with_pre_stabilization(PreStabilization::RoundRobin { period: 25 });
+        let workload = BroadcastWorkload::causal_chains(n, 3, 4, 5, 9);
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            NetworkModel::uniform_delay(1, 4),
+            8_000,
+            EtobConfig::default(),
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::new(500),
+        );
+        assert!(checker.check_causal_order().is_empty(), "{:?}", checker.check_causal_order());
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+    }
+
+    #[test]
+    fn liveness_without_correct_majority() {
+        // Only 2 of 5 processes are correct: ETOB still delivers everything
+        // broadcast by correct processes (no quorum is ever needed).
+        let n = 5;
+        let failures = FailurePattern::with_crashes(
+            n,
+            &[
+                (ProcessId::new(2), Time::new(50)),
+                (ProcessId::new(3), Time::new(50)),
+                (ProcessId::new(4), Time::new(50)),
+            ],
+        );
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        // broadcasts happen after the crashes, from the surviving processes
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..6 {
+            workload.push(
+                ProcessId::new(k % 2),
+                100 + 10 * k as u64,
+                format!("post-crash-{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            NetworkModel::fixed_delay(2),
+            5_000,
+            EtobConfig::default(),
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        // every broadcast message was actually delivered by the survivors
+        let final_len = history.last(ProcessId::new(0)).map(|s| s.len()).unwrap_or(0);
+        assert_eq!(final_len, 6);
+    }
+
+    #[test]
+    fn deliveries_continue_inside_the_leaders_partition() {
+        // The leader p0 is partitioned together with p1 away from the rest;
+        // broadcasts originating inside the leader's side keep being delivered
+        // there during the partition (eventual consistency is partition
+        // tolerant), and everyone converges after the heal.
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let minority: ProcessSet = [0, 1].into_iter().collect();
+        let network = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(50),
+            Time::new(600),
+            PartitionSpec::isolate(minority, n),
+        );
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..5 {
+            workload.push(
+                ProcessId::new(k % 2), // inside the leader's side
+                100 + 20 * k as u64,
+                format!("partitioned-{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let mut world = WorldBuilder::new(n)
+            .network(network)
+            .failures(failures.clone())
+            .seed(9)
+            .build_with(|p| EtobOmega::new(p, EtobConfig::default()), omega);
+        workload.submit_to(&mut world);
+        world.run_until(2_000);
+        let history = world.trace().output_history();
+
+        // during the partition (t = 550 < heal) p1 has already delivered
+        // messages broadcast on its side
+        let during = history
+            .value_at(ProcessId::new(1), Time::new(550))
+            .map(|s| s.len())
+            .unwrap_or(0);
+        assert!(during >= 1, "leader side must keep delivering during the partition");
+
+        // after the heal, everyone converges and full ETOB holds
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+    }
+
+    #[test]
+    fn eager_promotion_delivers_in_two_message_hops() {
+        let n = 4;
+        let delay = 10u64;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let mut workload = BroadcastWorkload::new();
+        // broadcast from a non-leader process
+        workload.push(ProcessId::new(2), 100, b"fast".to_vec(), vec![]);
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            NetworkModel::fixed_delay(delay),
+            2_000,
+            EtobConfig::eager(),
+        );
+        let id = workload.ids()[0];
+        // find the first time any non-broadcasting process delivered it
+        let mut first_delivery = None;
+        for p in (0..n).map(ProcessId::new) {
+            if let Some(t) = history.first_time_where(p, |seq| seq.iter().any(|m| m.id == id)) {
+                first_delivery = Some(first_delivery.map_or(t, |x: Time| x.min(t)));
+            }
+        }
+        let latency = first_delivery.expect("delivered").saturating_since(Time::new(100));
+        // two communication steps of 10 ticks each, plus negligible local time
+        assert!(latency >= 2 * delay, "latency {latency}");
+        assert!(latency < 3 * delay, "latency {latency} should be < 3 hops");
+    }
+
+    #[test]
+    fn causal_graph_operations() {
+        let a = AppMessage::new(MsgId::new(ProcessId::new(0), 1), b"a".to_vec());
+        let b = AppMessage::with_deps(
+            MsgId::new(ProcessId::new(1), 1),
+            b"b".to_vec(),
+            vec![a.id],
+        );
+        let mut g = CausalGraph::new();
+        assert!(g.is_empty());
+        g.update(a.clone());
+        g.update(b.clone());
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(a.id));
+        assert_eq!(g.predecessors(b.id).collect::<Vec<_>>(), vec![a.id]);
+        assert_eq!(g.edges().count(), 1);
+
+        let mut h = CausalGraph::new();
+        let c = AppMessage::new(MsgId::new(ProcessId::new(2), 1), b"c".to_vec());
+        h.update(c.clone());
+        g.union(&h);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.messages().count(), 3);
+    }
+
+    #[test]
+    fn update_promote_holds_back_messages_with_unknown_dependencies() {
+        let a = AppMessage::new(MsgId::new(ProcessId::new(0), 1), b"a".to_vec());
+        let b = AppMessage::with_deps(
+            MsgId::new(ProcessId::new(1), 1),
+            b"b".to_vec(),
+            vec![a.id],
+        );
+        let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
+        // b arrives without a: held back
+        alg.graph.update(b.clone());
+        alg.update_promote();
+        assert!(alg.promotion_sequence().is_empty());
+        // once a arrives, both are appended in causal order
+        alg.graph.update(a.clone());
+        alg.update_promote();
+        let ids: Vec<MsgId> = alg.promotion_sequence().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![a.id, b.id]);
+        assert!(format!("{alg:?}").contains("EtobOmega"));
+    }
+}

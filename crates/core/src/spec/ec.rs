@@ -1,0 +1,653 @@
+//! Checkers for the eventual consensus (EC) and eventual irrevocable
+//! consensus (EIC) properties.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ec_sim::{OutputHistory, ProcessId, ProcessSet, Time};
+
+use crate::types::{EcOutput, EicOutput};
+
+/// A record of one `proposeEC_ℓ(v)` (or `proposeEIC_ℓ(v)`) invocation, kept
+/// by the workload so the checkers can verify Validity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProposalRecord<V> {
+    /// The instance `ℓ`.
+    pub instance: u64,
+    /// The proposing process.
+    pub by: ProcessId,
+    /// The proposed value.
+    pub value: V,
+    /// The invocation time.
+    pub at: Time,
+}
+
+/// A violation of the EC properties.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EcViolation<V> {
+    /// A correct process never decided an instance it was expected to decide.
+    Termination {
+        /// The undecided instance.
+        instance: u64,
+        /// The correct process that never decided.
+        process: ProcessId,
+    },
+    /// A process decided the same instance more than once.
+    Integrity {
+        /// The instance decided twice.
+        instance: u64,
+        /// The offending process.
+        process: ProcessId,
+    },
+    /// A decided value was never proposed for that instance.
+    Validity {
+        /// The instance.
+        instance: u64,
+        /// The deciding process.
+        process: ProcessId,
+        /// The unproposed value it decided.
+        value: V,
+    },
+    /// Agreement never sets in: disagreement persists beyond the allowed
+    /// bound (there must exist `k` such that all instances `≥ k` agree).
+    Agreement {
+        /// The disagreeing instance.
+        instance: u64,
+        /// One process and its decision.
+        first: (ProcessId, V),
+        /// Another process with a different decision.
+        second: (ProcessId, V),
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for EcViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcViolation::Termination { instance, process } => {
+                write!(f, "termination: {process} never decided instance {instance}")
+            }
+            EcViolation::Integrity { instance, process } => {
+                write!(f, "integrity: {process} decided instance {instance} twice")
+            }
+            EcViolation::Validity {
+                instance,
+                process,
+                value,
+            } => write!(
+                f,
+                "validity: {process} decided {value:?} in instance {instance} but it was never proposed"
+            ),
+            EcViolation::Agreement {
+                instance,
+                first,
+                second,
+            } => write!(
+                f,
+                "agreement: instance {instance} decided as {:?} by {} but {:?} by {}",
+                first.1, first.0, second.1, second.0
+            ),
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for EcViolation<V> {}
+
+/// Checker for the EC specification over a decision history.
+#[derive(Clone, Debug)]
+pub struct EcChecker<V> {
+    decisions: OutputHistory<EcOutput<V>>,
+    proposals: Vec<ProposalRecord<V>>,
+    correct: ProcessSet,
+}
+
+impl<V: Clone + fmt::Debug + PartialEq> EcChecker<V> {
+    /// Creates a checker from the decision history of a run, the proposal
+    /// records of the workload, and the set of correct processes.
+    pub fn new(
+        decisions: OutputHistory<EcOutput<V>>,
+        proposals: Vec<ProposalRecord<V>>,
+        correct: ProcessSet,
+    ) -> Self {
+        EcChecker {
+            decisions,
+            proposals,
+            correct,
+        }
+    }
+
+    /// The largest instance index decided by any process (0 if none).
+    pub fn max_decided_instance(&self) -> u64 {
+        self.decisions
+            .all()
+            .map(|snap| snap.value.instance)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn decisions_of(&self, p: ProcessId) -> Vec<&EcOutput<V>> {
+        self.decisions.outputs(p).iter().map(|(_, d)| d).collect()
+    }
+
+    /// EC-Termination: every correct process decided every instance in
+    /// `1..=expected_instances`.
+    pub fn check_termination(&self, expected_instances: u64) -> Vec<EcViolation<V>> {
+        let mut v = Vec::new();
+        for p in self.correct.iter() {
+            let decided: Vec<u64> = self.decisions_of(p).iter().map(|d| d.instance).collect();
+            for inst in 1..=expected_instances {
+                if !decided.contains(&inst) {
+                    v.push(EcViolation::Termination {
+                        instance: inst,
+                        process: p,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// EC-Integrity: no process decides the same instance twice.
+    pub fn check_integrity(&self) -> Vec<EcViolation<V>> {
+        let mut v = Vec::new();
+        for p in (0..self.decisions.n()).map(ProcessId::new) {
+            let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+            for d in self.decisions_of(p) {
+                *counts.entry(d.instance).or_default() += 1;
+            }
+            for (instance, count) in counts {
+                if count > 1 {
+                    v.push(EcViolation::Integrity {
+                        instance,
+                        process: p,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// EC-Validity: every decided value was proposed for that instance.
+    pub fn check_validity(&self) -> Vec<EcViolation<V>> {
+        let mut v = Vec::new();
+        for snap in self.decisions.all() {
+            let d = snap.value;
+            let proposed = self
+                .proposals
+                .iter()
+                .any(|p| p.instance == d.instance && p.value == d.value);
+            if !proposed {
+                v.push(EcViolation::Validity {
+                    instance: d.instance,
+                    process: snap.process,
+                    value: d.value.clone(),
+                });
+            }
+        }
+        v
+    }
+
+    /// The smallest `k` such that every instance `ℓ ≥ k` with at least one
+    /// decision is decided identically by all deciding processes. Returns
+    /// `max_decided_instance() + 1` if even the last instance disagrees.
+    pub fn agreement_index(&self) -> u64 {
+        let max = self.max_decided_instance();
+        let mut k = 1;
+        for inst in 1..=max {
+            if self.disagreement_for(inst).is_some() {
+                k = inst + 1;
+            }
+        }
+        k
+    }
+
+    fn disagreement_for(&self, instance: u64) -> Option<EcViolation<V>> {
+        let mut first: Option<(ProcessId, V)> = None;
+        for snap in self.decisions.all() {
+            if snap.value.instance != instance {
+                continue;
+            }
+            match &first {
+                None => first = Some((snap.process, snap.value.value.clone())),
+                Some((fp, fv)) => {
+                    if *fv != snap.value.value {
+                        return Some(EcViolation::Agreement {
+                            instance,
+                            first: (*fp, fv.clone()),
+                            second: (snap.process, snap.value.value.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// EC-Agreement in its finite-prefix reading: there must exist `k ≤
+    /// max_allowed_k` from which all instances agree.
+    pub fn check_agreement(&self, max_allowed_k: u64) -> Vec<EcViolation<V>> {
+        let k = self.agreement_index();
+        if k <= max_allowed_k {
+            return Vec::new();
+        }
+        // report the disagreements at or after the allowed bound
+        (max_allowed_k..=self.max_decided_instance())
+            .filter_map(|inst| self.disagreement_for(inst))
+            .collect()
+    }
+
+    /// Checks the complete EC specification.
+    ///
+    /// `expected_instances` is the number of instances every correct process
+    /// was driven through; `max_allowed_k` bounds where eventual agreement
+    /// must have set in (for runs whose Ω stabilizes, any instance started
+    /// after stabilization agrees, so callers derive this bound from the
+    /// run's configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns all violations found.
+    pub fn check_all(
+        &self,
+        expected_instances: u64,
+        max_allowed_k: u64,
+    ) -> Result<(), Vec<EcViolation<V>>> {
+        let mut v = self.check_termination(expected_instances);
+        v.extend(self.check_integrity());
+        v.extend(self.check_validity());
+        v.extend(self.check_agreement(max_allowed_k));
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+}
+
+/// A violation of the EIC properties (Appendix A).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EicViolation<V> {
+    /// A correct process never responded to an instance.
+    Termination {
+        /// The unanswered instance.
+        instance: u64,
+        /// The correct process that never responded.
+        process: ProcessId,
+    },
+    /// Revocations never stop: an instance at or after the allowed bound was
+    /// answered more than once.
+    Integrity {
+        /// The instance revised after the bound.
+        instance: u64,
+        /// The offending process.
+        process: ProcessId,
+        /// Number of responses observed.
+        responses: usize,
+    },
+    /// A response value was never proposed for that instance.
+    Validity {
+        /// The instance.
+        instance: u64,
+        /// The responding process.
+        process: ProcessId,
+        /// The unproposed value.
+        value: V,
+    },
+    /// The final responses of two processes for an instance differ (the
+    /// finite-prefix reading of "no two processes return infinitely different
+    /// values").
+    Agreement {
+        /// The disagreeing instance.
+        instance: u64,
+        /// One process and its final response.
+        first: (ProcessId, V),
+        /// Another process with a different final response.
+        second: (ProcessId, V),
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for EicViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EicViolation::Termination { instance, process } => {
+                write!(f, "termination: {process} never responded to instance {instance}")
+            }
+            EicViolation::Integrity {
+                instance,
+                process,
+                responses,
+            } => write!(
+                f,
+                "integrity: {process} responded {responses} times to instance {instance} after the revocation bound"
+            ),
+            EicViolation::Validity {
+                instance,
+                process,
+                value,
+            } => write!(
+                f,
+                "validity: {process} responded {value:?} to instance {instance} but it was never proposed"
+            ),
+            EicViolation::Agreement {
+                instance,
+                first,
+                second,
+            } => write!(
+                f,
+                "agreement: final responses to instance {instance} differ: {:?} at {} vs {:?} at {}",
+                first.1, first.0, second.1, second.0
+            ),
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for EicViolation<V> {}
+
+/// Checker for the EIC specification over a (possibly revocable) response
+/// history.
+#[derive(Clone, Debug)]
+pub struct EicChecker<V> {
+    responses: OutputHistory<EicOutput<V>>,
+    proposals: Vec<ProposalRecord<V>>,
+    correct: ProcessSet,
+}
+
+impl<V: Clone + fmt::Debug + PartialEq> EicChecker<V> {
+    /// Creates a checker from the response history, proposal records and
+    /// correct set.
+    pub fn new(
+        responses: OutputHistory<EicOutput<V>>,
+        proposals: Vec<ProposalRecord<V>>,
+        correct: ProcessSet,
+    ) -> Self {
+        EicChecker {
+            responses,
+            proposals,
+            correct,
+        }
+    }
+
+    fn responses_of(&self, p: ProcessId, instance: u64) -> Vec<&EicOutput<V>> {
+        self.responses
+            .outputs(p)
+            .iter()
+            .map(|(_, r)| r)
+            .filter(|r| r.instance == instance)
+            .collect()
+    }
+
+    /// EIC-Termination: every correct process responded (at least once) to
+    /// every instance in `1..=expected_instances`.
+    pub fn check_termination(&self, expected_instances: u64) -> Vec<EicViolation<V>> {
+        let mut v = Vec::new();
+        for p in self.correct.iter() {
+            for inst in 1..=expected_instances {
+                if self.responses_of(p, inst).is_empty() {
+                    v.push(EicViolation::Termination {
+                        instance: inst,
+                        process: p,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// EIC-Integrity: from instance `revocation_bound_k` on, no process
+    /// responds twice to the same instance.
+    pub fn check_integrity(&self, revocation_bound_k: u64) -> Vec<EicViolation<V>> {
+        let mut v = Vec::new();
+        let max = self.max_instance();
+        for p in (0..self.responses.n()).map(ProcessId::new) {
+            for inst in revocation_bound_k..=max {
+                let count = self.responses_of(p, inst).len();
+                if count > 1 {
+                    v.push(EicViolation::Integrity {
+                        instance: inst,
+                        process: p,
+                        responses: count,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// EIC-Validity: every response value was proposed for its instance.
+    pub fn check_validity(&self) -> Vec<EicViolation<V>> {
+        let mut v = Vec::new();
+        for snap in self.responses.all() {
+            let r = snap.value;
+            let proposed = self
+                .proposals
+                .iter()
+                .any(|p| p.instance == r.instance && p.value == r.value);
+            if !proposed {
+                v.push(EicViolation::Validity {
+                    instance: r.instance,
+                    process: snap.process,
+                    value: r.value.clone(),
+                });
+            }
+        }
+        v
+    }
+
+    /// EIC-Agreement (finite-prefix reading): the *final* responses of any
+    /// two correct processes to the same instance are equal.
+    pub fn check_agreement(&self) -> Vec<EicViolation<V>> {
+        let mut v = Vec::new();
+        let max = self.max_instance();
+        for inst in 1..=max {
+            let mut finals: Vec<(ProcessId, V)> = Vec::new();
+            for p in self.correct.iter() {
+                if let Some(last) = self.responses_of(p, inst).last() {
+                    finals.push((p, last.value.clone()));
+                }
+            }
+            for pair in finals.windows(2) {
+                if pair[0].1 != pair[1].1 {
+                    v.push(EicViolation::Agreement {
+                        instance: inst,
+                        first: pair[0].clone(),
+                        second: pair[1].clone(),
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// The largest instance index with any response.
+    pub fn max_instance(&self) -> u64 {
+        self.responses
+            .all()
+            .map(|snap| snap.value.instance)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of revocations observed: responses that replaced an
+    /// earlier response for the same instance at the same process. The EIC
+    /// experiment (E9) reports this number and checks that it stops growing.
+    pub fn revocation_count(&self) -> usize {
+        let mut total = 0;
+        for p in (0..self.responses.n()).map(ProcessId::new) {
+            let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+            for (_, r) in self.responses.outputs(p) {
+                *counts.entry(r.instance).or_default() += 1;
+            }
+            total += counts.values().map(|c| c.saturating_sub(1)).sum::<usize>();
+        }
+        total
+    }
+
+    /// Checks the complete EIC specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns all violations found.
+    pub fn check_all(
+        &self,
+        expected_instances: u64,
+        revocation_bound_k: u64,
+    ) -> Result<(), Vec<EicViolation<V>>> {
+        let mut v = self.check_termination(expected_instances);
+        v.extend(self.check_integrity(revocation_bound_k));
+        v.extend(self.check_validity());
+        v.extend(self.check_agreement());
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correct(n: usize) -> ProcessSet {
+        ProcessSet::all(n)
+    }
+
+    fn proposal(instance: u64, by: usize, value: u32) -> ProposalRecord<u32> {
+        ProposalRecord {
+            instance,
+            by: ProcessId::new(by),
+            value,
+            at: Time::new(instance),
+        }
+    }
+
+    fn decisions(entries: &[(usize, u64, u64, u32)]) -> OutputHistory<EcOutput<u32>> {
+        // (process, time, instance, value)
+        let n = entries.iter().map(|(p, _, _, _)| p + 1).max().unwrap_or(1);
+        let mut h = OutputHistory::new(n.max(2));
+        for (p, t, instance, value) in entries {
+            h.record(
+                ProcessId::new(*p),
+                Time::new(*t),
+                EcOutput {
+                    instance: *instance,
+                    value: *value,
+                },
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let d = decisions(&[(0, 10, 1, 7), (1, 11, 1, 7), (0, 20, 2, 9), (1, 21, 2, 9)]);
+        let proposals = vec![proposal(1, 0, 7), proposal(2, 1, 9)];
+        let checker = EcChecker::new(d, proposals, correct(2));
+        assert!(checker.check_all(2, 1).is_ok());
+        assert_eq!(checker.agreement_index(), 1);
+        assert_eq!(checker.max_decided_instance(), 2);
+    }
+
+    #[test]
+    fn missing_decision_is_a_termination_violation() {
+        let d = decisions(&[(0, 10, 1, 7)]);
+        let checker = EcChecker::new(d, vec![proposal(1, 0, 7)], correct(2));
+        let v = checker.check_termination(1);
+        assert!(matches!(v.as_slice(), [EcViolation::Termination { process, .. }] if *process == ProcessId::new(1)));
+    }
+
+    #[test]
+    fn double_decision_is_an_integrity_violation() {
+        let d = decisions(&[(0, 10, 1, 7), (0, 12, 1, 7), (1, 11, 1, 7)]);
+        let checker = EcChecker::new(d, vec![proposal(1, 0, 7)], correct(2));
+        assert_eq!(checker.check_integrity().len(), 1);
+    }
+
+    #[test]
+    fn unproposed_value_is_a_validity_violation() {
+        let d = decisions(&[(0, 10, 1, 99), (1, 11, 1, 99)]);
+        let checker = EcChecker::new(d, vec![proposal(1, 0, 7)], correct(2));
+        assert_eq!(checker.check_validity().len(), 2);
+    }
+
+    #[test]
+    fn early_disagreement_is_allowed_late_disagreement_is_not() {
+        // instance 1 disagrees, instance 2 and 3 agree → k = 2
+        let d = decisions(&[
+            (0, 10, 1, 1),
+            (1, 11, 1, 2),
+            (0, 20, 2, 5),
+            (1, 21, 2, 5),
+            (0, 30, 3, 6),
+            (1, 31, 3, 6),
+        ]);
+        let proposals = vec![
+            proposal(1, 0, 1),
+            proposal(1, 1, 2),
+            proposal(2, 0, 5),
+            proposal(3, 0, 6),
+        ];
+        let checker = EcChecker::new(d, proposals, correct(2));
+        assert_eq!(checker.agreement_index(), 2);
+        assert!(checker.check_agreement(2).is_empty());
+        assert!(!checker.check_agreement(1).is_empty());
+        assert!(checker.check_all(3, 2).is_ok());
+        assert!(checker.check_all(3, 1).is_err());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v: EcViolation<u32> = EcViolation::Agreement {
+            instance: 3,
+            first: (ProcessId::new(0), 1),
+            second: (ProcessId::new(1), 2),
+        };
+        assert!(format!("{v}").contains("instance 3"));
+    }
+
+    fn eic_responses(entries: &[(usize, u64, u64, u32)]) -> OutputHistory<EicOutput<u32>> {
+        let n = entries.iter().map(|(p, _, _, _)| p + 1).max().unwrap_or(1);
+        let mut h = OutputHistory::new(n.max(2));
+        for (p, t, instance, value) in entries {
+            h.record(
+                ProcessId::new(*p),
+                Time::new(*t),
+                EicOutput {
+                    instance: *instance,
+                    value: *value,
+                },
+            );
+        }
+        h
+    }
+
+    #[test]
+    fn eic_revocations_before_the_bound_are_allowed() {
+        // p0 revises instance 1 once (revocation), then both settle on 7
+        let r = eic_responses(&[(0, 10, 1, 3), (0, 15, 1, 7), (1, 12, 1, 7)]);
+        let proposals = vec![proposal(1, 0, 3), proposal(1, 1, 7)];
+        let checker = EicChecker::new(r, proposals, correct(2));
+        assert_eq!(checker.revocation_count(), 1);
+        assert!(checker.check_all(1, 2).is_ok());
+        // with a revocation bound of 1 the revision is an integrity violation
+        assert!(checker.check_all(1, 1).is_err());
+    }
+
+    #[test]
+    fn eic_final_disagreement_is_reported() {
+        let r = eic_responses(&[(0, 10, 1, 3), (1, 12, 1, 7)]);
+        let proposals = vec![proposal(1, 0, 3), proposal(1, 1, 7)];
+        let checker = EicChecker::new(r, proposals, correct(2));
+        let v = checker.check_agreement();
+        assert_eq!(v.len(), 1);
+        assert!(format!("{}", v[0]).contains("instance 1"));
+    }
+
+    #[test]
+    fn eic_termination_and_validity() {
+        let r = eic_responses(&[(0, 10, 1, 3)]);
+        let checker = EicChecker::new(r, vec![], correct(2));
+        assert_eq!(checker.check_termination(1).len(), 1);
+        assert_eq!(checker.check_validity().len(), 1);
+        assert_eq!(checker.max_instance(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Executable specifications: checkers that verify run histories against the
+//! paper's property definitions.
+//!
+//! * [`tob`] — the TOB / ETOB properties of Section 3 (Validity, No-creation,
+//!   No-duplication, Agreement, Stability, Total-order, Causal-order), checked
+//!   over the delivered-sequence histories `d_i(t)` recorded by a run.
+//! * [`ec`] — the EC properties (Termination, Integrity, Validity, eventual
+//!   Agreement) and the EIC properties of Appendix A, checked over decision
+//!   histories.
+//!
+//! The checkers operate on finite run prefixes, so the *eventual* clauses are
+//! verified in their finite-prefix reading: the property must hold from the
+//! supplied (or discovered) stabilization point up to the end of the recorded
+//! history. Negative tests in this crate confirm that the checkers do flag
+//! histories produced by deliberately broken algorithm variants.
+
+pub mod ec;
+pub mod tob;
+
+pub use ec::{EcChecker, EcViolation, EicChecker, EicViolation, ProposalRecord};
+pub use tob::{BroadcastRecord, EtobChecker, TobViolation};

@@ -1,0 +1,460 @@
+//! The strongly consistent baseline: consensus-based total order broadcast
+//! gated by quorums (Ω + Σ).
+//!
+//! This is the comparator the paper measures eventual consistency against: a
+//! leader-sequencer in the style of multi-Paxos / Chandra–Toueg steady state.
+//! The current Ω leader assigns slots to messages and broadcasts an `accept`;
+//! every process acknowledges every accepted slot to everyone; a slot is
+//! *delivered* (in slot order) once the acknowledgements cover a quorum
+//! output by Σ. Delivery of a message broadcast by a non-leader therefore
+//! takes **three** communication steps (forward → accept → acknowledge),
+//! matching the lower bound the paper cites for strong consistency, versus
+//! the two steps of Algorithm 5.
+//!
+//! Because delivery waits for a Σ quorum, the protocol loses liveness
+//! whenever a quorum is unreachable — a minority partition, or any
+//! environment without the quorums Σ promises. This is exactly the
+//! computational gap (Σ) between consistency and eventual consistency that
+//! the paper identifies; experiment E2 exhibits it.
+//!
+//! Scope note: this baseline targets the steady-state latency and liveness
+//! behaviour under a stable leader (the regime every experiment uses it in).
+//! Ballot-based recovery from *dueling* leaders — the full Paxos machinery —
+//! is out of scope; leader changes are handled by re-forwarding and
+//! re-accepting undelivered slots.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ec_sim::{Algorithm, Context, ProcessId, ProcessSet};
+
+use crate::types::{AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
+
+/// Messages of [`ConsensusTob`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TobMsg {
+    /// A non-leader forwards a message to the current leader for sequencing.
+    Forward(AppMessage),
+    /// The leader assigns `message` to `slot`.
+    Accept {
+        /// The sequencing slot.
+        slot: u64,
+        /// The sequenced message.
+        message: AppMessage,
+    },
+    /// Acknowledgement that the sender has accepted `slot`.
+    Ack {
+        /// The acknowledged slot.
+        slot: u64,
+        /// The identifier of the message accepted in that slot.
+        id: MsgId,
+    },
+}
+
+/// Configuration of [`ConsensusTob`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConsensusTobConfig {
+    /// Ticks between retransmissions of pending messages and undelivered
+    /// slots.
+    pub resend_period: u64,
+}
+
+impl Default for ConsensusTobConfig {
+    fn default() -> Self {
+        ConsensusTobConfig { resend_period: 10 }
+    }
+}
+
+/// Quorum-gated leader-sequencer TOB (the strong-consistency baseline).
+pub struct ConsensusTob {
+    me: ProcessId,
+    config: ConsensusTobConfig,
+    /// Messages this process originated that are not yet delivered.
+    pending_own: BTreeMap<MsgId, AppMessage>,
+    /// Leader side: identifiers already assigned to a slot.
+    assigned: BTreeSet<MsgId>,
+    /// Next slot a leader would assign.
+    next_slot: u64,
+    /// Accepted proposals per slot.
+    proposals: BTreeMap<u64, AppMessage>,
+    /// Acknowledgements received per slot.
+    acks: BTreeMap<u64, ProcessSet>,
+    /// Delivered prefix.
+    delivered: Vec<AppMessage>,
+    delivered_ids: BTreeSet<MsgId>,
+    /// Next slot to deliver.
+    next_deliver_slot: u64,
+}
+
+impl ConsensusTob {
+    /// Creates the automaton for process `me`.
+    pub fn new(me: ProcessId, config: ConsensusTobConfig) -> Self {
+        ConsensusTob {
+            me,
+            config,
+            pending_own: BTreeMap::new(),
+            assigned: BTreeSet::new(),
+            next_slot: 0,
+            proposals: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            delivered: Vec::new(),
+            delivered_ids: BTreeSet::new(),
+            next_deliver_slot: 0,
+        }
+    }
+
+    /// The delivered sequence so far.
+    pub fn delivered(&self) -> &[AppMessage] {
+        &self.delivered
+    }
+
+    /// Number of slots this process has accepted.
+    pub fn accepted_slots(&self) -> usize {
+        self.proposals.len()
+    }
+
+    /// Number of messages originated here that still await delivery.
+    pub fn pending(&self) -> usize {
+        self.pending_own.len()
+    }
+
+    fn leader(ctx: &Context<'_, Self>) -> ProcessId {
+        ctx.fd().0
+    }
+
+    fn quorum(ctx: &Context<'_, Self>) -> ProcessSet {
+        ctx.fd().1.clone()
+    }
+
+    fn assign(&mut self, message: AppMessage, ctx: &mut Context<'_, Self>) {
+        if self.assigned.contains(&message.id) || self.delivered_ids.contains(&message.id) {
+            return;
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.assigned.insert(message.id);
+        ctx.broadcast(TobMsg::Accept { slot, message });
+    }
+
+    fn try_deliver(&mut self, ctx: &mut Context<'_, Self>) {
+        let quorum = Self::quorum(ctx);
+        let mut changed = false;
+        loop {
+            let slot = self.next_deliver_slot;
+            let Some(message) = self.proposals.get(&slot) else {
+                break;
+            };
+            let acked = self.acks.entry(slot).or_default();
+            if !quorum.is_subset(acked) {
+                break;
+            }
+            let message = message.clone();
+            self.pending_own.remove(&message.id);
+            if self.delivered_ids.insert(message.id) {
+                self.delivered.push(message);
+                changed = true;
+            }
+            self.next_deliver_slot += 1;
+        }
+        if changed {
+            ctx.output(self.delivered.clone());
+        }
+    }
+}
+
+impl fmt::Debug for ConsensusTob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConsensusTob")
+            .field("me", &self.me)
+            .field("delivered", &self.delivered.len())
+            .field("accepted_slots", &self.proposals.len())
+            .field("pending_own", &self.pending_own.len())
+            .finish()
+    }
+}
+
+impl Algorithm for ConsensusTob {
+    type Msg = TobMsg;
+    type Input = EtobBroadcast;
+    type Output = DeliveredSequence;
+    /// The pair (Ω, Σ): the eventual leader and a quorum.
+    type Fd = (ProcessId, ProcessSet);
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        ctx.set_timer(self.config.resend_period);
+    }
+
+    fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
+        let message = input.message;
+        self.pending_own.insert(message.id, message.clone());
+        let leader = Self::leader(ctx);
+        if leader == self.me {
+            self.assign(message, ctx);
+        } else {
+            ctx.send(leader, TobMsg::Forward(message));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: TobMsg, ctx: &mut Context<'_, Self>) {
+        let _ = from;
+        match msg {
+            TobMsg::Forward(message) => {
+                if Self::leader(ctx) == self.me {
+                    self.assign(message, ctx);
+                }
+            }
+            TobMsg::Accept { slot, message } => {
+                self.next_slot = self.next_slot.max(slot + 1);
+                let id = message.id;
+                self.proposals.insert(slot, message);
+                ctx.broadcast(TobMsg::Ack { slot, id });
+                self.try_deliver(ctx);
+            }
+            TobMsg::Ack { slot, id: _ } => {
+                self.acks.entry(slot).or_default().insert(from);
+                self.try_deliver(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
+        let leader = Self::leader(ctx);
+        // Re-drive messages this process originated that are still pending.
+        let pending: Vec<AppMessage> = self.pending_own.values().cloned().collect();
+        for message in pending {
+            if self.delivered_ids.contains(&message.id) {
+                continue;
+            }
+            if leader == self.me {
+                self.assign(message, ctx);
+            } else {
+                ctx.send(leader, TobMsg::Forward(message));
+            }
+        }
+        // A leader also re-broadcasts undelivered slots so late joiners and a
+        // newly elected leader converge.
+        if leader == self.me {
+            for (slot, message) in self
+                .proposals
+                .range(self.next_deliver_slot..)
+                .map(|(s, m)| (*s, m.clone()))
+                .collect::<Vec<_>>()
+            {
+                ctx.broadcast(TobMsg::Accept { slot, message });
+            }
+        }
+        self.try_deliver(ctx);
+        ctx.set_timer(self.config.resend_period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EtobChecker;
+    use crate::workload::BroadcastWorkload;
+    use ec_detectors::{omega::OmegaOracle, sigma::SigmaOracle, PairFd};
+    use ec_sim::{
+        FailureDetector, FailurePattern, NetworkModel, OutputHistory, PartitionSpec, Time,
+        WorldBuilder,
+    };
+
+    fn run(
+        n: usize,
+        workload: &BroadcastWorkload,
+        failures: FailurePattern,
+        network: NetworkModel,
+        fd: impl FailureDetector<Output = (ProcessId, ProcessSet)>,
+        horizon: u64,
+    ) -> OutputHistory<DeliveredSequence> {
+        let mut world = WorldBuilder::new(n)
+            .network(network)
+            .failures(failures)
+            .seed(3)
+            .build_with(|p| ConsensusTob::new(p, ConsensusTobConfig::default()), fd);
+        workload.submit_to(&mut world);
+        world.run_until(horizon);
+        world.trace().output_history()
+    }
+
+    #[test]
+    fn stable_leader_majority_quorums_give_full_tob() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let fd = PairFd::new(
+            OmegaOracle::stable_from_start(failures.clone()),
+            SigmaOracle::majority(failures.clone()),
+        );
+        let workload = BroadcastWorkload::uniform(n, 10, 10, 9);
+        let history = run(
+            n,
+            &workload,
+            failures.clone(),
+            NetworkModel::fixed_delay(2),
+            fd,
+            5_000,
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        // everything is delivered everywhere
+        for p in (0..n).map(ProcessId::new) {
+            assert_eq!(history.last(p).map(|s| s.len()), Some(10));
+        }
+    }
+
+    #[test]
+    fn survives_minority_crashes_with_alive_set_quorums() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n)
+            .with_crash(ProcessId::new(3), Time::new(80))
+            .with_crash(ProcessId::new(4), Time::new(120));
+        let fd = PairFd::new(
+            OmegaOracle::stable_from_start(failures.clone()),
+            SigmaOracle::alive_set(failures.clone()),
+        );
+        let workload = BroadcastWorkload::uniform(3, 9, 10, 30);
+        let history = run(
+            n,
+            &workload,
+            failures.clone(),
+            NetworkModel::fixed_delay(2),
+            fd,
+            8_000,
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        assert_eq!(
+            history.last(ProcessId::new(0)).map(|s| s.len()),
+            Some(9),
+            "all messages from correct processes must be delivered"
+        );
+    }
+
+    #[test]
+    fn minority_partition_blocks_delivery_until_heal() {
+        // The leader p0 is partitioned with p1 (a minority). Messages
+        // broadcast inside the minority cannot gather a majority quorum, so
+        // nothing new is delivered there until the partition heals — the
+        // availability price of Σ that eventual consistency does not pay.
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let fd = PairFd::new(
+            OmegaOracle::stable_from_start(failures.clone()),
+            SigmaOracle::majority(failures.clone()),
+        );
+        let minority: ProcessSet = [0, 1].into_iter().collect();
+        let heal = 800u64;
+        let network = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(50),
+            Time::new(heal),
+            PartitionSpec::isolate(minority, n),
+        );
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..4 {
+            workload.push(
+                ProcessId::new(k % 2),
+                100 + 20 * k as u64,
+                format!("blocked-{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let history = run(n, &workload, failures.clone(), network, fd, 5_000);
+
+        // during the partition: no deliveries of the new messages anywhere
+        for p in (0..n).map(ProcessId::new) {
+            let during = history
+                .value_at(p, Time::new(heal - 1))
+                .map(|s| s.len())
+                .unwrap_or(0);
+            assert_eq!(during, 0, "{p} delivered during the minority partition");
+        }
+        // after the heal: everything is delivered and full TOB holds
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        assert_eq!(history.last(ProcessId::new(2)).map(|s| s.len()), Some(4));
+    }
+
+    #[test]
+    fn leader_crash_is_recovered_by_the_next_leader() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n).with_crash(ProcessId::new(0), Time::new(150));
+        // Ω switches from p0 to p1 at the crash.
+        let fd = PairFd::new(
+            OmegaOracle::stabilizing_at(failures.clone(), Time::new(160))
+                .with_pre_stabilization(ec_detectors::PreStabilization::Fixed(ProcessId::new(0))),
+            SigmaOracle::alive_set(failures.clone()),
+        );
+        let workload = BroadcastWorkload::uniform(n, 8, 10, 40);
+        let history = run(
+            n,
+            &workload,
+            failures.clone(),
+            NetworkModel::fixed_delay(2),
+            fd,
+            10_000,
+        );
+        let checker = EtobChecker::from_delivered(
+            &history,
+            workload.records(),
+            failures.correct(),
+            Time::new(200),
+        );
+        assert!(checker.check_eventual_delivery().is_empty(), "{:?}", checker.check_eventual_delivery());
+        assert!(checker.check_ordering().is_empty(), "{:?}", checker.check_ordering());
+    }
+
+    #[test]
+    fn delivery_takes_three_communication_steps_for_non_leader_broadcasts() {
+        let n = 5;
+        let delay = 10u64;
+        let failures = FailurePattern::no_failures(n);
+        let fd = PairFd::new(
+            OmegaOracle::stable_from_start(failures.clone()),
+            SigmaOracle::majority(failures.clone()),
+        );
+        let mut workload = BroadcastWorkload::new();
+        workload.push(ProcessId::new(3), 100, b"slow".to_vec(), vec![]);
+        let history = run(
+            n,
+            &workload,
+            failures.clone(),
+            NetworkModel::fixed_delay(delay),
+            fd,
+            3_000,
+        );
+        let id = workload.ids()[0];
+        let mut first_delivery = None;
+        for p in (0..n).map(ProcessId::new) {
+            if let Some(t) = history.first_time_where(p, |seq| seq.iter().any(|m| m.id == id)) {
+                first_delivery = Some(first_delivery.map_or(t, |x: Time| x.min(t)));
+            }
+        }
+        let latency = first_delivery.expect("delivered").saturating_since(Time::new(100));
+        assert!(latency >= 3 * delay, "latency {latency}");
+        assert!(latency < 4 * delay + delay, "latency {latency} should be about 3 hops");
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let alg = ConsensusTob::new(ProcessId::new(1), ConsensusTobConfig::default());
+        assert!(alg.delivered().is_empty());
+        assert_eq!(alg.accepted_slots(), 0);
+        assert_eq!(alg.pending(), 0);
+        assert!(format!("{alg:?}").contains("ConsensusTob"));
+    }
+}

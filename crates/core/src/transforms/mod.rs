@@ -1,0 +1,28 @@
+//! The paper's black-box transformations between abstractions.
+//!
+//! * [`EcToEtob`] — **Algorithm 1**: eventual total order broadcast from any
+//!   eventual consensus implementation.
+//! * [`EtobToEc`] — **Algorithm 2**: eventual consensus from any eventual
+//!   total order broadcast implementation.
+//!
+//!   Together these prove Theorem 1 (EC ≡ ETOB in any environment).
+//!
+//! * [`EcToEic`] — **Algorithm 6**: eventual irrevocable consensus from
+//!   eventual consensus.
+//! * [`EicToEc`] — **Algorithm 7**: eventual consensus from eventual
+//!   irrevocable consensus.
+//!
+//!   Together these prove Theorem 3 (EC ≡ EIC in any environment,
+//!   Appendix A).
+//!
+//! All four are *asynchronous* transformations: the wrapped algorithm is used
+//! as a black box — the wrapper feeds it inputs, relays its messages
+//! unmodified (wrapped in an envelope), and consumes its outputs.
+
+mod ec_to_etob;
+mod eic;
+mod etob_to_ec;
+
+pub use ec_to_etob::EcToEtob;
+pub use eic::{EcToEic, EicToEc};
+pub use etob_to_ec::EtobToEc;

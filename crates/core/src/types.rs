@@ -1,0 +1,246 @@
+//! Common types and abstraction interfaces: application messages, the
+//! eventual-consensus (EC), eventual-total-order-broadcast (ETOB) and
+//! eventual-irrevocable-consensus (EIC) interfaces.
+
+use std::fmt;
+
+use ec_sim::{Algorithm, ProcessId};
+
+/// Globally unique identifier of an application message: the broadcaster and
+/// a per-broadcaster sequence number.
+///
+/// # Example
+///
+/// ```
+/// use ec_core::types::MsgId;
+/// use ec_sim::ProcessId;
+/// let id = MsgId::new(ProcessId::new(2), 7);
+/// assert_eq!(format!("{id}"), "p2#7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId {
+    /// The broadcasting process.
+    pub origin: ProcessId,
+    /// Sequence number local to the broadcaster.
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates a message identifier.
+    pub fn new(origin: ProcessId, seq: u64) -> Self {
+        MsgId { origin, seq }
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// An application message broadcast through (E)TOB: an identifier, an opaque
+/// payload, and the identifiers of the messages it causally depends on (the
+/// paper's `C(m)` passed to `broadcastETOB(m, C(m))`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AppMessage {
+    /// Unique identifier.
+    pub id: MsgId,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+    /// Identifiers of causal predecessors declared at broadcast time.
+    pub deps: Vec<MsgId>,
+}
+
+impl AppMessage {
+    /// Creates a message with no declared causal dependencies.
+    pub fn new(id: MsgId, payload: Vec<u8>) -> Self {
+        AppMessage {
+            id,
+            payload,
+            deps: Vec::new(),
+        }
+    }
+
+    /// Creates a message with declared causal dependencies `C(m)`.
+    pub fn with_deps(id: MsgId, payload: Vec<u8>, deps: Vec<MsgId>) -> Self {
+        AppMessage { id, payload, deps }
+    }
+}
+
+impl fmt::Debug for AppMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AppMessage({}, {} bytes, deps: {:?})",
+            self.id,
+            self.payload.len(),
+            self.deps
+        )
+    }
+}
+
+/// The input accepted by every (E)TOB implementation: `broadcastETOB(m, C(m))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EtobBroadcast {
+    /// The message to broadcast. Its identifier must be unique in the run
+    /// (the workload generators in [`crate::workload`] take care of this).
+    pub message: AppMessage,
+}
+
+impl EtobBroadcast {
+    /// Broadcast of a fresh message with no causal dependencies.
+    pub fn new(origin: ProcessId, seq: u64, payload: Vec<u8>) -> Self {
+        EtobBroadcast {
+            message: AppMessage::new(MsgId::new(origin, seq), payload),
+        }
+    }
+
+    /// Broadcast of a fresh message with declared causal dependencies.
+    pub fn with_deps(origin: ProcessId, seq: u64, payload: Vec<u8>, deps: Vec<MsgId>) -> Self {
+        EtobBroadcast {
+            message: AppMessage::with_deps(MsgId::new(origin, seq), payload, deps),
+        }
+    }
+}
+
+/// The output produced by every (E)TOB implementation: the full current
+/// delivered sequence `d_i`, emitted every time it changes. Keeping the whole
+/// sequence in each output makes the paper's `d_i(t)` directly available to
+/// the specification checkers.
+pub type DeliveredSequence = Vec<AppMessage>;
+
+/// The interface of an eventual-total-order-broadcast implementation: an
+/// [`Algorithm`] whose input is [`EtobBroadcast`] and whose output is the
+/// current [`DeliveredSequence`]. Implementations include the direct Ω-based
+/// Algorithm 5 ([`crate::etob_omega::EtobOmega`]), the transformation from
+/// eventual consensus ([`crate::transforms::EcToEtob`], Algorithm 1), and the
+/// strongly consistent baseline ([`crate::tob_consensus::ConsensusTob`]).
+pub trait EventualTotalOrderBroadcast:
+    Algorithm<Input = EtobBroadcast, Output = DeliveredSequence>
+{
+}
+
+impl<T> EventualTotalOrderBroadcast for T where
+    T: Algorithm<Input = EtobBroadcast, Output = DeliveredSequence>
+{
+}
+
+/// Invocation `proposeEC_ℓ(v)` of eventual consensus instance `ℓ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcInput<V> {
+    /// Instance index `ℓ ≥ 1`.
+    pub instance: u64,
+    /// Proposed value.
+    pub value: V,
+}
+
+/// Response `DecideEC(ℓ, v)` of eventual consensus instance `ℓ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EcOutput<V> {
+    /// Instance index `ℓ ≥ 1`.
+    pub instance: u64,
+    /// Decided value.
+    pub value: V,
+}
+
+/// The interface of an eventual-consensus implementation: an [`Algorithm`]
+/// accepting [`EcInput`] invocations and producing [`EcOutput`] decisions.
+/// Per the paper's definition, callers must invoke `proposeEC_{ℓ+1}` only
+/// after `proposeEC_ℓ` has returned; the
+/// [`crate::harness::MultiInstanceProposer`] drives that discipline.
+pub trait EventualConsensus:
+    Algorithm<Input = EcInput<<Self as EventualConsensus>::Value>, Output = EcOutput<<Self as EventualConsensus>::Value>>
+{
+    /// The value type proposed and decided (the multivalued extension of the
+    /// paper's binary definition).
+    type Value: Clone + fmt::Debug + PartialEq;
+}
+
+/// Invocation `proposeEIC_ℓ(v)` of eventual irrevocable consensus (Appendix A).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EicInput<V> {
+    /// Instance index `ℓ ≥ 1`.
+    pub instance: u64,
+    /// Proposed value.
+    pub value: V,
+}
+
+/// A (possibly revocable) response of eventual irrevocable consensus
+/// instance `ℓ`: later responses for the same instance revoke earlier ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EicOutput<V> {
+    /// Instance index `ℓ ≥ 1`.
+    pub instance: u64,
+    /// (Current) decided value.
+    pub value: V,
+}
+
+/// The interface of an eventual-irrevocable-consensus implementation
+/// (Appendix A of the paper).
+pub trait EventualIrrevocableConsensus:
+    Algorithm<
+    Input = EicInput<<Self as EventualIrrevocableConsensus>::Value>,
+    Output = EicOutput<<Self as EventualIrrevocableConsensus>::Value>,
+>
+{
+    /// The value type proposed and decided.
+    type Value: Clone + fmt::Debug + PartialEq;
+}
+
+/// Either of two message types — used by wrapper algorithms (the black-box
+/// transformations) to multiplex their own messages with those of the wrapped
+/// algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Either<L, R> {
+    /// A message of the wrapper itself.
+    Left(L),
+    /// A message of the wrapped (inner) algorithm.
+    Right(R),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_ordering_is_by_origin_then_seq() {
+        let a = MsgId::new(ProcessId::new(0), 5);
+        let b = MsgId::new(ProcessId::new(1), 1);
+        let c = MsgId::new(ProcessId::new(1), 2);
+        assert!(a < b && b < c);
+        assert_eq!(format!("{a:?}"), "p0#5");
+    }
+
+    #[test]
+    fn app_message_constructors() {
+        let id = MsgId::new(ProcessId::new(1), 1);
+        let m = AppMessage::new(id, vec![1, 2, 3]);
+        assert!(m.deps.is_empty());
+        let dep = MsgId::new(ProcessId::new(0), 1);
+        let m2 = AppMessage::with_deps(MsgId::new(ProcessId::new(1), 2), vec![], vec![dep]);
+        assert_eq!(m2.deps, vec![dep]);
+        assert!(format!("{m2:?}").contains("deps"));
+    }
+
+    #[test]
+    fn etob_broadcast_constructors_assign_ids() {
+        let b = EtobBroadcast::new(ProcessId::new(2), 9, b"x".to_vec());
+        assert_eq!(b.message.id, MsgId::new(ProcessId::new(2), 9));
+        let dep = MsgId::new(ProcessId::new(2), 8);
+        let c = EtobBroadcast::with_deps(ProcessId::new(2), 10, b"y".to_vec(), vec![dep]);
+        assert_eq!(c.message.deps, vec![dep]);
+    }
+
+    #[test]
+    fn either_is_usable_as_a_message_type() {
+        let l: Either<u8, &str> = Either::Left(1);
+        let r: Either<u8, &str> = Either::Right("m");
+        assert_ne!(format!("{l:?}"), format!("{r:?}"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Internal helper for black-box wrapper algorithms.
+//!
+//! The paper's transformations use the wrapped algorithm as a black box: they
+//! feed it inputs, relay its messages and consume its outputs. This helper
+//! runs one handler of an inner algorithm in a scratch action buffer so the
+//! wrapper can translate the collected actions into its own.
+//!
+//! Timer policy: wrappers never relay the inner algorithm's `set_timer`
+//! requests. Exactly one component of a process — the outermost wrapper (or
+//! the algorithm itself when it runs unwrapped) — arms a periodic timer in
+//! `on_start` and re-arms it once per `on_timer`, forwarding every fire down
+//! the stack. Relaying inner timers *and* re-arming an own timer would
+//! schedule two future timers per fire and make the event queue grow
+//! exponentially.
+
+use ec_sim::{Actions, Algorithm, Context, ProcessId, Time};
+
+/// Runs one handler of `inner` with a fresh action buffer and returns the
+/// actions it produced.
+pub(crate) fn run_inner<A, F>(
+    inner: &mut A,
+    me: ProcessId,
+    now: Time,
+    n: usize,
+    fd: A::Fd,
+    handler: F,
+) -> Actions<A>
+where
+    A: Algorithm,
+    F: FnOnce(&mut A, &mut Context<'_, A>),
+{
+    let mut actions = Actions::<A>::new();
+    {
+        let mut ctx = Context::new(me, now, n, fd, &mut actions);
+        handler(inner, &mut ctx);
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Algorithm for Doubler {
+        type Msg = u32;
+        type Input = u32;
+        type Output = u32;
+        type Fd = ();
+        fn on_input(&mut self, input: u32, ctx: &mut Context<'_, Self>) {
+            ctx.output(input * 2);
+            ctx.send(ProcessId::new(0), input);
+            ctx.set_timer(3);
+        }
+    }
+
+    #[test]
+    fn run_inner_collects_all_actions() {
+        let mut inner = Doubler;
+        let actions = run_inner(&mut inner, ProcessId::new(1), Time::new(5), 3, (), |a, ctx| {
+            a.on_input(21, ctx)
+        });
+        assert_eq!(actions.outputs, vec![42]);
+        assert_eq!(actions.sends, vec![(ProcessId::new(0), 21)]);
+        assert_eq!(actions.timers, vec![3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Executable property checkers for recorded failure-detector histories.
+//!
+//! The defining properties of Ω and Σ are *eventual*; on a finite recorded
+//! history they are checked on the recorded prefix: the history must have
+//! stabilized by its end (for Ω) and every recorded pair of quorums must
+//! intersect (for Σ). The checkers are used both to validate the oracle and
+//! heartbeat implementations and to verify the Ω history *extracted* by the
+//! CHT reduction in `ec-cht`.
+
+use ec_sim::{FailurePattern, FdHistory, ProcessId, ProcessSet, Time};
+
+/// A violation of the Ω specification found in a recorded history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OmegaViolation {
+    /// No correct process ever sampled the detector.
+    NoSamples,
+    /// At the end of the history, two correct processes trust different
+    /// leaders.
+    DisagreeAtEnd {
+        /// One correct process and its final output.
+        first: (ProcessId, ProcessId),
+        /// Another correct process with a different final output.
+        second: (ProcessId, ProcessId),
+    },
+    /// The leader trusted at the end of the history is a faulty process.
+    LeaderNotCorrect {
+        /// The faulty process trusted at the end.
+        leader: ProcessId,
+    },
+}
+
+impl std::fmt::Display for OmegaViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OmegaViolation::NoSamples => write!(f, "no correct process ever queried the detector"),
+            OmegaViolation::DisagreeAtEnd { first, second } => write!(
+                f,
+                "correct processes disagree at the end of the history: {} trusts {}, {} trusts {}",
+                first.0, first.1, second.0, second.1
+            ),
+            OmegaViolation::LeaderNotCorrect { leader } => {
+                write!(f, "final trusted leader {leader} is faulty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OmegaViolation {}
+
+/// Checks a recorded Ω history: all correct processes must, by the end of the
+/// recorded prefix, have stabilized on the same correct leader.
+///
+/// On success returns `(τ, leader)` where `τ` is the earliest time from which
+/// every recorded sample of every correct process equals `leader` — the
+/// measured stabilization time used by the convergence experiments.
+///
+/// # Errors
+///
+/// Returns an [`OmegaViolation`] describing the first property that fails.
+pub fn check_omega_history(
+    history: &FdHistory<ProcessId>,
+    pattern: &FailurePattern,
+) -> Result<(Time, ProcessId), OmegaViolation> {
+    let correct = pattern.correct();
+    // Final value of each correct process that sampled the detector.
+    let mut finals: Vec<(ProcessId, ProcessId)> = Vec::new();
+    for p in correct.iter() {
+        if let Some(last) = history.last_of(p) {
+            finals.push((p, *last));
+        }
+    }
+    let Some(&(_, leader)) = finals.first() else {
+        return Err(OmegaViolation::NoSamples);
+    };
+    for window in finals.windows(2) {
+        if window[0].1 != window[1].1 {
+            return Err(OmegaViolation::DisagreeAtEnd {
+                first: window[0],
+                second: window[1],
+            });
+        }
+    }
+    if !pattern.is_correct(leader) {
+        return Err(OmegaViolation::LeaderNotCorrect { leader });
+    }
+    // Earliest time from which all samples of correct processes equal leader.
+    let mut tau = Time::ZERO;
+    for sample in history.samples() {
+        if correct.contains(sample.process) && sample.value != leader {
+            tau = tau.max(sample.time + 1);
+        }
+    }
+    Ok((tau, leader))
+}
+
+/// A violation of the Σ specification found in a recorded history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SigmaViolation {
+    /// No correct process ever sampled the detector.
+    NoSamples,
+    /// Two recorded quorums do not intersect.
+    NonIntersecting {
+        /// The first quorum and its sampling process.
+        first: (ProcessId, ProcessSet),
+        /// The second quorum and its sampling process.
+        second: (ProcessId, ProcessSet),
+    },
+    /// The final quorum of a correct process still contains a faulty process.
+    FinalQuorumContainsFaulty {
+        /// The sampling process.
+        process: ProcessId,
+        /// The offending faulty member.
+        faulty_member: ProcessId,
+    },
+}
+
+impl std::fmt::Display for SigmaViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigmaViolation::NoSamples => write!(f, "no correct process ever queried the detector"),
+            SigmaViolation::NonIntersecting { first, second } => write!(
+                f,
+                "quorums do not intersect: {} saw {:?}, {} saw {:?}",
+                first.0, first.1, second.0, second.1
+            ),
+            SigmaViolation::FinalQuorumContainsFaulty {
+                process,
+                faulty_member,
+            } => write!(
+                f,
+                "final quorum of {process} still contains faulty process {faulty_member}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SigmaViolation {}
+
+/// Checks a recorded Σ history: every pair of recorded quorums must
+/// intersect, and the final quorum of every correct process must contain only
+/// correct processes.
+///
+/// # Errors
+///
+/// Returns a [`SigmaViolation`] describing the first property that fails.
+pub fn check_sigma_history(
+    history: &FdHistory<ProcessSet>,
+    pattern: &FailurePattern,
+) -> Result<(), SigmaViolation> {
+    if history.is_empty() {
+        return Err(SigmaViolation::NoSamples);
+    }
+    let samples = history.samples();
+    for (i, a) in samples.iter().enumerate() {
+        for b in &samples[i + 1..] {
+            if !a.value.intersects(&b.value) {
+                return Err(SigmaViolation::NonIntersecting {
+                    first: (a.process, a.value.clone()),
+                    second: (b.process, b.value.clone()),
+                });
+            }
+        }
+    }
+    let correct = pattern.correct();
+    for p in correct.iter() {
+        if let Some(last) = history.last_of(p) {
+            for member in last.iter() {
+                if !pattern.is_correct(member) {
+                    return Err(SigmaViolation::FinalQuorumContainsFaulty {
+                        process: p,
+                        faulty_member: member,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::OmegaOracle;
+    use crate::sigma::SigmaOracle;
+    use ec_sim::{FailureDetector, RecordingFd};
+
+    fn pattern() -> FailurePattern {
+        FailurePattern::no_failures(3).with_crash(ProcessId::new(0), Time::new(40))
+    }
+
+    fn sample_all<D: FailureDetector>(
+        fd: &mut RecordingFd<D>,
+        n: usize,
+        times: &[u64],
+        pattern: &FailurePattern,
+    ) {
+        for &t in times {
+            for p in (0..n).map(ProcessId::new) {
+                if pattern.is_alive(p, Time::new(t)) {
+                    fd.query(p, Time::new(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_omega_history_passes_and_reports_stabilization() {
+        let pattern = pattern();
+        let oracle = OmegaOracle::stabilizing_at(pattern.clone(), Time::new(50));
+        let mut fd = RecordingFd::new(oracle, 3);
+        sample_all(&mut fd, 3, &[0, 10, 30, 50, 70, 100], &pattern);
+        let (tau, leader) = check_omega_history(fd.history(), &pattern).expect("valid history");
+        assert_eq!(leader, ProcessId::new(1));
+        assert!(tau > Time::new(30) && tau <= Time::new(50), "tau = {tau:?}");
+    }
+
+    #[test]
+    fn disagreement_at_end_is_reported() {
+        let mut h = FdHistory::new(3);
+        h.record(ProcessId::new(1), Time::new(10), ProcessId::new(1));
+        h.record(ProcessId::new(2), Time::new(10), ProcessId::new(2));
+        let err = check_omega_history(&h, &pattern()).unwrap_err();
+        assert!(matches!(err, OmegaViolation::DisagreeAtEnd { .. }));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn faulty_final_leader_is_reported() {
+        let mut h = FdHistory::new(3);
+        h.record(ProcessId::new(1), Time::new(10), ProcessId::new(0));
+        h.record(ProcessId::new(2), Time::new(10), ProcessId::new(0));
+        let err = check_omega_history(&h, &pattern()).unwrap_err();
+        assert_eq!(
+            err,
+            OmegaViolation::LeaderNotCorrect {
+                leader: ProcessId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn empty_history_is_reported() {
+        let h: FdHistory<ProcessId> = FdHistory::new(3);
+        assert_eq!(
+            check_omega_history(&h, &pattern()).unwrap_err(),
+            OmegaViolation::NoSamples
+        );
+    }
+
+    #[test]
+    fn sigma_alive_set_history_passes() {
+        let pattern = pattern();
+        let mut fd = RecordingFd::new(SigmaOracle::alive_set(pattern.clone()), 3);
+        sample_all(&mut fd, 3, &[0, 20, 40, 60, 100], &pattern);
+        assert!(check_sigma_history(fd.history(), &pattern).is_ok());
+    }
+
+    #[test]
+    fn non_intersecting_quorums_are_reported() {
+        let mut h = FdHistory::new(4);
+        let a: ProcessSet = [0, 1].into_iter().collect();
+        let b: ProcessSet = [2, 3].into_iter().collect();
+        h.record(ProcessId::new(0), Time::new(1), a);
+        h.record(ProcessId::new(2), Time::new(2), b);
+        let err = check_sigma_history(&h, &FailurePattern::no_failures(4)).unwrap_err();
+        assert!(matches!(err, SigmaViolation::NonIntersecting { .. }));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn lingering_faulty_member_is_reported() {
+        let pattern = pattern();
+        let mut h = FdHistory::new(3);
+        let q: ProcessSet = [0, 1, 2].into_iter().collect();
+        h.record(ProcessId::new(1), Time::new(100), q);
+        let err = check_sigma_history(&h, &pattern).unwrap_err();
+        assert!(matches!(
+            err,
+            SigmaViolation::FinalQuorumContainsFaulty { faulty_member, .. }
+            if faulty_member == ProcessId::new(0)
+        ));
+    }
+
+    #[test]
+    fn empty_sigma_history_is_reported() {
+        let h: FdHistory<ProcessSet> = FdHistory::new(3);
+        assert_eq!(
+            check_sigma_history(&h, &pattern()).unwrap_err(),
+            SigmaViolation::NoSamples
+        );
+    }
+}

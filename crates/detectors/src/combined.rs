@@ -1,0 +1,81 @@
+//! Product of two failure detectors.
+//!
+//! The weakest failure detector for strongly consistent replication in an
+//! arbitrary environment is Ω + Σ (Delporte-Gallet et al.); the strongly
+//! consistent baseline in `ec-core` therefore queries a [`PairFd`] combining
+//! an Ω implementation with a Σ implementation. The existence of this pairing
+//! — and the fact that the eventual-consistency algorithms need only the
+//! first component — is exactly the gap the paper quantifies.
+
+use ec_sim::{FailureDetector, ProcessId, Time};
+
+/// The product detector `D1 × D2`: each query returns the pair of both
+/// components' outputs.
+///
+/// # Example
+///
+/// ```
+/// use ec_detectors::{combined::PairFd, omega::OmegaOracle, sigma::SigmaOracle};
+/// use ec_sim::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::no_failures(3);
+/// let mut fd = PairFd::new(
+///     OmegaOracle::stable_from_start(pattern.clone()),
+///     SigmaOracle::majority(pattern),
+/// );
+/// let (leader, quorum) = fd.query(ProcessId::new(1), Time::new(5));
+/// assert_eq!(leader, ProcessId::new(0));
+/// assert_eq!(quorum.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairFd<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: FailureDetector, B: FailureDetector> PairFd<A, B> {
+    /// Combines two detectors.
+    pub fn new(first: A, second: B) -> Self {
+        PairFd { first, second }
+    }
+
+    /// The first component.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second component.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A: FailureDetector, B: FailureDetector> FailureDetector for PairFd<A, B> {
+    type Output = (A::Output, B::Output);
+
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Output {
+        (self.first.query(p, t), self.second.query(p, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::OmegaOracle;
+    use crate::sigma::SigmaOracle;
+    use ec_sim::FailurePattern;
+
+    #[test]
+    fn pair_queries_both_components() {
+        let pattern = FailurePattern::no_failures(4).with_crash(ProcessId::new(0), Time::new(10));
+        let mut fd = PairFd::new(
+            OmegaOracle::stable_from_start(pattern.clone()),
+            SigmaOracle::alive_set(pattern.clone()),
+        );
+        let (leader, quorum) = fd.query(ProcessId::new(2), Time::new(50));
+        assert_eq!(leader, ProcessId::new(1));
+        assert_eq!(quorum, pattern.correct());
+        assert_eq!(fd.first().eventual_leader(), ProcessId::new(1));
+        assert_eq!(fd.second().pattern().n(), 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! The eventual leader failure detector Ω.
+//!
+//! Ω outputs, at every process, the identifier of a process; if a correct
+//! process exists, then there is a time after which Ω outputs the identifier
+//! of the *same correct* process at every correct process. Before that time,
+//! outputs are completely unconstrained — different processes may trust
+//! different (even crashed) leaders. The paper's Algorithm 5 exploits exactly
+//! this freedom: during divergence ("partition periods") replicas may deliver
+//! conflicting sequences, but once Ω stabilizes the delivered sequences
+//! converge.
+
+use ec_sim::{FailureDetector, FailurePattern, ProcessId, Time};
+
+/// Behaviour of an [`OmegaOracle`] before its stabilization time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreStabilization {
+    /// Every process trusts itself — maximal divergence.
+    SelfLeader,
+    /// Every process already trusts the given process (which may be faulty).
+    Fixed(ProcessId),
+    /// The trusted leader rotates over all processes, changing every
+    /// `period` ticks; different processes are additionally skewed by their
+    /// identifier so that they disagree at most times.
+    RoundRobin {
+        /// Number of ticks between leader changes.
+        period: u64,
+    },
+    /// Explicit schedule: `(from_time, leader_per_process)` entries applied
+    /// in order; the entry with the largest `from_time ≤ t` applies at `t`.
+    Scripted(Vec<(Time, Vec<ProcessId>)>),
+}
+
+/// An oracle implementation of Ω driven directly by the failure pattern.
+///
+/// The oracle realizes one particular history of Ω for the given failure
+/// pattern: after [`stabilization`](OmegaOracle::stabilization_time) it
+/// outputs a fixed correct process everywhere; before stabilization it
+/// behaves according to a [`PreStabilization`] policy. Because the paper's
+/// algorithms must work with *every* history of Ω, tests and benches sweep
+/// over policies and stabilization times.
+///
+/// # Example
+///
+/// ```
+/// use ec_detectors::omega::{OmegaOracle, PreStabilization};
+/// use ec_sim::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::no_failures(3);
+/// let mut omega = OmegaOracle::stabilizing_at(pattern, Time::new(100))
+///     .with_pre_stabilization(PreStabilization::SelfLeader);
+/// // before stabilization processes disagree
+/// assert_eq!(omega.query(ProcessId::new(1), Time::new(10)), ProcessId::new(1));
+/// assert_eq!(omega.query(ProcessId::new(2), Time::new(10)), ProcessId::new(2));
+/// // after stabilization everyone trusts the same correct process
+/// assert_eq!(omega.query(ProcessId::new(1), Time::new(100)), ProcessId::new(0));
+/// assert_eq!(omega.query(ProcessId::new(2), Time::new(500)), ProcessId::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OmegaOracle {
+    pattern: FailurePattern,
+    stabilization: Time,
+    eventual_leader: ProcessId,
+    pre: PreStabilization,
+}
+
+impl OmegaOracle {
+    /// An Ω history that is already stable at time 0: every process trusts
+    /// the smallest-index correct process from the very beginning.
+    ///
+    /// Under this history, Algorithm 5 implements full (strong) total order
+    /// broadcast — property P2 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure pattern has no correct process.
+    pub fn stable_from_start(pattern: FailurePattern) -> Self {
+        Self::stabilizing_at(pattern, Time::ZERO)
+    }
+
+    /// An Ω history that stabilizes at time `tau` on the smallest-index
+    /// correct process; before `tau`, every process trusts itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure pattern has no correct process.
+    pub fn stabilizing_at(pattern: FailurePattern, tau: Time) -> Self {
+        let leader = pattern
+            .first_correct()
+            .expect("Omega requires at least one correct process");
+        OmegaOracle {
+            pattern,
+            stabilization: tau,
+            eventual_leader: leader,
+            pre: PreStabilization::SelfLeader,
+        }
+    }
+
+    /// Overrides the eventual leader (must be a correct process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leader` is not correct in the failure pattern.
+    pub fn with_eventual_leader(mut self, leader: ProcessId) -> Self {
+        assert!(
+            self.pattern.is_correct(leader),
+            "the eventual leader of Omega must be a correct process"
+        );
+        self.eventual_leader = leader;
+        self
+    }
+
+    /// Overrides the pre-stabilization behaviour.
+    pub fn with_pre_stabilization(mut self, pre: PreStabilization) -> Self {
+        self.pre = pre;
+        self
+    }
+
+    /// The time after which all correct processes trust the same correct
+    /// leader (the paper's `τ_Ω`).
+    pub fn stabilization_time(&self) -> Time {
+        self.stabilization
+    }
+
+    /// The leader output everywhere after stabilization.
+    pub fn eventual_leader(&self) -> ProcessId {
+        self.eventual_leader
+    }
+
+    /// The failure pattern this history is defined for.
+    pub fn pattern(&self) -> &FailurePattern {
+        &self.pattern
+    }
+
+    fn pre_stabilization_output(&self, p: ProcessId, t: Time) -> ProcessId {
+        match &self.pre {
+            PreStabilization::SelfLeader => p,
+            PreStabilization::Fixed(q) => *q,
+            PreStabilization::RoundRobin { period } => {
+                let n = self.pattern.n() as u64;
+                let slot = (t.as_u64() / (*period).max(1) + p.index() as u64) % n;
+                ProcessId::new(slot as usize)
+            }
+            PreStabilization::Scripted(entries) => entries
+                .iter()
+                .filter(|(from, _)| *from <= t)
+                .last()
+                .and_then(|(_, leaders)| leaders.get(p.index()).copied())
+                .unwrap_or(p),
+        }
+    }
+}
+
+impl FailureDetector for OmegaOracle {
+    type Output = ProcessId;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> ProcessId {
+        if t >= self.stabilization {
+            self.eventual_leader
+        } else {
+            self.pre_stabilization_output(p, t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern() -> FailurePattern {
+        FailurePattern::no_failures(4).with_crash(ProcessId::new(0), Time::new(50))
+    }
+
+    #[test]
+    fn eventual_leader_is_first_correct_by_default() {
+        let o = OmegaOracle::stable_from_start(pattern());
+        assert_eq!(o.eventual_leader(), ProcessId::new(1));
+    }
+
+    #[test]
+    fn stable_from_start_is_constant() {
+        let mut o = OmegaOracle::stable_from_start(pattern());
+        for p in 0..4 {
+            for t in [0u64, 10, 1000] {
+                assert_eq!(
+                    o.query(ProcessId::new(p), Time::new(t)),
+                    ProcessId::new(1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_leader_diverges_before_stabilization() {
+        let mut o = OmegaOracle::stabilizing_at(pattern(), Time::new(100));
+        assert_eq!(o.query(ProcessId::new(2), Time::new(99)), ProcessId::new(2));
+        assert_eq!(o.query(ProcessId::new(3), Time::new(99)), ProcessId::new(3));
+        assert_eq!(o.query(ProcessId::new(2), Time::new(100)), ProcessId::new(1));
+    }
+
+    #[test]
+    fn fixed_pre_stabilization_may_trust_a_faulty_process() {
+        let mut o = OmegaOracle::stabilizing_at(pattern(), Time::new(100))
+            .with_pre_stabilization(PreStabilization::Fixed(ProcessId::new(0)));
+        // p0 is faulty (crashes at 50) but Ω may still output it before τ
+        assert_eq!(o.query(ProcessId::new(3), Time::new(70)), ProcessId::new(0));
+        assert_eq!(o.query(ProcessId::new(3), Time::new(100)), ProcessId::new(1));
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skews() {
+        let mut o = OmegaOracle::stabilizing_at(FailurePattern::no_failures(3), Time::new(1000))
+            .with_pre_stabilization(PreStabilization::RoundRobin { period: 10 });
+        let a = o.query(ProcessId::new(0), Time::new(0));
+        let b = o.query(ProcessId::new(1), Time::new(0));
+        assert_ne!(a, b, "skewed processes disagree at time 0");
+        let later = o.query(ProcessId::new(0), Time::new(10));
+        assert_ne!(a, later, "leader rotates over time");
+    }
+
+    #[test]
+    fn scripted_schedule_is_followed() {
+        let schedule = vec![
+            (Time::new(0), vec![ProcessId::new(2); 3]),
+            (Time::new(20), vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]),
+        ];
+        let mut o = OmegaOracle::stabilizing_at(FailurePattern::no_failures(3), Time::new(100))
+            .with_pre_stabilization(PreStabilization::Scripted(schedule));
+        assert_eq!(o.query(ProcessId::new(1), Time::new(5)), ProcessId::new(2));
+        assert_eq!(o.query(ProcessId::new(1), Time::new(25)), ProcessId::new(1));
+        assert_eq!(o.query(ProcessId::new(1), Time::new(100)), ProcessId::new(0));
+    }
+
+    #[test]
+    fn explicit_eventual_leader_is_used() {
+        let o = OmegaOracle::stable_from_start(FailurePattern::no_failures(3))
+            .with_eventual_leader(ProcessId::new(2));
+        assert_eq!(o.eventual_leader(), ProcessId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "correct process")]
+    fn faulty_eventual_leader_panics() {
+        let _ = OmegaOracle::stable_from_start(pattern()).with_eventual_leader(ProcessId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one correct process")]
+    fn all_faulty_pattern_panics() {
+        let all_crash = FailurePattern::with_crashes(
+            2,
+            &[
+                (ProcessId::new(0), Time::new(1)),
+                (ProcessId::new(1), Time::new(1)),
+            ],
+        );
+        let _ = OmegaOracle::stable_from_start(all_crash);
+    }
+}

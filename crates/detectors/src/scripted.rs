@@ -1,0 +1,132 @@
+//! Arbitrary failure detectors defined by explicit histories.
+//!
+//! The CHT reduction (Section 4 / Appendix B) quantifies over *any* failure
+//! detector `D` that implements eventual consensus. To test it we therefore
+//! need detectors whose histories are chosen adversarially rather than
+//! derived from Ω; [`ScriptedFd`] realizes any finite description of a
+//! history `H : Π × N → R`.
+
+use std::fmt;
+
+use ec_sim::{FailureDetector, ProcessId, Time};
+
+/// A failure detector whose output is given by an explicit per-process
+/// schedule of `(from_time, value)` entries: at time `t`, process `p`
+/// observes the value of the entry with the largest `from_time ≤ t` (or the
+/// fallback value if none).
+///
+/// # Example
+///
+/// ```
+/// use ec_detectors::scripted::ScriptedFd;
+/// use ec_sim::{FailureDetector, ProcessId, Time};
+///
+/// let mut fd = ScriptedFd::constant(3, 0u32)
+///     .with_entry(ProcessId::new(1), Time::new(10), 7);
+/// assert_eq!(fd.query(ProcessId::new(1), Time::new(9)), 0);
+/// assert_eq!(fd.query(ProcessId::new(1), Time::new(10)), 7);
+/// assert_eq!(fd.query(ProcessId::new(2), Time::new(10)), 0);
+/// ```
+#[derive(Clone)]
+pub struct ScriptedFd<R> {
+    fallback: R,
+    entries: Vec<Vec<(Time, R)>>,
+}
+
+impl<R: Clone + fmt::Debug> ScriptedFd<R> {
+    /// A detector that outputs `fallback` at every process and time until
+    /// entries are added.
+    pub fn constant(n: usize, fallback: R) -> Self {
+        ScriptedFd {
+            fallback,
+            entries: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a schedule entry: from time `from` on, process `p` observes
+    /// `value` (until a later entry overrides it).
+    pub fn with_entry(mut self, p: ProcessId, from: Time, value: R) -> Self {
+        self.add_entry(p, from, value);
+        self
+    }
+
+    /// In-place variant of [`ScriptedFd::with_entry`].
+    pub fn add_entry(&mut self, p: ProcessId, from: Time, value: R) {
+        if p.index() >= self.entries.len() {
+            self.entries.resize(p.index() + 1, Vec::new());
+        }
+        let slot = &mut self.entries[p.index()];
+        slot.push((from, value));
+        slot.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Number of processes with schedules.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<R: Clone + fmt::Debug> FailureDetector for ScriptedFd<R> {
+    type Output = R;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> R {
+        self.entries
+            .get(p.index())
+            .and_then(|sched| {
+                sched
+                    .iter()
+                    .take_while(|(from, _)| *from <= t)
+                    .last()
+                    .map(|(_, v)| v.clone())
+            })
+            .unwrap_or_else(|| self.fallback.clone())
+    }
+}
+
+impl<R: fmt::Debug> fmt::Debug for ScriptedFd<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedFd")
+            .field("fallback", &self.fallback)
+            .field("entries", &self.entries)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_applies_when_no_entry_matches() {
+        let mut fd = ScriptedFd::constant(2, "idle");
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(5)), "idle");
+        assert_eq!(fd.query(ProcessId::new(1), Time::new(500)), "idle");
+    }
+
+    #[test]
+    fn entries_apply_from_their_time_onwards_and_override() {
+        let mut fd = ScriptedFd::constant(2, 0u8)
+            .with_entry(ProcessId::new(0), Time::new(10), 1)
+            .with_entry(ProcessId::new(0), Time::new(20), 2);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(9)), 0);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(10)), 1);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(19)), 1);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(20)), 2);
+        assert_eq!(fd.query(ProcessId::new(1), Time::new(20)), 0);
+    }
+
+    #[test]
+    fn entries_may_be_added_out_of_order() {
+        let mut fd = ScriptedFd::constant(1, 0u8);
+        fd.add_entry(ProcessId::new(0), Time::new(20), 2);
+        fd.add_entry(ProcessId::new(0), Time::new(10), 1);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(15)), 1);
+    }
+
+    #[test]
+    fn schedules_grow_for_unknown_processes() {
+        let mut fd = ScriptedFd::constant(1, 0u8).with_entry(ProcessId::new(4), Time::ZERO, 9);
+        assert_eq!(fd.n(), 5);
+        assert_eq!(fd.query(ProcessId::new(4), Time::new(1)), 9);
+    }
+}

@@ -1,0 +1,203 @@
+//! The quorum failure detector Σ.
+//!
+//! Σ outputs a set of processes (a *quorum*) at each process such that
+//! (intersection) any two quorums output at any processes and any times
+//! intersect, and (completeness) eventually every quorum output at a correct
+//! process contains only correct processes. Delporte-Gallet et al. showed
+//! that Ω + Σ is the weakest failure detector for (strong) consistency in an
+//! arbitrary environment; the paper shows that eventual consistency needs
+//! only Ω, so Σ is exactly the computational gap between the two. The
+//! strongly consistent baseline in `ec-core` is gated by this detector.
+
+use ec_sim::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+
+/// How a [`SigmaOracle`] forms its quorums.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum QuorumPolicy {
+    /// The quorum at time `t` is the set of processes still alive at `t`.
+    /// Satisfies Σ in every environment with at least one correct process.
+    AliveSet,
+    /// The quorum is a majority of processes, preferring alive ones.
+    /// Matches the structure of real quorum systems; eventually contains only
+    /// correct processes exactly when a majority of processes are correct.
+    Majority,
+}
+
+/// An oracle implementation of Σ driven by the failure pattern.
+///
+/// # Example
+///
+/// ```
+/// use ec_detectors::sigma::SigmaOracle;
+/// use ec_sim::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::no_failures(3).with_crash(ProcessId::new(0), Time::new(10));
+/// let mut sigma = SigmaOracle::alive_set(pattern);
+/// let early = sigma.query(ProcessId::new(1), Time::new(0));
+/// let late = sigma.query(ProcessId::new(2), Time::new(100));
+/// assert!(early.intersects(&late));
+/// assert!(!late.contains(ProcessId::new(0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SigmaOracle {
+    pattern: FailurePattern,
+    policy: QuorumPolicy,
+}
+
+impl SigmaOracle {
+    /// Σ realized as "all processes still alive". This satisfies both Σ
+    /// properties in any environment with at least one correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure pattern has no correct process (Σ has no valid
+    /// history in that case: all quorums would eventually have to be empty).
+    pub fn alive_set(pattern: FailurePattern) -> Self {
+        assert!(
+            !pattern.correct().is_empty(),
+            "Sigma requires at least one correct process"
+        );
+        SigmaOracle {
+            pattern,
+            policy: QuorumPolicy::AliveSet,
+        }
+    }
+
+    /// Σ realized as majority quorums (the classical quorum system used by
+    /// consensus protocols). Intersection always holds; the completeness
+    /// property (eventually only correct members) holds exactly when a
+    /// majority of processes are correct — which is why the strongly
+    /// consistent baseline loses liveness in minority partitions.
+    pub fn majority(pattern: FailurePattern) -> Self {
+        SigmaOracle {
+            pattern,
+            policy: QuorumPolicy::Majority,
+        }
+    }
+
+    /// The failure pattern this history is defined for.
+    pub fn pattern(&self) -> &FailurePattern {
+        &self.pattern
+    }
+
+    /// Quorum size used by the majority policy.
+    pub fn majority_size(&self) -> usize {
+        self.pattern.n() / 2 + 1
+    }
+}
+
+impl FailureDetector for SigmaOracle {
+    type Output = ProcessSet;
+
+    fn query(&mut self, _p: ProcessId, t: Time) -> ProcessSet {
+        let alive: ProcessSet = (0..self.pattern.n())
+            .map(ProcessId::new)
+            .filter(|q| self.pattern.is_alive(*q, t))
+            .collect();
+        match self.policy {
+            QuorumPolicy::AliveSet => alive,
+            QuorumPolicy::Majority => {
+                let need = self.majority_size();
+                let mut quorum = ProcessSet::new();
+                // prefer alive processes, then pad with crashed ones (a real
+                // quorum system cannot know who crashed; padding keeps the
+                // intersection property when fewer than a majority are alive)
+                for q in alive.iter() {
+                    if quorum.len() == need {
+                        break;
+                    }
+                    quorum.insert(q);
+                }
+                for i in 0..self.pattern.n() {
+                    if quorum.len() == need {
+                        break;
+                    }
+                    quorum.insert(ProcessId::new(i));
+                }
+                quorum
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern() -> FailurePattern {
+        FailurePattern::no_failures(5)
+            .with_crash(ProcessId::new(0), Time::new(10))
+            .with_crash(ProcessId::new(1), Time::new(20))
+    }
+
+    #[test]
+    fn alive_set_quorums_always_intersect() {
+        let mut s = SigmaOracle::alive_set(pattern());
+        let times = [0u64, 5, 15, 25, 100];
+        let quorums: Vec<ProcessSet> = times
+            .iter()
+            .flat_map(|t| {
+                (0..5).map(move |p| (p, *t))
+            })
+            .map(|(p, t)| s.query(ProcessId::new(p), Time::new(t)))
+            .collect();
+        for a in &quorums {
+            for b in &quorums {
+                assert!(a.intersects(b), "{a:?} and {b:?} do not intersect");
+            }
+        }
+    }
+
+    #[test]
+    fn alive_set_eventually_contains_only_correct() {
+        let mut s = SigmaOracle::alive_set(pattern());
+        let q = s.query(ProcessId::new(2), Time::new(1_000));
+        assert_eq!(q, pattern().correct());
+    }
+
+    #[test]
+    fn majority_quorums_have_majority_size_and_intersect() {
+        let mut s = SigmaOracle::majority(pattern());
+        assert_eq!(s.majority_size(), 3);
+        let a = s.query(ProcessId::new(2), Time::new(0));
+        let b = s.query(ProcessId::new(3), Time::new(1_000));
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn majority_quorum_is_eventually_correct_only_with_correct_majority() {
+        // 3 of 5 correct: eventually the quorum is exactly the correct set
+        let mut s = SigmaOracle::majority(pattern());
+        let q = s.query(ProcessId::new(2), Time::new(1_000));
+        assert!(q.is_subset(&pattern().correct()));
+
+        // majority faulty: the quorum must include crashed processes forever,
+        // i.e. Σ's completeness cannot be realized by majorities
+        let bad = FailurePattern::with_crashes(
+            5,
+            &[
+                (ProcessId::new(0), Time::new(1)),
+                (ProcessId::new(1), Time::new(1)),
+                (ProcessId::new(2), Time::new(1)),
+            ],
+        );
+        let mut s = SigmaOracle::majority(bad.clone());
+        let q = s.query(ProcessId::new(3), Time::new(1_000));
+        assert!(!q.is_subset(&bad.correct()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one correct process")]
+    fn alive_set_requires_a_correct_process() {
+        let all_crash = FailurePattern::with_crashes(
+            2,
+            &[
+                (ProcessId::new(0), Time::new(1)),
+                (ProcessId::new(1), Time::new(1)),
+            ],
+        );
+        let _ = SigmaOracle::alive_set(all_crash);
+    }
+}

@@ -1,0 +1,145 @@
+//! The perfect (P) and eventually perfect (◇P) failure detectors.
+//!
+//! These detectors output a set of *suspected* processes. They are not needed
+//! by the paper's main results (that is the point: Ω is strictly weaker), but
+//! they are part of the failure-detector landscape the paper situates itself
+//! in — ◇P is the weakest detector to boost eventually linearizable objects
+//! to linearizable ones (Serafini et al., discussed in Section 6) — and the
+//! test-suite uses them to check that our Ω-only algorithms do not secretly
+//! rely on stronger information.
+
+use ec_sim::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+
+/// The perfect failure detector P: suspects exactly the processes that have
+/// crashed (strong completeness + strong accuracy).
+///
+/// # Example
+///
+/// ```
+/// use ec_detectors::suspects::PerfectOracle;
+/// use ec_sim::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::no_failures(3).with_crash(ProcessId::new(2), Time::new(5));
+/// let mut p = PerfectOracle::new(pattern);
+/// assert!(p.query(ProcessId::new(0), Time::new(4)).is_empty());
+/// assert!(p.query(ProcessId::new(0), Time::new(5)).contains(ProcessId::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PerfectOracle {
+    pattern: FailurePattern,
+}
+
+impl PerfectOracle {
+    /// A perfect detector for the given failure pattern.
+    pub fn new(pattern: FailurePattern) -> Self {
+        PerfectOracle { pattern }
+    }
+}
+
+impl FailureDetector for PerfectOracle {
+    type Output = ProcessSet;
+
+    fn query(&mut self, _p: ProcessId, t: Time) -> ProcessSet {
+        self.pattern.crashed_at(t)
+    }
+}
+
+/// The eventually perfect failure detector ◇P: eventually suspects exactly
+/// the faulty processes, but may make finitely many mistakes before a
+/// configurable stabilization time (wrongly suspecting correct processes
+/// and/or not yet suspecting crashed ones).
+#[derive(Clone, Debug)]
+pub struct EventuallyPerfectOracle {
+    pattern: FailurePattern,
+    stabilization: Time,
+    /// Correct processes wrongly suspected before stabilization.
+    false_suspects: ProcessSet,
+}
+
+impl EventuallyPerfectOracle {
+    /// A ◇P history that is accurate from `stabilization` on and, before
+    /// that, additionally suspects nobody beyond the already-crashed set.
+    pub fn stabilizing_at(pattern: FailurePattern, stabilization: Time) -> Self {
+        EventuallyPerfectOracle {
+            pattern,
+            stabilization,
+            false_suspects: ProcessSet::new(),
+        }
+    }
+
+    /// Adds correct processes that are wrongly suspected before the
+    /// stabilization time.
+    pub fn with_false_suspects(mut self, suspects: ProcessSet) -> Self {
+        self.false_suspects = suspects;
+        self
+    }
+
+    /// The time from which suspicions are exact.
+    pub fn stabilization_time(&self) -> Time {
+        self.stabilization
+    }
+}
+
+impl FailureDetector for EventuallyPerfectOracle {
+    type Output = ProcessSet;
+
+    fn query(&mut self, _p: ProcessId, t: Time) -> ProcessSet {
+        if t >= self.stabilization {
+            // after stabilization: exactly the faulty processes
+            self.pattern.faulty()
+        } else {
+            // before: whoever already crashed, plus scripted false suspicions
+            self.pattern.crashed_at(t).union(&self.false_suspects)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern() -> FailurePattern {
+        FailurePattern::no_failures(4).with_crash(ProcessId::new(3), Time::new(100))
+    }
+
+    #[test]
+    fn perfect_never_suspects_correct_processes() {
+        let mut p = PerfectOracle::new(pattern());
+        for t in [0u64, 50, 99, 100, 1000] {
+            let s = p.query(ProcessId::new(0), Time::new(t));
+            assert!(!s.contains(ProcessId::new(0)));
+            assert!(!s.contains(ProcessId::new(1)));
+            assert!(!s.contains(ProcessId::new(2)));
+        }
+    }
+
+    #[test]
+    fn perfect_suspects_crashed_processes_immediately() {
+        let mut p = PerfectOracle::new(pattern());
+        assert!(!p.query(ProcessId::new(0), Time::new(99)).contains(ProcessId::new(3)));
+        assert!(p.query(ProcessId::new(0), Time::new(100)).contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    fn eventually_perfect_makes_mistakes_only_before_stabilization() {
+        let false_suspects: ProcessSet = [1].into_iter().collect();
+        let mut d = EventuallyPerfectOracle::stabilizing_at(pattern(), Time::new(200))
+            .with_false_suspects(false_suspects);
+        // before stabilization: p1 (correct) is wrongly suspected
+        assert!(d.query(ProcessId::new(0), Time::new(150)).contains(ProcessId::new(1)));
+        // p3 has crashed and is (correctly) suspected even before stabilization
+        assert!(d.query(ProcessId::new(0), Time::new(150)).contains(ProcessId::new(3)));
+        // after stabilization: exactly the faulty set
+        let late = d.query(ProcessId::new(0), Time::new(200));
+        assert_eq!(late, pattern().faulty());
+        assert_eq!(d.stabilization_time(), Time::new(200));
+    }
+
+    #[test]
+    fn eventually_perfect_eventually_suspects_all_faulty() {
+        let mut d = EventuallyPerfectOracle::stabilizing_at(pattern(), Time::new(50));
+        // crash happens at 100, after stabilization: still suspected from the
+        // stabilization point because ◇P knows the faulty set of the pattern
+        assert!(d.query(ProcessId::new(0), Time::new(60)).contains(ProcessId::new(3)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # `ec-replication` — replicated state machines over (eventual) total order
+//! broadcast
+//!
+//! The paper's motivation is replicated services in the style of Dynamo,
+//! PNUTS and Bigtable: a deterministic state machine replicated over server
+//! processes. This crate provides that application layer:
+//!
+//! * [`state_machine`] — deterministic state machines (a key–value store, a
+//!   counter, a last-writer-wins register) driven by opaque commands.
+//! * [`replica`] — a generic replica that feeds client commands into *any*
+//!   [`ec_core::types::EventualTotalOrderBroadcast`] implementation and
+//!   replays the delivered sequence into its state machine. Instantiated
+//!   with Algorithm 5 it is an *eventually consistent* replicated service
+//!   needing only Ω; instantiated with the quorum-gated baseline it is a
+//!   *strongly consistent* one needing Ω + Σ.
+//! * [`convergence`] — convergence metrics over replica output histories:
+//!   when did all correct replicas last agree, how long did divergence
+//!   episodes last, how many commands were applied on each side of a
+//!   partition. These are the quantities the partition-tolerance experiment
+//!   (E2) reports.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod convergence;
+pub mod replica;
+pub mod state_machine;
+
+pub use convergence::{ConvergenceReport, Divergence};
+pub use replica::{Replica, ReplicaCommand, ReplicaOutput};
+pub use state_machine::{Counter, KvStore, Register, StateMachine};

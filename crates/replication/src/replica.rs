@@ -1,0 +1,317 @@
+//! A generic replicated-service replica over any (eventual) total order
+//! broadcast implementation.
+
+use std::fmt;
+
+use ec_core::types::{
+    AppMessage, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId,
+};
+use ec_sim::{Algorithm, Context, ProcessId};
+
+use crate::state_machine::StateMachine;
+
+/// A client command submitted to a replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaCommand {
+    /// The state-machine command.
+    pub command: Vec<u8>,
+    /// Identifiers of commands this one causally depends on (passed through
+    /// to the broadcast layer as `C(m)`).
+    pub deps: Vec<MsgId>,
+}
+
+impl ReplicaCommand {
+    /// A command with no declared causal dependencies.
+    pub fn new(command: Vec<u8>) -> Self {
+        ReplicaCommand {
+            command,
+            deps: Vec::new(),
+        }
+    }
+
+    /// A command with declared causal dependencies.
+    pub fn with_deps(command: Vec<u8>, deps: Vec<MsgId>) -> Self {
+        ReplicaCommand { command, deps }
+    }
+}
+
+/// The externally visible state of a replica, emitted every time the applied
+/// command sequence changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaOutput {
+    /// Number of commands currently applied.
+    pub applied: usize,
+    /// Canonical snapshot of the state machine after applying them.
+    pub snapshot: Vec<u8>,
+}
+
+/// A replica: a deterministic state machine `S` fed by the delivered sequence
+/// of a broadcast layer `B`.
+///
+/// With `B = EtobOmega` (Algorithm 5) this is an **eventually consistent**
+/// replicated service that only needs Ω; with `B = ConsensusTob` it is a
+/// **strongly consistent** one that needs Ω + Σ. The replica replays the full
+/// delivered sequence whenever it changes, so divergence and convergence of
+/// the broadcast layer translate directly into divergence and convergence of
+/// replica snapshots.
+pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast> {
+    broadcast: B,
+    state: S,
+    applied: usize,
+    next_seq: u64,
+    last_output: Option<ReplicaOutput>,
+}
+
+impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
+    /// Wraps a broadcast layer.
+    pub fn new(broadcast: B) -> Self {
+        Replica {
+            broadcast,
+            state: S::default(),
+            applied: 0,
+            next_seq: 0,
+            last_output: None,
+        }
+    }
+
+    /// The current state machine.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Number of commands applied.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// The wrapped broadcast layer.
+    pub fn broadcast_layer(&self) -> &B {
+        &self.broadcast
+    }
+
+    fn relay(
+        &mut self,
+        actions: ec_sim::Actions<B>,
+        ctx: &mut Context<'_, Self>,
+    ) -> Vec<DeliveredSequence> {
+        for (to, msg) in actions.sends {
+            ctx.send(to, msg);
+        }
+        // Timer requests of the broadcast layer are not relayed; the replica
+        // owns the single timer chain (see ec-core's wrapper policy).
+        actions.outputs
+    }
+
+    fn rebuild(&mut self, sequence: &[AppMessage], ctx: &mut Context<'_, Self>) {
+        let state = S::replay(sequence.iter().map(|m| m.payload.as_slice()));
+        self.state = state;
+        self.applied = sequence.len();
+        let output = ReplicaOutput {
+            applied: self.applied,
+            snapshot: self.state.snapshot(),
+        };
+        if self.last_output.as_ref() != Some(&output) {
+            self.last_output = Some(output.clone());
+            ctx.output(output);
+        }
+    }
+
+    fn drive<F>(&mut self, ctx: &mut Context<'_, Self>, f: F)
+    where
+        F: FnOnce(&mut B, &mut Context<'_, B>),
+    {
+        let mut actions = ec_sim::Actions::<B>::new();
+        {
+            let mut ictx = Context::new(ctx.me(), ctx.now(), ctx.n(), ctx.fd().clone(), &mut actions);
+            f(&mut self.broadcast, &mut ictx);
+        }
+        let deliveries = self.relay(actions, ctx);
+        if let Some(last) = deliveries.last() {
+            let last = last.clone();
+            self.rebuild(&last, ctx);
+        }
+    }
+}
+
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + fmt::Debug> fmt::Debug for Replica<S, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replica")
+            .field("applied", &self.applied)
+            .field("state", &self.state)
+            .field("broadcast", &self.broadcast)
+            .finish()
+    }
+}
+
+impl<S: StateMachine, B: EventualTotalOrderBroadcast> Algorithm for Replica<S, B> {
+    type Msg = B::Msg;
+    type Input = ReplicaCommand;
+    type Output = ReplicaOutput;
+    type Fd = B::Fd;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        self.drive(ctx, |b, ictx| b.on_start(ictx));
+        ctx.set_timer(3);
+    }
+
+    fn on_input(&mut self, input: ReplicaCommand, ctx: &mut Context<'_, Self>) {
+        self.next_seq += 1;
+        let message = AppMessage::with_deps(
+            MsgId::new(ctx.me(), self.next_seq),
+            input.command,
+            input.deps,
+        );
+        self.drive(ctx, |b, ictx| b.on_input(EtobBroadcast { message }, ictx));
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: B::Msg, ctx: &mut Context<'_, Self>) {
+        self.drive(ctx, |b, ictx| b.on_message(from, msg, ictx));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
+        self.drive(ctx, |b, ictx| b.on_timer(ictx));
+        ctx.set_timer(3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_machine::KvStore;
+    use ec_core::etob_omega::{EtobConfig, EtobOmega};
+    use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
+    use ec_detectors::{omega::OmegaOracle, sigma::SigmaOracle, PairFd};
+    use ec_sim::{FailurePattern, NetworkModel, PartitionSpec, ProcessSet, Time, WorldBuilder};
+
+    type EventualReplica = Replica<KvStore, EtobOmega>;
+    type StrongReplica = Replica<KvStore, ConsensusTob>;
+
+    #[test]
+    fn eventually_consistent_kv_replicas_converge() {
+        let n = 4;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let mut world = WorldBuilder::new(n)
+            .network(NetworkModel::fixed_delay(2))
+            .failures(failures)
+            .seed(7)
+            .build_with(
+                |p| -> EventualReplica { Replica::new(EtobOmega::new(p, EtobConfig::default())) },
+                omega,
+            );
+        for k in 0..6u64 {
+            world.schedule_input(
+                ProcessId::new((k % 4) as usize),
+                ReplicaCommand::new(KvStore::put(&format!("k{k}"), &format!("v{k}"))),
+                10 + 10 * k,
+            );
+        }
+        world.run_until(2_000);
+        let snapshots: Vec<Vec<u8>> = world
+            .process_ids()
+            .map(|p| world.trace().last_output_of(p).expect("output").snapshot.clone())
+            .collect();
+        assert!(snapshots.windows(2).all(|w| w[0] == w[1]), "replicas diverged");
+        assert_eq!(world.algorithm(ProcessId::new(0)).applied(), 6);
+        assert_eq!(world.algorithm(ProcessId::new(0)).state().get("k3"), Some("v3"));
+    }
+
+    #[test]
+    fn eventual_replicas_keep_serving_in_the_leaders_minority_partition() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let minority: ProcessSet = [0, 1].into_iter().collect();
+        let network = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(50),
+            Time::new(900),
+            PartitionSpec::isolate(minority, n),
+        );
+        let mut world = WorldBuilder::new(n)
+            .network(network)
+            .failures(failures)
+            .seed(8)
+            .build_with(
+                |p| -> EventualReplica { Replica::new(EtobOmega::new(p, EtobConfig::default())) },
+                omega,
+            );
+        for k in 0..4u64 {
+            world.schedule_input(
+                ProcessId::new((k % 2) as usize),
+                ReplicaCommand::new(KvStore::put(&format!("k{k}"), "v")),
+                100 + 20 * k,
+            );
+        }
+        world.run_until(2_500);
+        let history = world.trace().output_history();
+        // during the partition, the leader-side replica p1 made progress
+        let during = history
+            .value_at(ProcessId::new(1), Time::new(850))
+            .map(|o| o.applied)
+            .unwrap_or(0);
+        assert!(during >= 1, "eventually consistent replica must serve during the partition");
+        // after the heal everyone has everything
+        for p in world.process_ids() {
+            assert_eq!(world.algorithm(p).applied(), 4, "{p}");
+        }
+    }
+
+    #[test]
+    fn strongly_consistent_replicas_block_in_a_minority_partition() {
+        let n = 5;
+        let failures = FailurePattern::no_failures(n);
+        let fd = PairFd::new(
+            OmegaOracle::stable_from_start(failures.clone()),
+            SigmaOracle::majority(failures.clone()),
+        );
+        let minority: ProcessSet = [0, 1].into_iter().collect();
+        let network = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(50),
+            Time::new(900),
+            PartitionSpec::isolate(minority, n),
+        );
+        let mut world = WorldBuilder::new(n)
+            .network(network)
+            .failures(failures)
+            .seed(8)
+            .build_with(
+                |p| -> StrongReplica {
+                    Replica::new(ConsensusTob::new(p, ConsensusTobConfig::default()))
+                },
+                fd,
+            );
+        for k in 0..4u64 {
+            world.schedule_input(
+                ProcessId::new((k % 2) as usize),
+                ReplicaCommand::new(KvStore::put(&format!("k{k}"), "v")),
+                100 + 20 * k,
+            );
+        }
+        world.run_until(2_500);
+        let history = world.trace().output_history();
+        // during the partition, nothing new is applied anywhere
+        for p in world.process_ids() {
+            let during = history
+                .value_at(p, Time::new(850))
+                .map(|o| o.applied)
+                .unwrap_or(0);
+            assert_eq!(during, 0, "strongly consistent replica {p} applied during the partition");
+        }
+        // after the heal everything commits
+        for p in world.process_ids() {
+            assert_eq!(world.algorithm(p).applied(), 4, "{p}");
+        }
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let replica: EventualReplica =
+            Replica::new(EtobOmega::new(ProcessId::new(0), EtobConfig::default()));
+        assert_eq!(replica.applied(), 0);
+        assert!(replica.state().is_empty());
+        assert!(replica.broadcast_layer().delivered().is_empty());
+        assert!(format!("{replica:?}").contains("Replica"));
+        let cmd = ReplicaCommand::with_deps(b"x".to_vec(), vec![MsgId::new(ProcessId::new(0), 1)]);
+        assert_eq!(cmd.deps.len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic state machines replicated by the service layer.
+//!
+//! A replicated service is a deterministic state machine whose commands are
+//! delivered through (eventual) total order broadcast. Replicas replay the
+//! delivered command sequence; two replicas whose delivered sequences are
+//! equal therefore hold identical states, so sequence convergence (the ETOB
+//! guarantees) translates directly into state convergence.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A deterministic state machine driven by opaque byte-string commands.
+///
+/// Implementations must be deterministic: the state after applying a command
+/// sequence is a pure function of the sequence. [`StateMachine::snapshot`]
+/// returns a canonical encoding used by the convergence metrics to compare
+/// replica states.
+pub trait StateMachine: Clone + fmt::Debug + Default {
+    /// Applies one command. Unrecognized commands must be ignored (not
+    /// panic), so that replicas never diverge by crashing on garbage.
+    fn apply(&mut self, command: &[u8]);
+
+    /// A canonical encoding of the current state.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replays a full command sequence from the initial state.
+    fn replay<'a, I: IntoIterator<Item = &'a [u8]>>(commands: I) -> Self {
+        let mut sm = Self::default();
+        for c in commands {
+            sm.apply(c);
+        }
+        sm
+    }
+}
+
+/// A key–value store. Commands: `put <key> <value>` and `del <key>`
+/// (whitespace separated, UTF-8).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: BTreeMap<String, String>,
+}
+
+impl KvStore {
+    /// Encodes a `put` command.
+    pub fn put(key: &str, value: &str) -> Vec<u8> {
+        format!("put {key} {value}").into_bytes()
+    }
+
+    /// Encodes a `del` command.
+    pub fn del(key: &str) -> Vec<u8> {
+        format!("del {key}").into_bytes()
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, command: &[u8]) {
+        let Ok(text) = std::str::from_utf8(command) else {
+            return;
+        };
+        let mut parts = text.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("put"), Some(key), Some(value)) => {
+                self.entries.insert(key.to_string(), value.to_string());
+            }
+            (Some("del"), Some(key), _) => {
+                self.entries.remove(key);
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, v) in &self.entries {
+            out.extend_from_slice(k.as_bytes());
+            out.push(b'=');
+            out.extend_from_slice(v.as_bytes());
+            out.push(b';');
+        }
+        out
+    }
+}
+
+/// A signed counter. Commands: `+<n>` and `-<n>`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: i64,
+}
+
+impl Counter {
+    /// Encodes an increment command.
+    pub fn add(n: i64) -> Vec<u8> {
+        format!("+{n}").into_bytes()
+    }
+
+    /// Encodes a decrement command.
+    pub fn sub(n: i64) -> Vec<u8> {
+        format!("-{n}").into_bytes()
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+impl StateMachine for Counter {
+    fn apply(&mut self, command: &[u8]) {
+        let Ok(text) = std::str::from_utf8(command) else {
+            return;
+        };
+        let Some(rest) = text.get(1..) else { return };
+        let Ok(n) = rest.parse::<i64>() else { return };
+        match text.as_bytes().first() {
+            Some(b'+') => self.value = self.value.saturating_add(n),
+            Some(b'-') => self.value = self.value.saturating_sub(n),
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.value.to_le_bytes().to_vec()
+    }
+}
+
+/// A register holding the last written value (last writer in delivery order
+/// wins). Commands: the raw value to write.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Register {
+    value: Vec<u8>,
+    writes: u64,
+}
+
+impl Register {
+    /// The current value.
+    pub fn value(&self) -> &[u8] {
+        &self.value
+    }
+
+    /// Number of writes applied.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl StateMachine for Register {
+    fn apply(&mut self, command: &[u8]) {
+        self.value = command.to_vec();
+        self.writes += 1;
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = self.writes.to_le_bytes().to_vec();
+        out.extend_from_slice(&self.value);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_store_applies_puts_and_dels() {
+        let mut kv = KvStore::default();
+        kv.apply(&KvStore::put("a", "1"));
+        kv.apply(&KvStore::put("b", "2 with spaces"));
+        assert_eq!(kv.get("a"), Some("1"));
+        assert_eq!(kv.get("b"), Some("2 with spaces"));
+        kv.apply(&KvStore::del("a"));
+        assert_eq!(kv.get("a"), None);
+        assert_eq!(kv.len(), 1);
+        assert!(!kv.is_empty());
+    }
+
+    #[test]
+    fn kv_store_ignores_garbage() {
+        let mut kv = KvStore::default();
+        kv.apply(b"nonsense");
+        kv.apply(&[0xff, 0xfe]);
+        kv.apply(b"put onlykey");
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn kv_snapshot_is_canonical() {
+        let mut a = KvStore::default();
+        a.apply(&KvStore::put("x", "1"));
+        a.apply(&KvStore::put("y", "2"));
+        let mut b = KvStore::default();
+        b.apply(&KvStore::put("y", "2"));
+        b.apply(&KvStore::put("x", "1"));
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn counter_saturates_and_ignores_garbage() {
+        let mut c = Counter::default();
+        c.apply(&Counter::add(5));
+        c.apply(&Counter::sub(2));
+        c.apply(b"junk");
+        assert_eq!(c.value(), 3);
+        c.apply(&Counter::add(i64::MAX));
+        assert_eq!(c.value(), i64::MAX);
+    }
+
+    #[test]
+    fn register_tracks_last_write_and_count() {
+        let mut r = Register::default();
+        r.apply(b"first");
+        r.apply(b"second");
+        assert_eq!(r.value(), b"second");
+        assert_eq!(r.writes(), 2);
+        let again = Register::replay([b"first".as_slice(), b"second".as_slice()]);
+        assert_eq!(again.snapshot(), r.snapshot());
+    }
+
+    #[test]
+    fn replay_order_matters_for_the_register() {
+        let a = Register::replay([b"x".as_slice(), b"y".as_slice()]);
+        let b = Register::replay([b"y".as_slice(), b"x".as_slice()]);
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+}

@@ -1,0 +1,32 @@
+//! # `ec-runtime` — a thread-per-process real-time runtime
+//!
+//! The simulator in `ec-sim` executes algorithms deterministically against a
+//! modeled network. This crate runs the *same* [`ec_sim::Algorithm`]
+//! implementations as real concurrent processes: one OS thread per process,
+//! `crossbeam-channel` links between them, wall-clock periodic ticks in place
+//! of the simulator's scheduled timeouts, and a message-based
+//! [`ec_detectors::HeartbeatOmega`] instance per process supplying the Ω
+//! values the algorithms query.
+//!
+//! It exists to demonstrate that the algorithms are not simulator artifacts:
+//! the quickstart and `runtime_demo` example run Algorithm 5 end to end over
+//! real threads, and the integration tests verify the same ETOB properties on
+//! the histories collected from a threaded run, including across a leader
+//! crash.
+//!
+//! Differences from the simulator (documented, deliberate):
+//!
+//! * timers: algorithms' `set_timer` requests are not tracked individually;
+//!   every process receives an `on_timer` call once per configured tick,
+//!   which is how the paper's "on local timeout" clauses are meant to be
+//!   driven anyway;
+//! * failure detection: Ω is implemented by heartbeats and timeouts, so its
+//!   stabilization time depends on real scheduling latencies rather than on a
+//!   scripted oracle.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod runtime;
+
+pub use runtime::{Runtime, RuntimeConfig, RuntimeReport};

@@ -1,0 +1,406 @@
+//! The thread-per-process runtime.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use ec_detectors::{HeartbeatConfig, HeartbeatMsg, HeartbeatOmega};
+use ec_sim::{Actions, Algorithm, Context, ProcessId, Time};
+
+/// Configuration of a [`Runtime`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Wall-clock period between `on_timer` calls at each process.
+    pub tick: Duration,
+    /// Heartbeat-based Ω configuration (periods are in ticks).
+    pub heartbeat: HeartbeatConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            tick: Duration::from_millis(5),
+            heartbeat: HeartbeatConfig {
+                period: 2,
+                suspect_after: 5,
+            },
+        }
+    }
+}
+
+enum Envelope<A: Algorithm> {
+    App { from: ProcessId, msg: A::Msg },
+    Heartbeat { from: ProcessId, msg: HeartbeatMsg },
+    Input(A::Input),
+    Crash,
+}
+
+/// What a run collected: every output of every process, with the wall-clock
+/// milliseconds (since runtime start) at which it was produced, and the
+/// leader estimates of the heartbeat Ω modules.
+pub struct RuntimeReport<A: Algorithm> {
+    /// Application outputs as `(process, elapsed_ms, output)`.
+    pub outputs: Vec<(ProcessId, u64, A::Output)>,
+    /// Leader estimates as `(process, elapsed_ms, leader)`.
+    pub leaders: Vec<(ProcessId, u64, ProcessId)>,
+}
+
+impl<A: Algorithm> RuntimeReport<A> {
+    /// The last output of a process, if any.
+    pub fn last_output_of(&self, p: ProcessId) -> Option<&A::Output> {
+        self.outputs
+            .iter()
+            .filter(|(q, _, _)| *q == p)
+            .last()
+            .map(|(_, _, o)| o)
+    }
+
+    /// The last leader estimate of a process, if any.
+    pub fn last_leader_of(&self, p: ProcessId) -> Option<ProcessId> {
+        self.leaders
+            .iter()
+            .filter(|(q, _, _)| *q == p)
+            .last()
+            .map(|(_, _, l)| *l)
+    }
+}
+
+impl<A: Algorithm> fmt::Debug for RuntimeReport<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeReport")
+            .field("outputs", &self.outputs.len())
+            .field("leaders", &self.leaders.len())
+            .finish()
+    }
+}
+
+struct Shared<A: Algorithm> {
+    outputs: Mutex<Vec<(ProcessId, u64, A::Output)>>,
+    leaders: Mutex<Vec<(ProcessId, u64, ProcessId)>>,
+    started: Instant,
+    stop: AtomicBool,
+}
+
+/// A running set of processes executing an [`Algorithm`] whose failure
+/// detector is Ω (range [`ProcessId`]), with Ω provided by per-process
+/// heartbeat modules.
+pub struct Runtime<A: Algorithm<Fd = ProcessId>> {
+    n: usize,
+    senders: Vec<Sender<Envelope<A>>>,
+    shared: Arc<Shared<A>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<A: Algorithm<Fd = ProcessId>> fmt::Debug for Runtime<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("n", &self.n)
+            .field("alive_threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl<A> Runtime<A>
+where
+    A: Algorithm<Fd = ProcessId> + Send + 'static,
+    A::Msg: Send,
+    A::Input: Send,
+    A::Output: Send,
+{
+    /// Spawns `n` processes running the algorithm produced by `factory`.
+    pub fn spawn<F>(n: usize, config: RuntimeConfig, mut factory: F) -> Self
+    where
+        F: FnMut(ProcessId) -> A,
+    {
+        assert!(n >= 2, "the system model requires at least two processes");
+        let shared = Arc::new(Shared::<A> {
+            outputs: Mutex::new(Vec::new()),
+            leaders: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+        });
+        let channels: Vec<(Sender<Envelope<A>>, Receiver<Envelope<A>>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<A>>> =
+            channels.iter().map(|(s, _)| s.clone()).collect();
+        let mut handles = Vec::with_capacity(n);
+        for (i, (_, receiver)) in channels.into_iter().enumerate() {
+            let me = ProcessId::new(i);
+            let algorithm = factory(me);
+            let peer_senders = senders.clone();
+            let shared_ref = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                process_loop(me, n, algorithm, receiver, peer_senders, shared_ref, config)
+            }));
+        }
+        Runtime {
+            n,
+            senders,
+            shared,
+            handles,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Submits an application input to process `p`.
+    pub fn submit(&self, p: ProcessId, input: A::Input) {
+        // sending to a crashed process is a no-op, like in the model
+        let _ = self.senders[p.index()].send(Envelope::Input(input));
+    }
+
+    /// Crashes process `p`: its thread stops taking steps and stops sending
+    /// heartbeats, so the other processes' Ω modules eventually elect a new
+    /// leader.
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.senders[p.index()].send(Envelope::Crash);
+    }
+
+    /// Lets the system run for the given wall-clock duration.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Stops all processes and returns everything they output.
+    pub fn shutdown(self) -> RuntimeReport<A> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        RuntimeReport {
+            outputs: std::mem::take(&mut self.shared.outputs.lock()),
+            leaders: std::mem::take(&mut self.shared.leaders.lock()),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_loop<A>(
+    me: ProcessId,
+    n: usize,
+    mut algorithm: A,
+    receiver: Receiver<Envelope<A>>,
+    senders: Vec<Sender<Envelope<A>>>,
+    shared: Arc<Shared<A>>,
+    config: RuntimeConfig,
+) where
+    A: Algorithm<Fd = ProcessId>,
+{
+    let mut omega = HeartbeatOmega::new(me, n, config.heartbeat);
+    let mut tick: u64 = 0;
+
+    // helper closures cannot borrow `shared` mutably twice, so keep them as
+    // plain functions over locals
+    let elapsed_ms = |shared: &Shared<A>| shared.started.elapsed().as_millis() as u64;
+
+    // on_start of the heartbeat module and of the application
+    let hb_actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_start(ctx));
+    record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
+    dispatch_hb(me, hb_actions, &senders, &shared);
+    let leader = omega.leader();
+    let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| a.on_start(ctx));
+    dispatch_app(me, app_actions, &senders, &shared);
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match receiver.recv_timeout(config.tick) {
+            Ok(Envelope::Crash) => return,
+            Ok(Envelope::Heartbeat { from, msg }) => {
+                let actions =
+                    run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_message(from, msg, ctx));
+                record_leaders(me, &actions.outputs, &shared, elapsed_ms(&shared));
+                dispatch_hb(me, actions, &senders, &shared);
+            }
+            Ok(Envelope::App { from, msg }) => {
+                let leader = omega.leader();
+                let actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+                    a.on_message(from, msg, ctx)
+                });
+                dispatch_app(me, actions, &senders, &shared);
+            }
+            Ok(Envelope::Input(input)) => {
+                let leader = omega.leader();
+                let actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+                    a.on_input(input, ctx)
+                });
+                dispatch_app(me, actions, &senders, &shared);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                tick += 1;
+                let hb_actions =
+                    run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_timer(ctx));
+                record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
+                dispatch_hb(me, hb_actions, &senders, &shared);
+                let leader = omega.leader();
+                let app_actions =
+                    run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| a.on_timer(ctx));
+                dispatch_app(me, app_actions, &senders, &shared);
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn run_handler<A: Algorithm + ?Sized, F>(
+    algorithm: &mut A,
+    me: ProcessId,
+    n: usize,
+    fd: A::Fd,
+    tick: u64,
+    handler: F,
+) -> Actions<A>
+where
+    F: FnOnce(&mut A, &mut Context<'_, A>),
+{
+    let mut actions = Actions::<A>::new();
+    {
+        let mut ctx = Context::new(me, Time::new(tick), n, fd, &mut actions);
+        handler(algorithm, &mut ctx);
+    }
+    actions
+}
+
+fn dispatch_app<A: Algorithm>(
+    me: ProcessId,
+    actions: Actions<A>,
+    senders: &[Sender<Envelope<A>>],
+    shared: &Arc<Shared<A>>,
+) {
+    let elapsed = shared.started.elapsed().as_millis() as u64;
+    for (to, msg) in actions.sends {
+        if let Some(sender) = senders.get(to.index()) {
+            let _ = sender.send(Envelope::App { from: me, msg });
+        }
+    }
+    let mut outputs = shared.outputs.lock();
+    for out in actions.outputs {
+        outputs.push((me, elapsed, out));
+    }
+    // timer requests are satisfied by the periodic tick
+}
+
+fn dispatch_hb<A: Algorithm>(
+    me: ProcessId,
+    actions: Actions<HeartbeatOmega>,
+    senders: &[Sender<Envelope<A>>],
+    _shared: &Arc<Shared<A>>,
+) {
+    for (to, msg) in actions.sends {
+        if let Some(sender) = senders.get(to.index()) {
+            let _ = sender.send(Envelope::Heartbeat { from: me, msg });
+        }
+    }
+}
+
+fn record_leaders<A: Algorithm>(
+    me: ProcessId,
+    leaders: &[ProcessId],
+    shared: &Arc<Shared<A>>,
+    elapsed: u64,
+) {
+    if leaders.is_empty() {
+        return;
+    }
+    let mut all = shared.leaders.lock();
+    for leader in leaders {
+        all.push((me, elapsed, *leader));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::etob_omega::{EtobConfig, EtobOmega};
+    use ec_core::types::EtobBroadcast;
+
+    fn config() -> RuntimeConfig {
+        RuntimeConfig {
+            tick: Duration::from_millis(2),
+            heartbeat: HeartbeatConfig {
+                period: 2,
+                suspect_after: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn threaded_etob_delivers_everything_in_the_same_order() {
+        let n = 3;
+        let runtime = Runtime::spawn(n, config(), |p| EtobOmega::new(p, EtobConfig::default()));
+        for k in 0..5u64 {
+            runtime.submit(
+                ProcessId::new((k % 3) as usize),
+                EtobBroadcast::new(ProcessId::new((k % 3) as usize), k + 1, vec![k as u8]),
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        runtime.run_for(Duration::from_millis(300));
+        let report = runtime.shutdown();
+        // every process delivered all five messages, in the same order
+        let reference: Vec<_> = report
+            .last_output_of(ProcessId::new(0))
+            .expect("p0 delivered")
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        assert_eq!(reference.len(), 5);
+        for p in (1..n).map(ProcessId::new) {
+            let seq: Vec<_> = report
+                .last_output_of(p)
+                .expect("delivered")
+                .iter()
+                .map(|m| m.id)
+                .collect();
+            assert_eq!(seq, reference, "{p} diverged");
+        }
+        // the heartbeat Ω elected p0 everywhere
+        for p in (0..n).map(ProcessId::new) {
+            assert_eq!(report.last_leader_of(p), Some(ProcessId::new(0)));
+        }
+    }
+
+    #[test]
+    fn leader_crash_is_survived_by_the_threaded_runtime() {
+        let n = 3;
+        let runtime = Runtime::spawn(n, config(), |p| EtobOmega::new(p, EtobConfig::default()));
+        runtime.submit(
+            ProcessId::new(1),
+            EtobBroadcast::new(ProcessId::new(1), 1, b"before".to_vec()),
+        );
+        runtime.run_for(Duration::from_millis(150));
+        runtime.crash(ProcessId::new(0));
+        runtime.run_for(Duration::from_millis(250));
+        runtime.submit(
+            ProcessId::new(2),
+            EtobBroadcast::new(ProcessId::new(2), 1, b"after".to_vec()),
+        );
+        runtime.run_for(Duration::from_millis(300));
+        let report = runtime.shutdown();
+        // the survivors eventually elected p1 and still deliver new messages
+        for p in [ProcessId::new(1), ProcessId::new(2)] {
+            assert_eq!(report.last_leader_of(p), Some(ProcessId::new(1)), "{p}");
+            let delivered = report.last_output_of(p).expect("delivered something");
+            assert!(
+                delivered.iter().any(|m| m.payload == b"after".to_vec()),
+                "{p} did not deliver the post-crash broadcast"
+            );
+        }
+        assert!(format!("{report:?}").contains("RuntimeReport"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn runtime_requires_two_processes() {
+        let _ = Runtime::spawn(1, config(), |p| EtobOmega::new(p, EtobConfig::default()));
+    }
+}

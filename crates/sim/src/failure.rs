@@ -1,0 +1,188 @@
+//! Failure patterns: which processes crash, and when.
+
+use crate::{ProcessId, ProcessSet, Time};
+
+/// A failure pattern `F : N → 2^Π` (Section 2 of the paper), represented by
+/// the crash time of every process (processes never recover, so `F` is fully
+/// described by one time per process).
+///
+/// `F(t)` is the set of processes whose crash time is `≤ t`; `faulty(F)` is
+/// the set of processes with a finite crash time and `correct(F) = Π \
+/// faulty(F)`.
+///
+/// # Example
+///
+/// ```
+/// use ec_sim::{FailurePattern, ProcessId, Time};
+/// let f = FailurePattern::no_failures(3).with_crash(ProcessId::new(2), Time::new(50));
+/// assert!(f.is_correct(ProcessId::new(0)));
+/// assert!(!f.is_correct(ProcessId::new(2)));
+/// assert!(f.is_alive(ProcessId::new(2), Time::new(49)));
+/// assert!(!f.is_alive(ProcessId::new(2), Time::new(50)));
+/// assert_eq!(f.correct().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailurePattern {
+    /// `crash[i]` is the time at which `p_i` crashes; `Time::MAX` means never.
+    crash: Vec<Time>,
+}
+
+impl FailurePattern {
+    /// The failure-free pattern over `n` processes.
+    pub fn no_failures(n: usize) -> Self {
+        FailurePattern {
+            crash: vec![Time::MAX; n],
+        }
+    }
+
+    /// A pattern over `n` processes in which the listed processes crash at the
+    /// given times.
+    pub fn with_crashes(n: usize, crashes: &[(ProcessId, Time)]) -> Self {
+        let mut f = Self::no_failures(n);
+        for (p, t) in crashes {
+            f.set_crash(*p, *t);
+        }
+        f
+    }
+
+    /// Builder-style variant of [`FailurePattern::set_crash`].
+    pub fn with_crash(mut self, p: ProcessId, t: Time) -> Self {
+        self.set_crash(p, t);
+        self
+    }
+
+    /// Marks `p` as crashing at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a process of this pattern.
+    pub fn set_crash(&mut self, p: ProcessId, t: Time) {
+        let slot = self
+            .crash
+            .get_mut(p.index())
+            .expect("process id out of range for failure pattern");
+        *slot = t;
+    }
+
+    /// Number of processes `n = |Π|`.
+    pub fn n(&self) -> usize {
+        self.crash.len()
+    }
+
+    /// Crash time of `p`, or `Time::MAX` if `p` never crashes.
+    pub fn crash_time(&self, p: ProcessId) -> Time {
+        self.crash[p.index()]
+    }
+
+    /// Returns `true` if `p` has not crashed by time `t` (i.e. `p ∉ F(t)`).
+    pub fn is_alive(&self, p: ProcessId, t: Time) -> bool {
+        t < self.crash[p.index()]
+    }
+
+    /// The set `F(t)` of processes crashed by time `t`.
+    pub fn crashed_at(&self, t: Time) -> ProcessSet {
+        (0..self.n())
+            .map(ProcessId::new)
+            .filter(|p| !self.is_alive(*p, t))
+            .collect()
+    }
+
+    /// Returns `true` if `p ∈ correct(F)`, i.e. `p` never crashes.
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        self.crash[p.index()] == Time::MAX
+    }
+
+    /// The set `correct(F)` of processes that never crash.
+    pub fn correct(&self) -> ProcessSet {
+        (0..self.n())
+            .map(ProcessId::new)
+            .filter(|p| self.is_correct(*p))
+            .collect()
+    }
+
+    /// The set `faulty(F)` of processes that eventually crash.
+    pub fn faulty(&self) -> ProcessSet {
+        (0..self.n())
+            .map(ProcessId::new)
+            .filter(|p| !self.is_correct(*p))
+            .collect()
+    }
+
+    /// Returns `true` if a majority of processes are correct — the classical
+    /// environment in which Ω is the weakest detector for (strong) consensus.
+    pub fn has_correct_majority(&self) -> bool {
+        self.correct().len() * 2 > self.n()
+    }
+
+    /// The smallest-index correct process, if any. Used by oracle detectors
+    /// as the eventual leader.
+    pub fn first_correct(&self) -> Option<ProcessId> {
+        self.correct().first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_is_all_correct() {
+        let f = FailurePattern::no_failures(4);
+        assert_eq!(f.n(), 4);
+        assert_eq!(f.correct().len(), 4);
+        assert!(f.faulty().is_empty());
+        assert!(f.has_correct_majority());
+        assert_eq!(f.first_correct(), Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn crash_semantics_are_inclusive_at_crash_time() {
+        let f = FailurePattern::no_failures(2).with_crash(ProcessId::new(1), Time::new(10));
+        assert!(f.is_alive(ProcessId::new(1), Time::new(9)));
+        assert!(!f.is_alive(ProcessId::new(1), Time::new(10)));
+        assert!(!f.is_alive(ProcessId::new(1), Time::new(11)));
+        assert_eq!(f.crash_time(ProcessId::new(1)), Time::new(10));
+    }
+
+    #[test]
+    fn crashed_at_is_monotone() {
+        let f = FailurePattern::with_crashes(
+            3,
+            &[
+                (ProcessId::new(0), Time::new(5)),
+                (ProcessId::new(2), Time::new(20)),
+            ],
+        );
+        assert_eq!(f.crashed_at(Time::new(0)).len(), 0);
+        assert_eq!(f.crashed_at(Time::new(5)).len(), 1);
+        assert_eq!(f.crashed_at(Time::new(20)).len(), 2);
+        // monotonicity F(t) ⊆ F(t+1)
+        for t in 0..30u64 {
+            let a = f.crashed_at(Time::new(t));
+            let b = f.crashed_at(Time::new(t + 1));
+            assert!(a.is_subset(&b));
+        }
+    }
+
+    #[test]
+    fn majority_detection() {
+        let f = FailurePattern::with_crashes(
+            5,
+            &[
+                (ProcessId::new(0), Time::new(1)),
+                (ProcessId::new(1), Time::new(1)),
+            ],
+        );
+        assert!(f.has_correct_majority());
+        let g = f.with_crash(ProcessId::new(2), Time::new(2));
+        assert!(!g.has_correct_majority());
+        assert_eq!(g.first_correct(), Some(ProcessId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_crash_out_of_range_panics() {
+        let mut f = FailurePattern::no_failures(2);
+        f.set_crash(ProcessId::new(5), Time::new(1));
+    }
+}

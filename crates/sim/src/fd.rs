@@ -1,0 +1,226 @@
+//! The failure-detector interface and recorded histories.
+//!
+//! A failure detector `D` with range `R` maps every failure pattern to a set
+//! of histories `H : Π × N → R`. In the simulator a failure detector is an
+//! object that answers the query "what does the module of process `p` output
+//! at time `t`?". Concrete detectors (Ω, Σ, ◇P, P, heartbeat-based Ω) live in
+//! the `ec-detectors` crate; this module only defines the interface, the
+//! trivial [`NullFd`], and [`RecordingFd`] which records the sampled history
+//! (the raw material of the CHT reduction's DAG).
+
+use std::fmt;
+
+use crate::{ProcessId, Time};
+
+/// A failure detector: answers queries `(p, t) → R`.
+///
+/// Implementations must be consistent with their defining properties for the
+/// failure pattern of the run (e.g. an Ω implementation must eventually
+/// return the same correct process at every correct process forever).
+pub trait FailureDetector {
+    /// The range `R` of the detector (e.g. `ProcessId` for Ω).
+    type Output: Clone + fmt::Debug;
+
+    /// The value output by the module of process `p` at time `t`.
+    ///
+    /// Takes `&mut self` because some implementations (heartbeat-based ones,
+    /// recording wrappers) carry internal state.
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Output;
+}
+
+impl<D: FailureDetector + ?Sized> FailureDetector for &mut D {
+    type Output = D::Output;
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Output {
+        (**self).query(p, t)
+    }
+}
+
+impl<D: FailureDetector + ?Sized> FailureDetector for Box<D> {
+    type Output = D::Output;
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Output {
+        (**self).query(p, t)
+    }
+}
+
+/// The trivial failure detector that outputs `()` — used by algorithms that
+/// do not consult any detector.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullFd;
+
+impl FailureDetector for NullFd {
+    type Output = ();
+    fn query(&mut self, _p: ProcessId, _t: Time) -> Self::Output {}
+}
+
+/// A recorded failure-detector history: the finite sample of `H` observed
+/// during a run, as a list of `(process, time, value)` triples in query
+/// order. Each sample also carries the per-process query index `k` (the
+/// "`k`-th query of `p`" of the CHT construction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdHistory<R> {
+    samples: Vec<FdSample<R>>,
+    per_process_count: Vec<u64>,
+}
+
+/// One recorded failure-detector sample `[p, d, k]` at global time `t`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdSample<R> {
+    /// The querying process.
+    pub process: ProcessId,
+    /// The global time of the query.
+    pub time: Time,
+    /// The sampled value.
+    pub value: R,
+    /// The per-process query index (1-based): this is `p`'s `k`-th query.
+    pub k: u64,
+}
+
+impl<R: Clone> FdHistory<R> {
+    /// Creates an empty history for `n` processes.
+    pub fn new(n: usize) -> Self {
+        FdHistory {
+            samples: Vec::new(),
+            per_process_count: vec![0; n],
+        }
+    }
+
+    /// Records a sample for process `p` at time `t`.
+    pub fn record(&mut self, p: ProcessId, t: Time, value: R) {
+        if p.index() >= self.per_process_count.len() {
+            self.per_process_count.resize(p.index() + 1, 0);
+        }
+        self.per_process_count[p.index()] += 1;
+        self.samples.push(FdSample {
+            process: p,
+            time: t,
+            value,
+            k: self.per_process_count[p.index()],
+        });
+    }
+
+    /// All recorded samples, in query order.
+    pub fn samples(&self) -> &[FdSample<R>] {
+        &self.samples
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples taken by process `p`, in order.
+    pub fn samples_of(&self, p: ProcessId) -> impl Iterator<Item = &FdSample<R>> + '_ {
+        self.samples.iter().filter(move |s| s.process == p)
+    }
+
+    /// The last value sampled by `p`, if any.
+    pub fn last_of(&self, p: ProcessId) -> Option<&R> {
+        self.samples_of(p).last().map(|s| &s.value)
+    }
+}
+
+/// A wrapper that records every query answered by an inner detector,
+/// producing the [`FdHistory`] used by the CHT reduction and by detector
+/// property checkers.
+#[derive(Debug)]
+pub struct RecordingFd<D: FailureDetector> {
+    inner: D,
+    history: FdHistory<D::Output>,
+}
+
+impl<D: FailureDetector> RecordingFd<D> {
+    /// Wraps `inner`, recording its answers for a system of `n` processes.
+    pub fn new(inner: D, n: usize) -> Self {
+        RecordingFd {
+            inner,
+            history: FdHistory::new(n),
+        }
+    }
+
+    /// The recorded history so far.
+    pub fn history(&self) -> &FdHistory<D::Output> {
+        &self.history
+    }
+
+    /// Consumes the wrapper and returns the inner detector and the history.
+    pub fn into_parts(self) -> (D, FdHistory<D::Output>) {
+        (self.inner, self.history)
+    }
+
+    /// A reference to the wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: FailureDetector> FailureDetector for RecordingFd<D> {
+    type Output = D::Output;
+    fn query(&mut self, p: ProcessId, t: Time) -> Self::Output {
+        let v = self.inner.query(p, t);
+        self.history.record(p, t, v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstFd(u8);
+    impl FailureDetector for ConstFd {
+        type Output = u8;
+        fn query(&mut self, _p: ProcessId, _t: Time) -> u8 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn null_fd_returns_unit() {
+        let mut fd = NullFd;
+        assert_eq!(fd.query(ProcessId::new(0), Time::ZERO), ());
+    }
+
+    #[test]
+    fn recording_fd_records_samples_in_order_with_indices() {
+        let mut fd = RecordingFd::new(ConstFd(3), 2);
+        fd.query(ProcessId::new(0), Time::new(1));
+        fd.query(ProcessId::new(1), Time::new(2));
+        fd.query(ProcessId::new(0), Time::new(3));
+        let h = fd.history();
+        assert_eq!(h.len(), 3);
+        let ks: Vec<u64> = h.samples_of(ProcessId::new(0)).map(|s| s.k).collect();
+        assert_eq!(ks, vec![1, 2]);
+        assert_eq!(h.last_of(ProcessId::new(1)), Some(&3));
+        assert_eq!(h.last_of(ProcessId::new(0)), Some(&3));
+    }
+
+    #[test]
+    fn history_grows_for_unknown_processes() {
+        let mut h = FdHistory::new(1);
+        h.record(ProcessId::new(4), Time::ZERO, 7u8);
+        assert_eq!(h.samples()[0].k, 1);
+    }
+
+    #[test]
+    fn boxed_and_borrowed_detectors_delegate() {
+        let mut inner = ConstFd(9);
+        let mut by_ref: &mut ConstFd = &mut inner;
+        assert_eq!(by_ref.query(ProcessId::new(0), Time::ZERO), 9);
+        let mut boxed: Box<ConstFd> = Box::new(ConstFd(5));
+        assert_eq!(boxed.query(ProcessId::new(0), Time::ZERO), 5);
+    }
+
+    #[test]
+    fn into_parts_returns_history() {
+        let mut fd = RecordingFd::new(ConstFd(1), 1);
+        fd.query(ProcessId::new(0), Time::ZERO);
+        let (_inner, history) = fd.into_parts();
+        assert_eq!(history.len(), 1);
+        assert!(!history.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Output histories `H_O`: what each process output, and when.
+
+use crate::{ProcessId, Time};
+
+/// A single timed output of one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputSnapshot<O> {
+    /// The producing process.
+    pub process: ProcessId,
+    /// The time of the output.
+    pub time: Time,
+    /// The output value.
+    pub value: O,
+}
+
+/// The output history of a run: for every process, the timed sequence of
+/// values it output. For an algorithm whose output is its full current
+/// delivered sequence (as the ETOB implementations in `ec-core` do), the
+/// history gives direct access to `d_i(t)` for every `i` and `t`, which is
+/// what the TOB/ETOB property definitions quantify over.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputHistory<O> {
+    per_process: Vec<Vec<(Time, O)>>,
+}
+
+impl<O: Clone> OutputHistory<O> {
+    /// Creates an empty history for `n` processes.
+    pub fn new(n: usize) -> Self {
+        OutputHistory {
+            per_process: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.per_process.len()
+    }
+
+    /// Records that `p` output `value` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn record(&mut self, p: ProcessId, t: Time, value: O) {
+        self.per_process[p.index()].push((t, value));
+    }
+
+    /// All timed outputs of process `p`, in order.
+    pub fn outputs(&self, p: ProcessId) -> &[(Time, O)] {
+        &self.per_process[p.index()]
+    }
+
+    /// The last value output by `p` at or before time `t` — i.e. the value of
+    /// `p`'s output variable at time `t` (outputs are sticky until replaced).
+    pub fn value_at(&self, p: ProcessId, t: Time) -> Option<&O> {
+        self.per_process[p.index()]
+            .iter()
+            .take_while(|(when, _)| *when <= t)
+            .last()
+            .map(|(_, v)| v)
+    }
+
+    /// The final value output by `p`, if any.
+    pub fn last(&self, p: ProcessId) -> Option<&O> {
+        self.per_process[p.index()].last().map(|(_, v)| v)
+    }
+
+    /// The time of the first output of `p` satisfying `pred`, if any.
+    pub fn first_time_where<F: Fn(&O) -> bool>(&self, p: ProcessId, pred: F) -> Option<Time> {
+        self.per_process[p.index()]
+            .iter()
+            .find(|(_, v)| pred(v))
+            .map(|(t, _)| *t)
+    }
+
+    /// Iterates over every output of every process, in per-process order.
+    pub fn all(&self) -> impl Iterator<Item = OutputSnapshot<&O>> + '_ {
+        self.per_process.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter().map(move |(t, v)| OutputSnapshot {
+                process: ProcessId::new(i),
+                time: *t,
+                value: v,
+            })
+        })
+    }
+
+    /// All distinct times at which any process produced an output, sorted.
+    pub fn output_times(&self) -> Vec<Time> {
+        let mut times: Vec<Time> = self
+            .per_process
+            .iter()
+            .flat_map(|outs| outs.iter().map(|(t, _)| *t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+
+    /// Maps every output value, preserving structure. Useful for projecting a
+    /// composite output down to the component a checker cares about.
+    pub fn map<P, F: Fn(&O) -> P>(&self, f: F) -> OutputHistory<P>
+    where
+        P: Clone,
+    {
+        OutputHistory {
+            per_process: self
+                .per_process
+                .iter()
+                .map(|outs| outs.iter().map(|(t, v)| (*t, f(v))).collect())
+                .collect(),
+        }
+    }
+
+    /// Filter-maps every output value; outputs mapped to `None` are dropped.
+    pub fn filter_map<P, F: Fn(&O) -> Option<P>>(&self, f: F) -> OutputHistory<P>
+    where
+        P: Clone,
+    {
+        OutputHistory {
+            per_process: self
+                .per_process
+                .iter()
+                .map(|outs| {
+                    outs.iter()
+                        .filter_map(|(t, v)| f(v).map(|p| (*t, p)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> OutputHistory<u32> {
+        let mut h = OutputHistory::new(2);
+        h.record(ProcessId::new(0), Time::new(1), 10);
+        h.record(ProcessId::new(0), Time::new(5), 20);
+        h.record(ProcessId::new(1), Time::new(3), 30);
+        h
+    }
+
+    #[test]
+    fn value_at_is_sticky() {
+        let h = history();
+        assert_eq!(h.value_at(ProcessId::new(0), Time::new(0)), None);
+        assert_eq!(h.value_at(ProcessId::new(0), Time::new(1)), Some(&10));
+        assert_eq!(h.value_at(ProcessId::new(0), Time::new(4)), Some(&10));
+        assert_eq!(h.value_at(ProcessId::new(0), Time::new(5)), Some(&20));
+        assert_eq!(h.value_at(ProcessId::new(0), Time::new(99)), Some(&20));
+    }
+
+    #[test]
+    fn last_and_first_time_where() {
+        let h = history();
+        assert_eq!(h.last(ProcessId::new(0)), Some(&20));
+        assert_eq!(h.last(ProcessId::new(1)), Some(&30));
+        assert_eq!(
+            h.first_time_where(ProcessId::new(0), |v| *v >= 20),
+            Some(Time::new(5))
+        );
+        assert_eq!(h.first_time_where(ProcessId::new(1), |v| *v >= 99), None);
+    }
+
+    #[test]
+    fn all_and_output_times() {
+        let h = history();
+        assert_eq!(h.all().count(), 3);
+        assert_eq!(
+            h.output_times(),
+            vec![Time::new(1), Time::new(3), Time::new(5)]
+        );
+    }
+
+    #[test]
+    fn map_and_filter_map() {
+        let h = history();
+        let doubled = h.map(|v| v * 2);
+        assert_eq!(doubled.last(ProcessId::new(0)), Some(&40));
+        let only_big = h.filter_map(|v| if *v >= 20 { Some(*v) } else { None });
+        assert_eq!(only_big.outputs(ProcessId::new(0)).len(), 1);
+        assert_eq!(only_big.outputs(ProcessId::new(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_process_panics() {
+        let h = history();
+        let _ = h.outputs(ProcessId::new(9));
+    }
+}

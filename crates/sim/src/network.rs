@@ -1,0 +1,353 @@
+//! Network models: link delays and scripted partitions.
+//!
+//! The paper assumes reliable links: every message sent to a correct process
+//! is eventually received. The network model therefore never drops messages;
+//! it only chooses *when* a message is delivered. Partitions are modeled as
+//! finite windows during which traffic between groups is held back until the
+//! partition heals — this is the asynchronous-system reading of a partition
+//! (an unbounded but finite delay), which is exactly the situation where an
+//! eventually consistent service keeps making progress while a strongly
+//! consistent one must block (it cannot gather a Σ quorum).
+
+use rand::Rng;
+
+use crate::{ProcessId, ProcessSet, Time};
+
+/// Base point-to-point delay model for a link, before partitions are applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly `ticks` time units.
+    Fixed {
+        /// The delay applied to every message.
+        ticks: u64,
+    },
+    /// Delays are drawn uniformly from `[min, max]` (inclusive) per message.
+    Uniform {
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay.
+        max: u64,
+    },
+    /// Messages from/to the listed "slow" processes take `slow` ticks, all
+    /// other messages take `fast` ticks. Useful for asymmetric scenarios.
+    Asymmetric {
+        /// Delay for links not touching a slow process.
+        fast: u64,
+        /// Delay for links touching a slow process.
+        slow: u64,
+        /// The set of slow processes.
+        slow_processes: ProcessSet,
+    },
+}
+
+impl DelayModel {
+    fn sample<R: Rng>(&self, from: ProcessId, to: ProcessId, rng: &mut R) -> u64 {
+        match self {
+            DelayModel::Fixed { ticks } => *ticks,
+            DelayModel::Uniform { min, max } => {
+                debug_assert!(min <= max, "uniform delay with min > max");
+                if min == max {
+                    *min
+                } else {
+                    rng.gen_range(*min..=*max)
+                }
+            }
+            DelayModel::Asymmetric {
+                fast,
+                slow,
+                slow_processes,
+            } => {
+                if slow_processes.contains(from) || slow_processes.contains(to) {
+                    *slow
+                } else {
+                    *fast
+                }
+            }
+        }
+    }
+
+    /// An upper bound on the delay this model can produce (ignoring
+    /// partitions). Used by experiments to compute the paper's `Δc`.
+    pub fn max_delay(&self) -> u64 {
+        match self {
+            DelayModel::Fixed { ticks } => *ticks,
+            DelayModel::Uniform { max, .. } => *max,
+            DelayModel::Asymmetric { fast, slow, .. } => (*fast).max(*slow),
+        }
+    }
+}
+
+/// A partition of the process set into disjoint groups. Messages between
+/// different groups are held until the partition window closes; messages
+/// within a group flow normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    groups: Vec<ProcessSet>,
+}
+
+impl PartitionSpec {
+    /// Creates a partition from explicit groups. Processes not named in any
+    /// group are treated as singleton groups.
+    pub fn new(groups: Vec<ProcessSet>) -> Self {
+        PartitionSpec { groups }
+    }
+
+    /// Convenience constructor: isolates `isolated` from everyone else.
+    pub fn isolate(isolated: ProcessSet, n: usize) -> Self {
+        let rest = ProcessSet::all(n).difference(&isolated);
+        PartitionSpec {
+            groups: vec![isolated, rest],
+        }
+    }
+
+    /// Returns `true` if `a` and `b` can communicate under this partition
+    /// (i.e. they are in the same group, or neither appears in any group).
+    pub fn connected(&self, a: ProcessId, b: ProcessId) -> bool {
+        if a == b {
+            return true;
+        }
+        let ga = self.groups.iter().position(|g| g.contains(a));
+        let gb = self.groups.iter().position(|g| g.contains(b));
+        match (ga, gb) {
+            (Some(x), Some(y)) => x == y,
+            // A process not mentioned in any group is its own singleton group.
+            (None, None) => false,
+            _ => false,
+        }
+    }
+
+    /// The groups of this partition.
+    pub fn groups(&self) -> &[ProcessSet] {
+        &self.groups
+    }
+}
+
+/// A partition that is active during `[from, until)` and heals at `until`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First tick at which the partition is active.
+    pub from: Time,
+    /// First tick at which the partition is no longer active (heal time).
+    pub until: Time,
+    /// The group structure during the window.
+    pub spec: PartitionSpec,
+}
+
+/// Full network model: a base delay model plus scripted partition windows.
+///
+/// # Example
+///
+/// ```
+/// use ec_sim::{NetworkModel, PartitionSpec, ProcessSet, Time};
+/// let minority: ProcessSet = [0, 1].into_iter().collect();
+/// let net = NetworkModel::fixed_delay(2)
+///     .with_partition(Time::new(100), Time::new(200), PartitionSpec::isolate(minority, 5));
+/// assert_eq!(net.base().max_delay(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkModel {
+    base: DelayModel,
+    partitions: Vec<PartitionWindow>,
+}
+
+impl NetworkModel {
+    /// A network where every message takes exactly `ticks` time units.
+    pub fn fixed_delay(ticks: u64) -> Self {
+        NetworkModel {
+            base: DelayModel::Fixed { ticks },
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A network with per-message uniform random delays in `[min, max]`.
+    pub fn uniform_delay(min: u64, max: u64) -> Self {
+        assert!(min <= max, "uniform delay requires min <= max");
+        NetworkModel {
+            base: DelayModel::Uniform { min, max },
+            partitions: Vec::new(),
+        }
+    }
+
+    /// A network with the given base delay model.
+    pub fn with_delay_model(base: DelayModel) -> Self {
+        NetworkModel {
+            base,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Adds a partition window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until`.
+    pub fn with_partition(mut self, from: Time, until: Time, spec: PartitionSpec) -> Self {
+        assert!(from < until, "partition window must be non-empty");
+        self.partitions.push(PartitionWindow { from, until, spec });
+        self
+    }
+
+    /// The base delay model.
+    pub fn base(&self) -> &DelayModel {
+        &self.base
+    }
+
+    /// The scripted partition windows.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// Returns `true` if `a` and `b` are separated by an active partition at
+    /// time `t`.
+    pub fn partitioned(&self, a: ProcessId, b: ProcessId, t: Time) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| t >= w.from && t < w.until && !w.spec.connected(a, b))
+    }
+
+    /// Computes the delivery time of a message sent from `from` to `to` at
+    /// time `sent`. Messages are never dropped: if the link is partitioned,
+    /// delivery is postponed until after the last partition window separating
+    /// the two processes has healed (reliable links, arbitrary finite delay).
+    pub fn delivery_time<R: Rng>(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        sent: Time,
+        rng: &mut R,
+    ) -> Time {
+        let base = self.base.sample(from, to, rng).max(1);
+        let mut deliver = sent + base;
+        // If delivery would land inside a window separating the processes,
+        // push it to the heal time of that window (plus the base delay), and
+        // repeat in case windows chain.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for w in &self.partitions {
+                let blocked_at_send = sent >= w.from && sent < w.until;
+                let blocked_at_delivery = deliver >= w.from && deliver < w.until;
+                if (blocked_at_send || blocked_at_delivery) && !w.spec.connected(from, to) {
+                    let healed = w.until + base;
+                    if healed > deliver {
+                        deliver = healed;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        deliver
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::fixed_delay(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let net = NetworkModel::fixed_delay(3);
+        let mut r = rng();
+        let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(10), &mut r);
+        assert_eq!(t, Time::new(13));
+    }
+
+    #[test]
+    fn fixed_delay_zero_is_clamped_to_one() {
+        let net = NetworkModel::fixed_delay(0);
+        let mut r = rng();
+        let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(10), &mut r);
+        assert_eq!(t, Time::new(11), "zero delay would break causality");
+    }
+
+    #[test]
+    fn uniform_delay_within_bounds() {
+        let net = NetworkModel::uniform_delay(2, 5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(0), &mut r);
+            assert!(t >= Time::new(2) && t <= Time::new(5), "t = {t:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_delay_depends_on_endpoints() {
+        let slow: ProcessSet = [2].into_iter().collect();
+        let net = NetworkModel::with_delay_model(DelayModel::Asymmetric {
+            fast: 1,
+            slow: 10,
+            slow_processes: slow,
+        });
+        let mut r = rng();
+        let fast = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::ZERO, &mut r);
+        let slow = net.delivery_time(ProcessId::new(0), ProcessId::new(2), Time::ZERO, &mut r);
+        assert_eq!(fast, Time::new(1));
+        assert_eq!(slow, Time::new(10));
+    }
+
+    #[test]
+    fn partition_delays_cross_group_traffic_until_heal() {
+        let minority: ProcessSet = [0].into_iter().collect();
+        let net = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(10),
+            Time::new(100),
+            PartitionSpec::isolate(minority, 3),
+        );
+        let mut r = rng();
+        // Cross-partition message sent during the window: held until heal.
+        let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(20), &mut r);
+        assert_eq!(t, Time::new(102));
+        // Message inside the majority group flows normally.
+        let t = net.delivery_time(ProcessId::new(1), ProcessId::new(2), Time::new(20), &mut r);
+        assert_eq!(t, Time::new(22));
+        // Message sent before the window but delivered inside it is also held.
+        let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(9), &mut r);
+        assert_eq!(t, Time::new(102));
+        // Message after the heal flows normally.
+        let t = net.delivery_time(ProcessId::new(0), ProcessId::new(1), Time::new(150), &mut r);
+        assert_eq!(t, Time::new(152));
+    }
+
+    #[test]
+    fn partitioned_query() {
+        let minority: ProcessSet = [0, 1].into_iter().collect();
+        let net = NetworkModel::fixed_delay(1).with_partition(
+            Time::new(5),
+            Time::new(10),
+            PartitionSpec::isolate(minority, 4),
+        );
+        assert!(net.partitioned(ProcessId::new(0), ProcessId::new(2), Time::new(7)));
+        assert!(!net.partitioned(ProcessId::new(0), ProcessId::new(1), Time::new(7)));
+        assert!(!net.partitioned(ProcessId::new(0), ProcessId::new(2), Time::new(10)));
+    }
+
+    #[test]
+    fn self_messages_are_always_connected() {
+        let spec = PartitionSpec::isolate([0].into_iter().collect(), 3);
+        assert!(spec.connected(ProcessId::new(0), ProcessId::new(0)));
+        assert!(!spec.connected(ProcessId::new(0), ProcessId::new(1)));
+        assert!(spec.connected(ProcessId::new(1), ProcessId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_partition_window_panics() {
+        let _ = NetworkModel::fixed_delay(1).with_partition(
+            Time::new(10),
+            Time::new(10),
+            PartitionSpec::new(vec![]),
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Process identities and sets of processes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a process `p_i ∈ Π`.
+///
+/// Identifiers are dense indices `0..n`. The paper's `p_1, …, p_n` maps to
+/// `ProcessId::new(0), …, ProcessId::new(n - 1)`.
+///
+/// # Example
+///
+/// ```
+/// use ec_sim::ProcessId;
+/// let p: ProcessId = 2.into();
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(format!("{p}"), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process identifier from its dense index.
+    pub fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(v: usize) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// A set of processes, used for quorums (the range of Σ), partitions and the
+/// `correct(F)` / `faulty(F)` sets of a failure pattern.
+///
+/// # Example
+///
+/// ```
+/// use ec_sim::{ProcessId, ProcessSet};
+/// let q1: ProcessSet = [0, 1, 2].into_iter().collect();
+/// let q2: ProcessSet = [2, 3, 4].into_iter().collect();
+/// assert!(q1.intersects(&q2));
+/// assert!(q1.contains(ProcessId::new(1)));
+/// assert_eq!(q1.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct ProcessSet {
+    members: BTreeSet<ProcessId>,
+}
+
+impl ProcessSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the full set `{p_0, …, p_{n-1}}`.
+    pub fn all(n: usize) -> Self {
+        (0..n).map(ProcessId::new).collect()
+    }
+
+    /// Inserts a process; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        self.members.insert(p)
+    }
+
+    /// Removes a process; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        self.members.remove(&p)
+    }
+
+    /// Returns `true` if `p` is a member.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over members in increasing identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Returns `true` if the two sets have at least one common member
+    /// (the intersection property required of Σ quorums).
+    pub fn intersects(&self, other: &ProcessSet) -> bool {
+        self.members.iter().any(|p| other.contains(*p))
+    }
+
+    /// Returns `true` if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &ProcessSet) -> bool {
+        self.members.iter().all(|p| other.contains(*p))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ProcessSet) -> ProcessSet {
+        self.members.union(&other.members).copied().collect()
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
+        self.members.intersection(&other.members).copied().collect()
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &ProcessSet) -> ProcessSet {
+        self.members.difference(&other.members).copied().collect()
+    }
+
+    /// Smallest member, if any (named `first` to avoid clashing with
+    /// `Ord::min`).
+    pub fn first(&self) -> Option<ProcessId> {
+        self.members.iter().next().copied()
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.members.iter()).finish()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        ProcessSet {
+            members: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<usize> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        iter.into_iter().map(ProcessId::new).collect()
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        self.members.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, ProcessId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(ProcessId::from(3usize), p);
+        assert_eq!(format!("{p:?}"), "p3");
+    }
+
+    #[test]
+    fn all_and_membership() {
+        let s = ProcessSet::all(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(ProcessId::new(0)));
+        assert!(s.contains(ProcessId::new(3)));
+        assert!(!s.contains(ProcessId::new(4)));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(ProcessId::new(1)));
+        assert!(!s.insert(ProcessId::new(1)));
+        assert!(s.remove(ProcessId::new(1)));
+        assert!(!s.remove(ProcessId::new(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ProcessSet = [0, 1, 2].into_iter().collect();
+        let b: ProcessSet = [2, 3].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.difference(&b).len(), 2);
+        let c: ProcessSet = [3, 4].into_iter().collect();
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn subset_and_min() {
+        let a: ProcessSet = [1, 2].into_iter().collect();
+        let b: ProcessSet = [0, 1, 2, 3].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.first(), Some(ProcessId::new(1)));
+        assert_eq!(ProcessSet::new().first(), None);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let s: ProcessSet = [3, 1, 2].into_iter().collect();
+        let order: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Discrete global time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A tick of the discrete global clock of the system model (Section 2 of the
+/// paper). Processes do not have access to this clock; it is only used by the
+/// simulator, by failure patterns, and by failure-detector histories.
+///
+/// # Example
+///
+/// ```
+/// use ec_sim::Time;
+/// let t = Time::new(5) + 3;
+/// assert_eq!(t.as_u64(), 8);
+/// assert!(t > Time::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of the global clock.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of two times, returning a duration in ticks.
+    pub fn saturating_since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("time subtraction underflow")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(Time::ZERO.as_u64(), 0);
+        assert_eq!(Time::new(42).as_u64(), 42);
+        assert_eq!(Time::from(7u64), Time::new(7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::new(3) < Time::new(4));
+        assert_eq!(Time::new(5).max(Time::new(2)), Time::new(5));
+        assert_eq!(Time::new(5).min(Time::new(2)), Time::new(2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::new(10);
+        assert_eq!((t + 5).as_u64(), 15);
+        assert_eq!(Time::new(15) - Time::new(10), 5);
+        assert_eq!(Time::new(3).saturating_since(Time::new(10)), 0);
+        assert_eq!(Time::new(10).saturating_since(Time::new(3)), 7);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        assert_eq!(Time::MAX + 1, Time::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Time::new(1) - Time::new(2);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", Time::new(9)), "t9");
+        assert_eq!(format!("{}", Time::new(9)), "9");
+    }
+}

@@ -1,0 +1,299 @@
+//! Run traces: the recorded events of a simulation.
+//!
+//! A run of the paper is a tuple `R = (F, H, H_I, H_O, S, T)`. The [`Trace`]
+//! records the schedule-level events (message sends/deliveries, timer fires,
+//! inputs, crashes) together with the output history `H_O`, from which the
+//! specification checkers in `ec-core` reconstruct the delivered sequences
+//! `d_i(t)` and decision histories the paper's definitions quantify over.
+
+use crate::{OutputHistory, ProcessId, Time};
+
+/// One recorded event of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent<O> {
+    /// A message was handed to the network.
+    MessageSent {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Send time.
+        at: Time,
+        /// Unique message identifier (per run).
+        id: u64,
+    },
+    /// A message was delivered to (and processed by) its destination.
+    MessageDelivered {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Delivery time.
+        at: Time,
+        /// Unique message identifier (per run).
+        id: u64,
+    },
+    /// A message reached a crashed destination and was discarded.
+    MessageDropped {
+        /// Destination process (crashed).
+        to: ProcessId,
+        /// Drop time.
+        at: Time,
+        /// Unique message identifier (per run).
+        id: u64,
+    },
+    /// A process crashed.
+    Crashed {
+        /// The crashed process.
+        process: ProcessId,
+        /// Crash time.
+        at: Time,
+    },
+    /// An input (operation invocation) was handed to a process.
+    Input {
+        /// The invoked process.
+        process: ProcessId,
+        /// Invocation time.
+        at: Time,
+    },
+    /// A local timeout fired at a process.
+    TimerFired {
+        /// The process whose timer fired.
+        process: ProcessId,
+        /// Fire time.
+        at: Time,
+    },
+    /// A process produced an output (operation response, delivered sequence,
+    /// emulated detector value, …).
+    Output {
+        /// The producing process.
+        process: ProcessId,
+        /// Output time.
+        at: Time,
+        /// The output value.
+        value: O,
+    },
+}
+
+impl<O> TraceEvent<O> {
+    /// The time at which the event occurred.
+    pub fn time(&self) -> Time {
+        match self {
+            TraceEvent::MessageSent { at, .. }
+            | TraceEvent::MessageDelivered { at, .. }
+            | TraceEvent::MessageDropped { at, .. }
+            | TraceEvent::Crashed { at, .. }
+            | TraceEvent::Input { at, .. }
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::Output { at, .. } => *at,
+        }
+    }
+}
+
+/// The recorded events of a run, in execution order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace<O> {
+    n: usize,
+    events: Vec<TraceEvent<O>>,
+}
+
+impl<O: Clone> Trace<O> {
+    /// Creates an empty trace for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Trace {
+            n,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of processes in the run.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event. Events must be appended in execution order.
+    pub fn push(&mut self, event: TraceEvent<O>) {
+        debug_assert!(
+            self.events.last().map_or(true, |e| e.time() <= event.time()),
+            "trace events must be appended in non-decreasing time order"
+        );
+        self.events.push(event);
+    }
+
+    /// All recorded events in execution order.
+    pub fn events(&self) -> &[TraceEvent<O>] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the outputs of process `p` with their times, in order.
+    pub fn outputs_of(&self, p: ProcessId) -> impl Iterator<Item = (Time, &O)> + '_ {
+        self.events.iter().filter_map(move |e| match e {
+            TraceEvent::Output { process, at, value } if *process == p => Some((*at, value)),
+            _ => None,
+        })
+    }
+
+    /// The last output of process `p`, if any.
+    pub fn last_output_of(&self, p: ProcessId) -> Option<&O> {
+        self.outputs_of(p).last().map(|(_, v)| v)
+    }
+
+    /// The output history `H_O` of the run: per-process timed output
+    /// sequences, the structure consumed by the specification checkers.
+    pub fn output_history(&self) -> OutputHistory<O> {
+        let mut h = OutputHistory::new(self.n);
+        for e in &self.events {
+            if let TraceEvent::Output { process, at, value } = e {
+                h.record(*process, *at, value.clone());
+            }
+        }
+        h
+    }
+
+    /// Send time of the message with identifier `id`, if recorded.
+    pub fn send_time(&self, id: u64) -> Option<Time> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::MessageSent { id: i, at, .. } if *i == id => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Delivery time of the message with identifier `id`, if delivered.
+    pub fn delivery_time(&self, id: u64) -> Option<Time> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::MessageDelivered { id: i, at, .. } if *i == id => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Total number of messages handed to the network.
+    pub fn messages_sent(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MessageSent { .. }))
+            .count()
+    }
+
+    /// Total number of messages delivered.
+    pub fn messages_delivered(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MessageDelivered { .. }))
+            .count()
+    }
+
+    /// The time of the last recorded event, or `Time::ZERO` for an empty
+    /// trace.
+    pub fn end_time(&self) -> Time {
+        self.events.last().map_or(Time::ZERO, |e| e.time())
+    }
+
+    /// Times at which the given process produced any output.
+    pub fn output_times_of(&self, p: ProcessId) -> Vec<Time> {
+        self.outputs_of(p).map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace<u32> {
+        let mut t = Trace::new(2);
+        t.push(TraceEvent::Input {
+            process: ProcessId::new(0),
+            at: Time::new(0),
+        });
+        t.push(TraceEvent::MessageSent {
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            at: Time::new(0),
+            id: 1,
+        });
+        t.push(TraceEvent::MessageDelivered {
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            at: Time::new(3),
+            id: 1,
+        });
+        t.push(TraceEvent::Output {
+            process: ProcessId::new(1),
+            at: Time::new(3),
+            value: 42,
+        });
+        t.push(TraceEvent::Output {
+            process: ProcessId::new(1),
+            at: Time::new(5),
+            value: 43,
+        });
+        t
+    }
+
+    #[test]
+    fn outputs_are_queryable_per_process() {
+        let t = sample_trace();
+        let outs: Vec<u32> = t.outputs_of(ProcessId::new(1)).map(|(_, v)| *v).collect();
+        assert_eq!(outs, vec![42, 43]);
+        assert_eq!(t.last_output_of(ProcessId::new(1)), Some(&43));
+        assert_eq!(t.last_output_of(ProcessId::new(0)), None);
+        assert_eq!(t.output_times_of(ProcessId::new(1)), vec![Time::new(3), Time::new(5)]);
+    }
+
+    #[test]
+    fn message_latency_is_reconstructible() {
+        let t = sample_trace();
+        assert_eq!(t.send_time(1), Some(Time::new(0)));
+        assert_eq!(t.delivery_time(1), Some(Time::new(3)));
+        assert_eq!(t.delivery_time(99), None);
+        assert_eq!(t.messages_sent(), 1);
+        assert_eq!(t.messages_delivered(), 1);
+    }
+
+    #[test]
+    fn output_history_mirrors_outputs() {
+        let t = sample_trace();
+        let h = t.output_history();
+        assert_eq!(h.outputs(ProcessId::new(1)).len(), 2);
+        assert_eq!(h.outputs(ProcessId::new(0)).len(), 0);
+    }
+
+    #[test]
+    fn end_time_and_len() {
+        let t = sample_trace();
+        assert_eq!(t.end_time(), Time::new(5));
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(Trace::<u32>::new(1).end_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn event_time_accessor_covers_all_variants() {
+        let events: Vec<TraceEvent<u8>> = vec![
+            TraceEvent::Crashed {
+                process: ProcessId::new(0),
+                at: Time::new(1),
+            },
+            TraceEvent::TimerFired {
+                process: ProcessId::new(0),
+                at: Time::new(2),
+            },
+            TraceEvent::MessageDropped {
+                to: ProcessId::new(0),
+                at: Time::new(3),
+                id: 7,
+            },
+        ];
+        let times: Vec<u64> = events.iter().map(|e| e.time().as_u64()).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+}

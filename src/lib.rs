@@ -1,0 +1,58 @@
+//! Umbrella crate for the reproduction of *"The Weakest Failure Detector for
+//! Eventual Consistency"* (Dubois, Guerraoui, Kuznetsov, Petit, Sens — PODC
+//! 2015).
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`sim`] — deterministic asynchronous message-passing simulator
+//!   (the system model of Section 2 of the paper).
+//! * [`detectors`] — failure-detector oracles (Ω, Σ, ◇P, P) and a
+//!   heartbeat-based Ω implementation.
+//! * [`core`] — the paper's contribution: eventual consensus (EC), eventual
+//!   total order broadcast (ETOB), the transformations between them, the
+//!   Ω-based algorithms (Algorithms 4 and 5), and strongly consistent
+//!   baselines.
+//! * [`cht`] — the generalized CHT reduction extracting Ω from any EC
+//!   implementation (Section 4 / Appendix B).
+//! * [`replication`] — replicated state machines over ETOB (eventual
+//!   consistency) and consensus-based TOB (strong consistency).
+//! * [`runtime`] — a thread-per-process real-time runtime running the same
+//!   algorithms over OS channels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eventual_consistency::core::etob_omega::{EtobConfig, EtobOmega};
+//! use eventual_consistency::core::spec::EtobChecker;
+//! use eventual_consistency::core::workload::BroadcastWorkload;
+//! use eventual_consistency::detectors::omega::OmegaOracle;
+//! use eventual_consistency::sim::{FailurePattern, NetworkModel, Time, WorldBuilder};
+//!
+//! // Five processes, none crash, leader election stabilizes immediately.
+//! let n = 5;
+//! let failures = FailurePattern::no_failures(n);
+//! let omega = OmegaOracle::stable_from_start(failures.clone());
+//! let mut world = WorldBuilder::new(n)
+//!     .network(NetworkModel::fixed_delay(2))
+//!     .failures(failures.clone())
+//!     .seed(7)
+//!     .build_with(|p| EtobOmega::new(p, EtobConfig::default()), omega);
+//! let workload = BroadcastWorkload::uniform(n, 6, 10, 10);
+//! workload.submit_to(&mut world);
+//! world.run_until(2_000);
+//! let checker = EtobChecker::from_delivered(
+//!     &world.trace().output_history(),
+//!     workload.records(),
+//!     failures.correct(),
+//!     Time::ZERO,
+//! );
+//! assert!(checker.check_all_with_causal().is_ok());
+//! ```
+
+pub use ec_cht as cht;
+pub use ec_core as core;
+pub use ec_detectors as detectors;
+pub use ec_replication as replication;
+pub use ec_runtime as runtime;
+pub use ec_sim as sim;

@@ -1,0 +1,150 @@
+//! Experiments E2 and E7 (integration form).
+//!
+//! E2: during a minority partition containing the leader, the Ω-only
+//! replicated KV store keeps serving on the leader's side while the Ω + Σ
+//! store serves nothing; both converge after the heal.
+//!
+//! E7: the CHT extraction emulates Ω end to end from the failure-detector
+//! samples of a real run of Algorithm 4 across a leader crash.
+
+use ec_cht::{OmegaEmulation, OmegaExtractor, TreeConfig};
+use ec_core::ec_omega::{EcConfig, EcOmega};
+use ec_core::etob_omega::{EtobConfig, EtobOmega};
+use ec_core::harness::MultiInstanceProposer;
+use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
+use ec_detectors::omega::{OmegaOracle, PreStabilization};
+use ec_detectors::{sigma::SigmaOracle, PairFd};
+use ec_replication::{ConvergenceReport, KvStore, Replica, ReplicaCommand};
+use ec_sim::{
+    FailurePattern, NetworkModel, PartitionSpec, ProcessId, ProcessSet, RecordingFd, Time,
+    WorldBuilder,
+};
+
+const N: usize = 5;
+const HEAL: u64 = 900;
+
+fn partitioned_network() -> NetworkModel {
+    let minority: ProcessSet = [0, 1].into_iter().collect();
+    NetworkModel::fixed_delay(2).with_partition(
+        Time::new(50),
+        Time::new(HEAL),
+        PartitionSpec::isolate(minority, N),
+    )
+}
+
+fn writes() -> Vec<(ProcessId, ReplicaCommand, u64)> {
+    (0..6u64)
+        .map(|k| {
+            (
+                ProcessId::new((k % 2) as usize),
+                ReplicaCommand::new(KvStore::put(&format!("k{k}"), "v")),
+                100 + 25 * k,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn eventual_store_serves_during_partition_strong_store_blocks() {
+    let failures = FailurePattern::no_failures(N);
+
+    let omega = OmegaOracle::stable_from_start(failures.clone());
+    let mut eventual = WorldBuilder::new(N)
+        .network(partitioned_network())
+        .failures(failures.clone())
+        .seed(1)
+        .build_with(
+            |p| Replica::<KvStore, _>::new(EtobOmega::new(p, EtobConfig::default())),
+            omega,
+        );
+    for (p, cmd, at) in writes() {
+        eventual.schedule_input(p, cmd, at);
+    }
+    eventual.run_until(2_500);
+
+    let fd = PairFd::new(
+        OmegaOracle::stable_from_start(failures.clone()),
+        SigmaOracle::majority(failures.clone()),
+    );
+    let mut strong = WorldBuilder::new(N)
+        .network(partitioned_network())
+        .failures(failures.clone())
+        .seed(1)
+        .build_with(
+            |p| Replica::<KvStore, _>::new(ConsensusTob::new(p, ConsensusTobConfig::default())),
+            fd,
+        );
+    for (p, cmd, at) in writes() {
+        strong.schedule_input(p, cmd, at);
+    }
+    strong.run_until(2_500);
+
+    let probe = Time::new(HEAL - 20);
+    let eventual_history = eventual.trace().output_history();
+    let strong_history = strong.trace().output_history();
+
+    // E2 headline: the eventually consistent leader-side replica made
+    // progress during the partition, the strongly consistent one did not.
+    let eventual_progress = eventual_history
+        .value_at(ProcessId::new(1), probe)
+        .map(|o| o.applied)
+        .unwrap_or(0);
+    assert!(eventual_progress >= 1, "Ω-only replica must serve during the partition");
+    for p in (0..N).map(ProcessId::new) {
+        let blocked = strong_history
+            .value_at(p, probe)
+            .map(|o| o.applied)
+            .unwrap_or(0);
+        assert_eq!(blocked, 0, "Ω+Σ replica {p} must be blocked during the partition");
+    }
+
+    // both converge after the heal
+    for p in (0..N).map(ProcessId::new) {
+        assert_eq!(eventual.algorithm(p).applied(), 6);
+        assert_eq!(strong.algorithm(p).applied(), 6);
+    }
+    let report = ConvergenceReport::from_history(&eventual_history, &failures.correct());
+    assert!(report.is_converged());
+    assert!(report.divergence_count() >= 1, "the partition must show up as a divergence episode");
+}
+
+#[test]
+fn cht_extraction_emulates_omega_across_a_leader_crash() {
+    let n = 2;
+    let failures = FailurePattern::no_failures(n).with_crash(ProcessId::new(0), Time::new(120));
+    let omega = OmegaOracle::stabilizing_at(failures.clone(), Time::new(150))
+        .with_pre_stabilization(PreStabilization::Fixed(ProcessId::new(0)));
+    let mut world = WorldBuilder::new(n)
+        .network(NetworkModel::fixed_delay(2))
+        .failures(failures.clone())
+        .seed(77)
+        .build_with(
+            |p| {
+                MultiInstanceProposer::new(
+                    EcOmega::<bool>::new(EcConfig::default()),
+                    vec![p.index() % 2 == 0; 4],
+                )
+            },
+            RecordingFd::new(omega, n),
+        );
+    world.run_until(600);
+    let samples = world.fd().history().clone();
+    assert!(samples.len() > 20, "the run must produce enough samples");
+
+    let extractor = OmegaExtractor::new(
+        n,
+        Box::new(|_p| EcOmega::<bool>::new(EcConfig { poll_period: 1 })),
+    )
+    .with_window(6)
+    .with_tree_config(TreeConfig {
+        max_depth: 6,
+        closure_steps: 40,
+        max_instance: 1,
+        max_vertices: 2_000,
+    });
+    let emulation = OmegaEmulation::run(&extractor, &samples, &failures, 6);
+    let (_, leader) = emulation
+        .verify(&failures)
+        .expect("the emulated history satisfies the Omega specification");
+    assert_eq!(leader, ProcessId::new(1), "the extracted leader is the surviving process");
+}
