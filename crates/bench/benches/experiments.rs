@@ -33,14 +33,21 @@ fn configure(c: &mut Criterion) -> &mut Criterion {
     c
 }
 
-fn first_delivery(history: &OutputHistory<DeliveredSequence>, id: MsgId, n: usize, from: u64) -> u64 {
+fn first_delivery(
+    history: &OutputHistory<DeliveredSequence>,
+    id: MsgId,
+    n: usize,
+    from: u64,
+) -> u64 {
     let mut first: Option<Time> = None;
     for p in (0..n).map(ProcessId::new) {
         if let Some(t) = history.first_time_where(p, |seq| seq.iter().any(|m| m.id == id)) {
             first = Some(first.map_or(t, |x| x.min(t)));
         }
     }
-    first.map(|t| t.saturating_since(Time::new(from))).unwrap_or(u64::MAX)
+    first
+        .map(|t| t.saturating_since(Time::new(from)))
+        .unwrap_or(u64::MAX)
 }
 
 // ---------------------------------------------------------------------------
@@ -81,11 +88,21 @@ fn consensus_latency(n: usize, delay: u64) -> u64 {
 fn e1_delivery_latency(c: &mut Criterion) {
     let delay = 10;
     println!("\n[E1] broadcast→stable-delivery latency (link delay = {delay} ticks)");
-    println!("{:<6} {:>22} {:>22}", "n", "ETOB (Alg. 5) [hops]", "consensus TOB [hops]");
+    println!(
+        "{:<6} {:>22} {:>22}",
+        "n", "ETOB (Alg. 5) [hops]", "consensus TOB [hops]"
+    );
     for n in [3usize, 5, 7, 9] {
         let e = etob_latency(n, delay);
         let s = consensus_latency(n, delay);
-        println!("{:<6} {:>16} ({} t) {:>16} ({} t)", n, e / delay, e, s / delay, s);
+        println!(
+            "{:<6} {:>16} ({} t) {:>16} ({} t)",
+            n,
+            e / delay,
+            e,
+            s / delay,
+            s
+        );
     }
     let mut group = configure(c).benchmark_group("e1_delivery_latency");
     group
@@ -179,9 +196,18 @@ fn e2_partition_tolerance(c: &mut Criterion) {
     let (eventual_during, eventual_after) = partition_progress(false);
     let (strong_during, strong_after) = partition_progress(true);
     println!("\n[E2] commands applied by a leader-side replica (minority partition, 6 writes)");
-    println!("{:<28} {:>18} {:>14}", "service", "during partition", "after heal");
-    println!("{:<28} {:>18} {:>14}", "eventually consistent (Ω)", eventual_during, eventual_after);
-    println!("{:<28} {:>18} {:>14}", "strongly consistent (Ω+Σ)", strong_during, strong_after);
+    println!(
+        "{:<28} {:>18} {:>14}",
+        "service", "during partition", "after heal"
+    );
+    println!(
+        "{:<28} {:>18} {:>14}",
+        "eventually consistent (Ω)", eventual_during, eventual_after
+    );
+    println!(
+        "{:<28} {:>18} {:>14}",
+        "strongly consistent (Ω+Σ)", strong_during, strong_after
+    );
     let mut group = configure(c).benchmark_group("e2_partition_tolerance");
     group
         .sample_size(10)
@@ -254,7 +280,10 @@ fn causal_violations(n: usize, divergence_until: u64) -> (usize, usize) {
         failures.correct(),
         Time::new(divergence_until + 50),
     );
-    (checker.check_causal_order().len(), checker.check_ordering().len())
+    (
+        checker.check_causal_order().len(),
+        checker.check_ordering().len(),
+    )
 }
 
 fn e4_causal_divergence(c: &mut Criterion) {
@@ -287,7 +316,12 @@ fn transformed_etob_messages(n: usize) -> (u64, u64) {
         .failures(failures.clone())
         .seed(4)
         .build_with(
-            |_p| EcToEtob::new(EcOmega::<Vec<AppMessage>>::new(EcConfig { poll_period: 3 }), 4),
+            |_p| {
+                EcToEtob::new(
+                    EcOmega::<Vec<AppMessage>>::new(EcConfig { poll_period: 3 }),
+                    4,
+                )
+            },
             omega.clone(),
         );
     workload.submit_to(&mut transformed);
@@ -307,7 +341,10 @@ fn transformed_etob_messages(n: usize) -> (u64, u64) {
 
 fn e5_transformations(c: &mut Criterion) {
     println!("\n[E5] Theorem 1 transformations: message cost over a 2 000-tick run, 8 broadcasts");
-    println!("{:<6} {:>26} {:>22}", "n", "ETOB from EC (Alg. 1+4)", "direct ETOB (Alg. 5)");
+    println!(
+        "{:<6} {:>26} {:>22}",
+        "n", "ETOB from EC (Alg. 1+4)", "direct ETOB (Alg. 5)"
+    );
     for n in [3usize, 5] {
         let (transformed, direct) = transformed_etob_messages(n);
         println!("{:<6} {:>26} {:>22}", n, transformed, direct);
@@ -349,23 +386,34 @@ fn ec_run(n: usize, crashes: usize, instances: u64) -> (bool, u64) {
         .seed(5)
         .build_with(
             |p| {
-                let values: Vec<u64> =
-                    (1..=instances).map(|inst| 10 * p.index() as u64 + inst).collect();
+                let values: Vec<u64> = (1..=instances)
+                    .map(|inst| 10 * p.index() as u64 + inst)
+                    .collect();
                 MultiInstanceProposer::new(EcOmega::new(EcConfig::default()), values)
             },
             omega,
         );
     world.run_until(instances * 20 + 1_000);
     let checker = EcChecker::new(world.trace().output_history(), proposals, correct);
-    (checker.check_all(instances, 1).is_ok(), checker.agreement_index())
+    (
+        checker.check_all(instances, 1).is_ok(),
+        checker.agreement_index(),
+    )
 }
 
 fn e6_ec_omega(c: &mut Criterion) {
     println!("\n[E6] Algorithm 4 (EC from Ω) under crashes, n = 5, 10 instances");
-    println!("{:<18} {:>10} {:>18}", "crashed processes", "EC holds", "agreement from k");
+    println!(
+        "{:<18} {:>10} {:>18}",
+        "crashed processes", "EC holds", "agreement from k"
+    );
     for crashes in [0usize, 1, 2, 3, 4] {
         let (ok, k) = ec_run(5, crashes, 10);
-        let majority_note = if crashes >= 3 { " (no correct majority)" } else { "" };
+        let majority_note = if crashes >= 3 {
+            " (no correct majority)"
+        } else {
+            ""
+        };
         println!("{:<18} {:>10} {:>18}{}", crashes, ok, k, majority_note);
     }
     let mut group = configure(c).benchmark_group("e6_ec_omega");
@@ -373,7 +421,9 @@ fn e6_ec_omega(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
-    group.bench_function("ten_instances_majority_faulty", |b| b.iter(|| ec_run(5, 3, 10)));
+    group.bench_function("ten_instances_majority_faulty", |b| {
+        b.iter(|| ec_run(5, 3, 10))
+    });
     group.finish();
 }
 
@@ -424,14 +474,19 @@ fn e7_cht_extraction(c: &mut Criterion) {
     let n = 2;
     let (samples, failures) = cht_samples(n);
     let leader = cht_extract(&samples, &failures, n);
-    println!("\n[E7] CHT extraction over a leader-crash run: {} samples → emulated Ω elects {leader}", samples.len());
+    println!(
+        "\n[E7] CHT extraction over a leader-crash run: {} samples → emulated Ω elects {leader}",
+        samples.len()
+    );
     println!("  (the crashed process is p0; the extraction must elect the surviving p1)");
     let mut group = configure(c).benchmark_group("e7_cht_extraction");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    group.bench_function("emulate_omega_n2", |b| b.iter(|| cht_extract(&samples, &failures, n)));
+    group.bench_function("emulate_omega_n2", |b| {
+        b.iter(|| cht_extract(&samples, &failures, n))
+    });
     group.finish();
 }
 
@@ -477,10 +532,16 @@ fn measured_convergence(tau_omega: u64, delay: u64, period: u64) -> (u64, u64) {
 
 fn e8_convergence_bound(c: &mut Criterion) {
     println!("\n[E8] measured ETOB convergence vs the bound τ_Ω + Δ_t + Δ_c");
-    println!("{:<12} {:<8} {:<8} {:>12} {:>10}", "τ_Ω", "Δ_c", "Δ_t", "measured τ", "bound");
+    println!(
+        "{:<12} {:<8} {:<8} {:>12} {:>10}",
+        "τ_Ω", "Δ_c", "Δ_t", "measured τ", "bound"
+    );
     for (tau, delay, period) in [(100u64, 3u64, 5u64), (250, 3, 5), (250, 8, 5), (500, 3, 12)] {
         let (measured, bound) = measured_convergence(tau, delay, period);
-        println!("{:<12} {:<8} {:<8} {:>12} {:>10}", tau, delay, period, measured, bound);
+        println!(
+            "{:<12} {:<8} {:<8} {:>12} {:>10}",
+            tau, delay, period, measured, bound
+        );
     }
     let mut group = configure(c).benchmark_group("e8_convergence_bound");
     group
@@ -528,7 +589,11 @@ fn eic_revocations(divergence_until: u64, instances: u64) -> (usize, bool) {
             omega,
         );
     world.run_until(instances * 20 + 2_000);
-    let checker = EicChecker::new(world.trace().output_history(), proposals, failures.correct());
+    let checker = EicChecker::new(
+        world.trace().output_history(),
+        proposals,
+        failures.correct(),
+    );
     (
         checker.revocation_count(),
         checker.check_agreement().is_empty() && checker.check_validity().is_empty(),
@@ -537,7 +602,10 @@ fn eic_revocations(divergence_until: u64, instances: u64) -> (usize, bool) {
 
 fn e9_eic(c: &mut Criterion) {
     println!("\n[E9] EIC layer (Algorithm 6 over Algorithm 4): revocations vs divergence length, 40 instances");
-    println!("{:<22} {:>14} {:>22}", "divergence until", "revocations", "final agreement+validity");
+    println!(
+        "{:<22} {:>14} {:>22}",
+        "divergence until", "revocations", "final agreement+validity"
+    );
     for divergence in [0u64, 30, 60, 90] {
         let (revocations, ok) = eic_revocations(divergence, 40);
         println!("{:<22} {:>14} {:>22}", divergence, revocations, ok);
@@ -666,7 +734,10 @@ fn heartbeat_stats(n: usize) -> (u64, u64) {
 
 fn a1_omega_implementations(c: &mut Criterion) {
     println!("\n[A1] heartbeat-based Ω: re-election delay after a leader crash and message cost (3 000 ticks)");
-    println!("{:<6} {:>24} {:>18}", "n", "re-election delay [ticks]", "messages sent");
+    println!(
+        "{:<6} {:>24} {:>18}",
+        "n", "re-election delay [ticks]", "messages sent"
+    );
     for n in [3usize, 5, 7] {
         let (delay, messages) = heartbeat_stats(n);
         println!("{:<6} {:>24} {:>18}", n, delay, messages);
@@ -725,7 +796,10 @@ fn promote_period_tradeoff(period: u64) -> (u64, u64) {
 
 fn a2_promote_period(c: &mut Criterion) {
     println!("\n[A2] Algorithm 5 promote-period ablation (τ_Ω = 200, 3 000-tick run)");
-    println!("{:<16} {:>16} {:>16}", "promote period", "convergence τ", "messages sent");
+    println!(
+        "{:<16} {:>16} {:>16}",
+        "promote period", "convergence τ", "messages sent"
+    );
     for period in [2u64, 5, 10, 25] {
         let (tau, messages) = promote_period_tradeoff(period);
         println!("{:<16} {:>16} {:>16}", period, tau, messages);

@@ -120,8 +120,7 @@ impl<R: Clone + PartialEq + fmt::Debug> FdDag<R> {
                 if v.process.index() >= self.next_k.len() {
                     self.next_k.resize(v.process.index() + 1, 0);
                 }
-                self.next_k[v.process.index()] =
-                    self.next_k[v.process.index()].max(v.k);
+                self.next_k[v.process.index()] = self.next_k[v.process.index()].max(v.k);
                 self.vertices.push(v.clone());
             }
         }

@@ -223,17 +223,14 @@ mod tests {
     type Alg = EcOmega<bool>;
 
     fn extractor(n: usize) -> OmegaExtractor<Alg> {
-        OmegaExtractor::new(
-            n,
-            Box::new(|_p| EcOmega::new(EcConfig { poll_period: 1 })),
-        )
-        .with_window(6)
-        .with_tree_config(TreeConfig {
-            max_depth: 6,
-            closure_steps: 40,
-            max_instance: 1,
-            max_vertices: 2_000,
-        })
+        OmegaExtractor::new(n, Box::new(|_p| EcOmega::new(EcConfig { poll_period: 1 })))
+            .with_window(6)
+            .with_tree_config(TreeConfig {
+                max_depth: 6,
+                closure_steps: 40,
+                max_instance: 1,
+                max_vertices: 2_000,
+            })
     }
 
     /// Records the Ω samples actually consumed by a real simulated run of
@@ -305,7 +302,10 @@ mod tests {
             .verify(&failures)
             .expect("the emulated history must satisfy Omega");
         assert_eq!(leader, ProcessId::new(1));
-        assert!(stabilized_at.as_u64() <= 6, "stabilizes within the emulated stages");
+        assert!(
+            stabilized_at.as_u64() <= 6,
+            "stabilizes within the emulated stages"
+        );
         assert!(!emulation.stages.is_empty());
         assert!(format!("{emulation:?}").contains("OmegaEmulation"));
     }

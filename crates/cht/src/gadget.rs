@@ -55,11 +55,7 @@ pub struct DecisionGadget {
 /// Returns `None` if the explored fragment contains no gadget — which, per
 /// the paper, can only happen because the fragment is finite (a bivalent
 /// limit tree always contains one).
-pub fn locate_gadget<E>(
-    tree: &SimulationTree<E>,
-    k: u64,
-    start: VertexId,
-) -> Option<DecisionGadget>
+pub fn locate_gadget<E>(tree: &SimulationTree<E>, k: u64, start: VertexId) -> Option<DecisionGadget>
 where
     E: EventualConsensus<Value = bool> + Clone,
     E::Fd: Clone + PartialEq,

@@ -243,8 +243,16 @@ mod tests {
         let mut run = LocalRun::new(n, &factory);
         run.start_all(|_| leader());
         // both processes propose instance 1
-        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: values[0] }));
-        assert!(run.apply(ProcessId::new(1), leader(), StepEffect::Propose { value: values[1] }));
+        assert!(run.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: values[0] }
+        ));
+        assert!(run.apply(
+            ProcessId::new(1),
+            leader(),
+            StepEffect::Propose { value: values[1] }
+        ));
         // deliver all promote messages, then let timers fire
         for _ in 0..8 {
             for i in 0..n {
@@ -279,8 +287,16 @@ mod tests {
         // no message pending → receive step disabled
         assert!(!run.apply(ProcessId::new(0), leader(), StepEffect::ReceiveOldest));
         // propose enabled the first time, disabled while instance 1 is open
-        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true }));
-        assert!(!run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: false }));
+        assert!(run.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: true }
+        ));
+        assert!(!run.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: false }
+        ));
         assert_eq!(run.proposed_instance(ProcessId::new(0)), 1);
         assert!(!run.ready_to_propose(ProcessId::new(0)));
     }
@@ -290,8 +306,16 @@ mod tests {
         let mut run = LocalRun::new(2, &factory);
         run.start_all(|_| leader());
         let mut branch = run.clone();
-        assert!(run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true }));
-        assert!(branch.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: false }));
+        assert!(run.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: true }
+        ));
+        assert!(branch.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: false }
+        ));
         assert_eq!(run.steps(), 1);
         assert_eq!(branch.steps(), 1);
         // the two branches evolve independently: the messages in transit now
@@ -306,7 +330,11 @@ mod tests {
     fn messages_flow_between_processes() {
         let mut run = LocalRun::new(2, &factory);
         run.start_all(|_| leader());
-        run.apply(ProcessId::new(0), leader(), StepEffect::Propose { value: true });
+        run.apply(
+            ProcessId::new(0),
+            leader(),
+            StepEffect::Propose { value: true },
+        );
         // the proposal broadcast a promote to both processes
         assert_eq!(run.messages_in_transit(), 2);
         assert!(run.has_pending_message(ProcessId::new(1)));

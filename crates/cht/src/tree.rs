@@ -377,8 +377,7 @@ where
     /// The smallest `k` for which a k-bivalent vertex exists, together with
     /// that vertex.
     pub fn first_bivalent_any(&self) -> Option<(u64, VertexId)> {
-        (1..=self.config.max_instance)
-            .find_map(|k| self.first_bivalent(k).map(|v| (k, v)))
+        (1..=self.config.max_instance).find_map(|k| self.first_bivalent(k).map(|v| (k, v)))
     }
 
     /// Iterates over the vertices of the subtree rooted at `v` in
@@ -472,7 +471,10 @@ mod tests {
         let root_tag = tree.tag(tree.root(), 1);
         assert!(root_tag.enabled);
         assert!(root_tag.is_bivalent(), "root tag: {root_tag:?}");
-        assert!(!root_tag.invalid, "no simulated run may violate agreement under a constant Ω sample");
+        assert!(
+            !root_tag.invalid,
+            "no simulated run may violate agreement under a constant Ω sample"
+        );
     }
 
     #[test]
@@ -482,21 +484,21 @@ mod tests {
         let mut saw_false = false;
         let mut saw_true = false;
         for &c in tree.children(tree.root()) {
-            match tree.step(c).unwrap().effect {
-                StepEffect::Propose { value } => {
-                    let tag = tree.tag(c, 1);
-                    assert!(tag.is_univalent(), "tag of propose({value}) child: {tag:?}");
-                    assert_eq!(tag.univalent_value(), Some(value));
-                    if value {
-                        saw_true = true;
-                    } else {
-                        saw_false = true;
-                    }
+            if let StepEffect::Propose { value } = tree.step(c).unwrap().effect {
+                let tag = tree.tag(c, 1);
+                assert!(tag.is_univalent(), "tag of propose({value}) child: {tag:?}");
+                assert_eq!(tag.univalent_value(), Some(value));
+                if value {
+                    saw_true = true;
+                } else {
+                    saw_false = true;
                 }
-                _ => {}
             }
         }
-        assert!(saw_false && saw_true, "the leader's proposal must branch both ways");
+        assert!(
+            saw_false && saw_true,
+            "the leader's proposal must branch both ways"
+        );
     }
 
     #[test]
@@ -526,7 +528,10 @@ mod tests {
             ..Default::default()
         };
         let tree = build(figure2_dag(), config);
-        assert!(tree.len() <= 5 + 4, "cap is approximately respected (one expansion may overshoot)");
+        assert!(
+            tree.len() <= 5 + 4,
+            "cap is approximately respected (one expansion may overshoot)"
+        );
         assert_eq!(tree.config().max_vertices, 5);
         assert_eq!(tree.dag().len(), 3);
     }

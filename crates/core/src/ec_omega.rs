@@ -187,8 +187,9 @@ mod tests {
             .seed(5)
             .build_with(
                 |p| {
-                    let values: Vec<u64> =
-                        (1..=instances).map(|inst| 10 * p.index() as u64 + inst).collect();
+                    let values: Vec<u64> = (1..=instances)
+                        .map(|inst| 10 * p.index() as u64 + inst)
+                        .collect();
                     MultiInstanceProposer::new(EcOmega::new(EcConfig::default()), values)
                 },
                 omega,
@@ -204,7 +205,11 @@ mod tests {
         let omega = OmegaOracle::stable_from_start(failures.clone());
         let (decisions, proposals, correct) = run_ec(n, 4, failures, omega, 5_000);
         let checker = EcChecker::new(decisions, proposals, correct);
-        assert!(checker.check_all(4, 1).is_ok(), "{:?}", checker.check_all(4, 1));
+        assert!(
+            checker.check_all(4, 1).is_ok(),
+            "{:?}",
+            checker.check_all(4, 1)
+        );
         assert_eq!(checker.agreement_index(), 1);
     }
 
@@ -221,14 +226,24 @@ mod tests {
         let (decisions, proposals, correct) = run_ec(n, instances, failures, omega, 20_000);
         let checker = EcChecker::new(decisions, proposals, correct);
         // termination / integrity / validity always; agreement from some k
-        assert!(checker.check_termination(instances).is_empty(), "{:?}", checker.check_termination(instances));
+        assert!(
+            checker.check_termination(instances).is_empty(),
+            "{:?}",
+            checker.check_termination(instances)
+        );
         assert!(checker.check_integrity().is_empty());
         assert!(checker.check_validity().is_empty());
         let k = checker.agreement_index();
-        assert!(k <= instances, "agreement must set in within the run (k = {k})");
+        assert!(
+            k <= instances,
+            "agreement must set in within the run (k = {k})"
+        );
         // with divergent leaders early on, early instances disagree; the point
         // of EC is that this is allowed as long as agreement eventually holds
-        assert!(k > 1, "divergent leaders should cause at least one early disagreement");
+        assert!(
+            k > 1,
+            "divergent leaders should cause at least one early disagreement"
+        );
         assert!(checker.check_all(instances, instances).is_ok());
     }
 
@@ -249,7 +264,11 @@ mod tests {
         let omega = OmegaOracle::stable_from_start(failures.clone());
         let (decisions, proposals, correct) = run_ec(n, 6, failures, omega, 10_000);
         let checker = EcChecker::new(decisions, proposals, correct);
-        assert!(checker.check_all(6, 1).is_ok(), "{:?}", checker.check_all(6, 1));
+        assert!(
+            checker.check_all(6, 1).is_ok(),
+            "{:?}",
+            checker.check_all(6, 1)
+        );
     }
 
     #[test]
@@ -257,13 +276,16 @@ mod tests {
         // p0 is everyone's leader pre-stabilization but crashes immediately;
         // after stabilization the correct leader's promotions unblock everyone.
         let n = 3;
-        let failures =
-            FailurePattern::no_failures(n).with_crash(ProcessId::new(0), Time::new(1));
+        let failures = FailurePattern::no_failures(n).with_crash(ProcessId::new(0), Time::new(1));
         let omega = OmegaOracle::stabilizing_at(failures.clone(), Time::new(150))
             .with_pre_stabilization(PreStabilization::Fixed(ProcessId::new(0)));
         let (decisions, proposals, correct) = run_ec(n, 3, failures, omega, 10_000);
         let checker = EcChecker::new(decisions, proposals, correct);
-        assert!(checker.check_termination(3).is_empty(), "{:?}", checker.check_termination(3));
+        assert!(
+            checker.check_termination(3).is_empty(),
+            "{:?}",
+            checker.check_termination(3)
+        );
         assert!(checker.check_validity().is_empty());
     }
 

@@ -325,7 +325,11 @@ mod tests {
             failures.correct(),
             Time::ZERO,
         );
-        assert!(checker.check_all_with_causal().is_ok(), "{:?}", checker.check_all_with_causal());
+        assert!(
+            checker.check_all_with_causal().is_ok(),
+            "{:?}",
+            checker.check_all_with_causal()
+        );
     }
 
     #[test]
@@ -376,7 +380,11 @@ mod tests {
             failures.correct(),
             Time::new(500),
         );
-        assert!(checker.check_causal_order().is_empty(), "{:?}", checker.check_causal_order());
+        assert!(
+            checker.check_causal_order().is_empty(),
+            "{:?}",
+            checker.check_causal_order()
+        );
         assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
     }
 
@@ -421,7 +429,10 @@ mod tests {
         );
         assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
         // every broadcast message was actually delivered by the survivors
-        let final_len = history.last(ProcessId::new(0)).map(|s| s.len()).unwrap_or(0);
+        let final_len = history
+            .last(ProcessId::new(0))
+            .map(|s| s.len())
+            .unwrap_or(0);
         assert_eq!(final_len, 6);
     }
 
@@ -464,7 +475,10 @@ mod tests {
             .value_at(ProcessId::new(1), Time::new(550))
             .map(|s| s.len())
             .unwrap_or(0);
-        assert!(during >= 1, "leader side must keep delivering during the partition");
+        assert!(
+            during >= 1,
+            "leader side must keep delivering during the partition"
+        );
 
         // after the heal, everyone converges and full ETOB holds
         let checker = EtobChecker::from_delivered(
@@ -502,7 +516,9 @@ mod tests {
                 first_delivery = Some(first_delivery.map_or(t, |x: Time| x.min(t)));
             }
         }
-        let latency = first_delivery.expect("delivered").saturating_since(Time::new(100));
+        let latency = first_delivery
+            .expect("delivered")
+            .saturating_since(Time::new(100));
         // two communication steps of 10 ticks each, plus negligible local time
         assert!(latency >= 2 * delay, "latency {latency}");
         assert!(latency < 3 * delay, "latency {latency} should be < 3 hops");
@@ -511,11 +527,7 @@ mod tests {
     #[test]
     fn causal_graph_operations() {
         let a = AppMessage::new(MsgId::new(ProcessId::new(0), 1), b"a".to_vec());
-        let b = AppMessage::with_deps(
-            MsgId::new(ProcessId::new(1), 1),
-            b"b".to_vec(),
-            vec![a.id],
-        );
+        let b = AppMessage::with_deps(MsgId::new(ProcessId::new(1), 1), b"b".to_vec(), vec![a.id]);
         let mut g = CausalGraph::new();
         assert!(g.is_empty());
         g.update(a.clone());
@@ -536,11 +548,7 @@ mod tests {
     #[test]
     fn update_promote_holds_back_messages_with_unknown_dependencies() {
         let a = AppMessage::new(MsgId::new(ProcessId::new(0), 1), b"a".to_vec());
-        let b = AppMessage::with_deps(
-            MsgId::new(ProcessId::new(1), 1),
-            b"b".to_vec(),
-            vec![a.id],
-        );
+        let b = AppMessage::with_deps(MsgId::new(ProcessId::new(1), 1), b"b".to_vec(), vec![a.id]);
         let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
         // b arrives without a: held back
         alg.graph.update(b.clone());

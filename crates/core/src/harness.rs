@@ -211,12 +211,10 @@ mod tests {
         let n = 2;
         let failures = FailurePattern::no_failures(n);
         let omega = OmegaOracle::stable_from_start(failures.clone());
-        let mut world = WorldBuilder::new(n)
-            .failures(failures)
-            .build_with(
-                |_p| MultiInstanceProposer::new(EcOmega::<u64>::new(EcConfig::default()), vec![]),
-                omega,
-            );
+        let mut world = WorldBuilder::new(n).failures(failures).build_with(
+            |_p| MultiInstanceProposer::new(EcOmega::<u64>::new(EcConfig::default()), vec![]),
+            omega,
+        );
         world.run_until(500);
         assert_eq!(world.metrics().outputs, 0);
         assert!(format!("{:?}", world.algorithm(0.into())).contains("MultiInstanceProposer"));

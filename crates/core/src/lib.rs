@@ -42,8 +42,8 @@ pub use ec_omega::{EcConfig, EcMsg, EcOmega};
 pub use etob_omega::{CausalGraph, EtobConfig, EtobMsg, EtobOmega};
 pub use harness::MultiInstanceProposer;
 pub use spec::{
-    BroadcastRecord, EcChecker, EcViolation, EicChecker, EicViolation, EtobChecker,
-    ProposalRecord, TobViolation,
+    BroadcastRecord, EcChecker, EcViolation, EicChecker, EicViolation, EtobChecker, ProposalRecord,
+    TobViolation,
 };
 pub use tob_consensus::{ConsensusTob, ConsensusTobConfig, TobMsg};
 pub use transforms::{EcToEic, EcToEtob, EicToEc, EtobToEc};

@@ -552,7 +552,9 @@ mod tests {
         let d = decisions(&[(0, 10, 1, 7)]);
         let checker = EcChecker::new(d, vec![proposal(1, 0, 7)], correct(2));
         let v = checker.check_termination(1);
-        assert!(matches!(v.as_slice(), [EcViolation::Termination { process, .. }] if *process == ProcessId::new(1)));
+        assert!(
+            matches!(v.as_slice(), [EcViolation::Termination { process, .. }] if *process == ProcessId::new(1))
+        );
     }
 
     #[test]

@@ -587,7 +587,9 @@ mod tests {
         b.push(broadcast(0, 2, 3));
         let checker = EtobChecker::new(h, b, correct(2), Time::ZERO);
         let v = checker.check_validity();
-        assert!(matches!(v.as_slice(), [TobViolation::Validity { message, .. }] if *message == id(0, 2)));
+        assert!(
+            matches!(v.as_slice(), [TobViolation::Validity { message, .. }] if *message == id(0, 2))
+        );
     }
 
     #[test]
@@ -598,7 +600,9 @@ mod tests {
         h.record(ProcessId::new(0), Time::new(5), vec![a, ghost]);
         let checker = EtobChecker::new(h, vec![broadcast(0, 1, 1)], correct(2), Time::ZERO);
         let v = checker.check_no_creation();
-        assert!(matches!(v.as_slice(), [TobViolation::NoCreation { message, .. }] if *message == ghost));
+        assert!(
+            matches!(v.as_slice(), [TobViolation::NoCreation { message, .. }] if *message == ghost)
+        );
     }
 
     #[test]
@@ -629,7 +633,9 @@ mod tests {
         h.record(ProcessId::new(1), Time::new(5), vec![]);
         let checker = EtobChecker::new(h, vec![broadcast(0, 1, 1)], correct(2), Time::ZERO);
         let v = checker.check_agreement();
-        assert!(matches!(v.as_slice(), [TobViolation::Agreement { missing_at, .. }] if *missing_at == ProcessId::new(1)));
+        assert!(
+            matches!(v.as_slice(), [TobViolation::Agreement { missing_at, .. }] if *missing_at == ProcessId::new(1))
+        );
     }
 
     #[test]

@@ -414,8 +414,16 @@ mod tests {
             failures.correct(),
             Time::new(200),
         );
-        assert!(checker.check_eventual_delivery().is_empty(), "{:?}", checker.check_eventual_delivery());
-        assert!(checker.check_ordering().is_empty(), "{:?}", checker.check_ordering());
+        assert!(
+            checker.check_eventual_delivery().is_empty(),
+            "{:?}",
+            checker.check_eventual_delivery()
+        );
+        assert!(
+            checker.check_ordering().is_empty(),
+            "{:?}",
+            checker.check_ordering()
+        );
     }
 
     #[test]
@@ -444,9 +452,14 @@ mod tests {
                 first_delivery = Some(first_delivery.map_or(t, |x: Time| x.min(t)));
             }
         }
-        let latency = first_delivery.expect("delivered").saturating_since(Time::new(100));
+        let latency = first_delivery
+            .expect("delivered")
+            .saturating_since(Time::new(100));
         assert!(latency >= 3 * delay, "latency {latency}");
-        assert!(latency < 4 * delay + delay, "latency {latency} should be about 3 hops");
+        assert!(
+            latency < 4 * delay + delay,
+            "latency {latency} should be about 3 hops"
+        );
     }
 
     #[test]

@@ -287,7 +287,11 @@ mod tests {
             Time::ZERO,
         );
         // the eventual-delivery properties hold regardless of tau
-        assert!(checker.check_eventual_delivery().is_empty(), "{:?}", checker.check_eventual_delivery());
+        assert!(
+            checker.check_eventual_delivery().is_empty(),
+            "{:?}",
+            checker.check_eventual_delivery()
+        );
         // ordering properties hold from some finite stabilization point
         let tau = checker
             .find_stabilization_time()
@@ -298,8 +302,7 @@ mod tests {
     #[test]
     fn transformation_survives_crashes_of_a_minority() {
         let n = 4;
-        let failures =
-            FailurePattern::no_failures(n).with_crash(ProcessId::new(3), Time::new(60));
+        let failures = FailurePattern::no_failures(n).with_crash(ProcessId::new(3), Time::new(60));
         let omega = OmegaOracle::stable_from_start(failures.clone());
         let workload = BroadcastWorkload::uniform(n, 8, 10, 12);
         let history = run(n, &workload, failures.clone(), omega, 12_000);

@@ -408,11 +408,22 @@ mod tests {
             );
         world.run_until(30_000);
         let responses = world.trace().output_history();
-        let checker =
-            EicChecker::new(responses, proposals_for(n, instances), failures.correct());
-        assert!(checker.check_termination(instances).is_empty(), "{:?}", checker.check_termination(instances));
-        assert!(checker.check_validity().is_empty(), "{:?}", checker.check_validity());
-        assert!(checker.check_agreement().is_empty(), "{:?}", checker.check_agreement());
+        let checker = EicChecker::new(responses, proposals_for(n, instances), failures.correct());
+        assert!(
+            checker.check_termination(instances).is_empty(),
+            "{:?}",
+            checker.check_termination(instances)
+        );
+        assert!(
+            checker.check_validity().is_empty(),
+            "{:?}",
+            checker.check_validity()
+        );
+        assert!(
+            checker.check_agreement().is_empty(),
+            "{:?}",
+            checker.check_agreement()
+        );
         // Divergent leaders cause at least one revocation, but revocations are
         // finite: there is a bound k (well before the last instance) from
         // which every instance gets a single response.
@@ -421,7 +432,10 @@ mod tests {
         let bound = (1..=max)
             .find(|k| checker.check_integrity(*k).is_empty())
             .expect("revocations must stop");
-        assert!(bound < max, "integrity must hold for a non-trivial suffix (bound {bound}, max {max})");
+        assert!(
+            bound < max,
+            "integrity must hold for a non-trivial suffix (bound {bound}, max {max})"
+        );
     }
 
     #[test]
@@ -472,9 +486,7 @@ mod tests {
                 f,
             );
             let outputs = self.relay_and_emit(actions, ctx);
-            let first_response_for_current = outputs
-                .iter()
-                .any(|o| o.instance == self.proposed);
+            let first_response_for_current = outputs.iter().any(|o| o.instance == self.proposed);
             if first_response_for_current {
                 self.propose_next(ctx);
             }

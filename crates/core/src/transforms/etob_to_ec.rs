@@ -250,8 +250,9 @@ mod tests {
             .seed(23)
             .build_with(
                 |p| -> Stack {
-                    let values: Vec<Vec<u8>> =
-                        (1..=instances).map(|inst| vec![p.index() as u8, inst as u8]).collect();
+                    let values: Vec<Vec<u8>> = (1..=instances)
+                        .map(|inst| vec![p.index() as u8, inst as u8])
+                        .collect();
                     MultiInstanceProposer::new(
                         EtobToEc::new(EtobOmega::new(p, EtobConfig::default()), 4),
                         values,

@@ -155,7 +155,10 @@ pub struct EcOutput<V> {
 /// after `proposeEC_ℓ` has returned; the
 /// [`crate::harness::MultiInstanceProposer`] drives that discipline.
 pub trait EventualConsensus:
-    Algorithm<Input = EcInput<<Self as EventualConsensus>::Value>, Output = EcOutput<<Self as EventualConsensus>::Value>>
+    Algorithm<
+    Input = EcInput<<Self as EventualConsensus>::Value>,
+    Output = EcOutput<<Self as EventualConsensus>::Value>,
+>
 {
     /// The value type proposed and decided (the multivalued extension of the
     /// paper's binary definition).

@@ -40,7 +40,13 @@ impl BroadcastWorkload {
     /// `chains` causal chains of `chain_len` messages each. Message `j` of
     /// chain `i` originates at process `(i + j) % n` and causally depends on
     /// message `j - 1` of the same chain, so causality crosses processes.
-    pub fn causal_chains(n: usize, chains: usize, chain_len: usize, start: u64, spacing: u64) -> Self {
+    pub fn causal_chains(
+        n: usize,
+        chains: usize,
+        chain_len: usize,
+        start: u64,
+        spacing: u64,
+    ) -> Self {
         let mut w = Self::new();
         let mut at = start;
         for i in 0..chains {
@@ -64,12 +70,7 @@ impl BroadcastWorkload {
         payload: Vec<u8>,
         deps: Vec<MsgId>,
     ) -> MsgId {
-        let seq = self
-            .entries
-            .iter()
-            .filter(|(p, _, _)| *p == origin)
-            .count() as u64
-            + 1;
+        let seq = self.entries.iter().filter(|(p, _, _)| *p == origin).count() as u64 + 1;
         let broadcast = EtobBroadcast::with_deps(origin, seq, payload, deps);
         let id = broadcast.message.id;
         self.entries.push((origin, at, broadcast));

@@ -57,9 +57,14 @@ mod tests {
     #[test]
     fn run_inner_collects_all_actions() {
         let mut inner = Doubler;
-        let actions = run_inner(&mut inner, ProcessId::new(1), Time::new(5), 3, (), |a, ctx| {
-            a.on_input(21, ctx)
-        });
+        let actions = run_inner(
+            &mut inner,
+            ProcessId::new(1),
+            Time::new(5),
+            3,
+            (),
+            |a, ctx| a.on_input(21, ctx),
+        );
         assert_eq!(actions.outputs, vec![42]);
         assert_eq!(actions.sends, vec![(ProcessId::new(0), 21)]);
         assert_eq!(actions.timers, vec![3]);

@@ -142,9 +142,7 @@ impl Algorithm for HeartbeatOmega {
 mod tests {
     use super::*;
     use crate::checks::check_omega_history;
-    use ec_sim::{
-        FailurePattern, FdHistory, NetworkModel, NullFd, Time, Trace, WorldBuilder,
-    };
+    use ec_sim::{FailurePattern, FdHistory, NetworkModel, NullFd, Time, Trace, WorldBuilder};
 
     fn run(
         n: usize,
@@ -207,7 +205,10 @@ mod tests {
                 .find(|(_, v)| **v == ProcessId::new(1))
                 .map(|(t, _)| t)
                 .expect("every correct process eventually trusts p1");
-            assert!(switched_at > Time::new(300), "{p} switched at {switched_at:?}");
+            assert!(
+                switched_at > Time::new(300),
+                "{p} switched at {switched_at:?}"
+            );
         }
     }
 

@@ -142,8 +142,8 @@ impl OmegaOracle {
             }
             PreStabilization::Scripted(entries) => entries
                 .iter()
-                .filter(|(from, _)| *from <= t)
-                .last()
+                .rev()
+                .find(|(from, _)| *from <= t)
                 .and_then(|(_, leaders)| leaders.get(p.index()).copied())
                 .unwrap_or(p),
         }
@@ -181,10 +181,7 @@ mod tests {
         let mut o = OmegaOracle::stable_from_start(pattern());
         for p in 0..4 {
             for t in [0u64, 10, 1000] {
-                assert_eq!(
-                    o.query(ProcessId::new(p), Time::new(t)),
-                    ProcessId::new(1)
-                );
+                assert_eq!(o.query(ProcessId::new(p), Time::new(t)), ProcessId::new(1));
             }
         }
     }
@@ -194,7 +191,10 @@ mod tests {
         let mut o = OmegaOracle::stabilizing_at(pattern(), Time::new(100));
         assert_eq!(o.query(ProcessId::new(2), Time::new(99)), ProcessId::new(2));
         assert_eq!(o.query(ProcessId::new(3), Time::new(99)), ProcessId::new(3));
-        assert_eq!(o.query(ProcessId::new(2), Time::new(100)), ProcessId::new(1));
+        assert_eq!(
+            o.query(ProcessId::new(2), Time::new(100)),
+            ProcessId::new(1)
+        );
     }
 
     #[test]
@@ -203,7 +203,10 @@ mod tests {
             .with_pre_stabilization(PreStabilization::Fixed(ProcessId::new(0)));
         // p0 is faulty (crashes at 50) but Ω may still output it before τ
         assert_eq!(o.query(ProcessId::new(3), Time::new(70)), ProcessId::new(0));
-        assert_eq!(o.query(ProcessId::new(3), Time::new(100)), ProcessId::new(1));
+        assert_eq!(
+            o.query(ProcessId::new(3), Time::new(100)),
+            ProcessId::new(1)
+        );
     }
 
     #[test]
@@ -221,13 +224,19 @@ mod tests {
     fn scripted_schedule_is_followed() {
         let schedule = vec![
             (Time::new(0), vec![ProcessId::new(2); 3]),
-            (Time::new(20), vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]),
+            (
+                Time::new(20),
+                vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
+            ),
         ];
         let mut o = OmegaOracle::stabilizing_at(FailurePattern::no_failures(3), Time::new(100))
             .with_pre_stabilization(PreStabilization::Scripted(schedule));
         assert_eq!(o.query(ProcessId::new(1), Time::new(5)), ProcessId::new(2));
         assert_eq!(o.query(ProcessId::new(1), Time::new(25)), ProcessId::new(1));
-        assert_eq!(o.query(ProcessId::new(1), Time::new(100)), ProcessId::new(0));
+        assert_eq!(
+            o.query(ProcessId::new(1), Time::new(100)),
+            ProcessId::new(0)
+        );
     }
 
     #[test]

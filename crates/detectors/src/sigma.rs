@@ -136,9 +136,7 @@ mod tests {
         let times = [0u64, 5, 15, 25, 100];
         let quorums: Vec<ProcessSet> = times
             .iter()
-            .flat_map(|t| {
-                (0..5).map(move |p| (p, *t))
-            })
+            .flat_map(|t| (0..5).map(move |p| (p, *t)))
             .map(|(p, t)| s.query(ProcessId::new(p), Time::new(t)))
             .collect();
         for a in &quorums {

@@ -116,8 +116,12 @@ mod tests {
     #[test]
     fn perfect_suspects_crashed_processes_immediately() {
         let mut p = PerfectOracle::new(pattern());
-        assert!(!p.query(ProcessId::new(0), Time::new(99)).contains(ProcessId::new(3)));
-        assert!(p.query(ProcessId::new(0), Time::new(100)).contains(ProcessId::new(3)));
+        assert!(!p
+            .query(ProcessId::new(0), Time::new(99))
+            .contains(ProcessId::new(3)));
+        assert!(p
+            .query(ProcessId::new(0), Time::new(100))
+            .contains(ProcessId::new(3)));
     }
 
     #[test]
@@ -126,9 +130,13 @@ mod tests {
         let mut d = EventuallyPerfectOracle::stabilizing_at(pattern(), Time::new(200))
             .with_false_suspects(false_suspects);
         // before stabilization: p1 (correct) is wrongly suspected
-        assert!(d.query(ProcessId::new(0), Time::new(150)).contains(ProcessId::new(1)));
+        assert!(d
+            .query(ProcessId::new(0), Time::new(150))
+            .contains(ProcessId::new(1)));
         // p3 has crashed and is (correctly) suspected even before stabilization
-        assert!(d.query(ProcessId::new(0), Time::new(150)).contains(ProcessId::new(3)));
+        assert!(d
+            .query(ProcessId::new(0), Time::new(150))
+            .contains(ProcessId::new(3)));
         // after stabilization: exactly the faulty set
         let late = d.query(ProcessId::new(0), Time::new(200));
         assert_eq!(late, pattern().faulty());
@@ -140,6 +148,8 @@ mod tests {
         let mut d = EventuallyPerfectOracle::stabilizing_at(pattern(), Time::new(50));
         // crash happens at 100, after stabilization: still suspected from the
         // stabilization point because ◇P knows the faulty set of the pattern
-        assert!(d.query(ProcessId::new(0), Time::new(60)).contains(ProcessId::new(3)));
+        assert!(d
+            .query(ProcessId::new(0), Time::new(60))
+            .contains(ProcessId::new(3)));
     }
 }

@@ -83,11 +83,7 @@ impl ConvergenceReport {
         }
     }
 
-    fn agree_at(
-        history: &OutputHistory<ReplicaOutput>,
-        correct: &ProcessSet,
-        t: Time,
-    ) -> bool {
+    fn agree_at(history: &OutputHistory<ReplicaOutput>, correct: &ProcessSet, t: Time) -> bool {
         let mut snapshots = correct
             .iter()
             .map(|p| history.value_at(p, t).map(|o| o.snapshot.clone()));

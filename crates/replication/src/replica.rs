@@ -122,7 +122,8 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
     {
         let mut actions = ec_sim::Actions::<B>::new();
         {
-            let mut ictx = Context::new(ctx.me(), ctx.now(), ctx.n(), ctx.fd().clone(), &mut actions);
+            let mut ictx =
+                Context::new(ctx.me(), ctx.now(), ctx.n(), ctx.fd().clone(), &mut actions);
             f(&mut self.broadcast, &mut ictx);
         }
         let deliveries = self.relay(actions, ctx);
@@ -209,11 +210,24 @@ mod tests {
         world.run_until(2_000);
         let snapshots: Vec<Vec<u8>> = world
             .process_ids()
-            .map(|p| world.trace().last_output_of(p).expect("output").snapshot.clone())
+            .map(|p| {
+                world
+                    .trace()
+                    .last_output_of(p)
+                    .expect("output")
+                    .snapshot
+                    .clone()
+            })
             .collect();
-        assert!(snapshots.windows(2).all(|w| w[0] == w[1]), "replicas diverged");
+        assert!(
+            snapshots.windows(2).all(|w| w[0] == w[1]),
+            "replicas diverged"
+        );
         assert_eq!(world.algorithm(ProcessId::new(0)).applied(), 6);
-        assert_eq!(world.algorithm(ProcessId::new(0)).state().get("k3"), Some("v3"));
+        assert_eq!(
+            world.algorithm(ProcessId::new(0)).state().get("k3"),
+            Some("v3")
+        );
     }
 
     #[test]
@@ -249,7 +263,10 @@ mod tests {
             .value_at(ProcessId::new(1), Time::new(850))
             .map(|o| o.applied)
             .unwrap_or(0);
-        assert!(during >= 1, "eventually consistent replica must serve during the partition");
+        assert!(
+            during >= 1,
+            "eventually consistent replica must serve during the partition"
+        );
         // after the heal everyone has everything
         for p in world.process_ids() {
             assert_eq!(world.algorithm(p).applied(), 4, "{p}");
@@ -295,7 +312,10 @@ mod tests {
                 .value_at(p, Time::new(850))
                 .map(|o| o.applied)
                 .unwrap_or(0);
-            assert_eq!(during, 0, "strongly consistent replica {p} applied during the partition");
+            assert_eq!(
+                during, 0,
+                "strongly consistent replica {p} applied during the partition"
+            );
         }
         // after the heal everything commits
         for p in world.process_ids() {

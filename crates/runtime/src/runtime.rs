@@ -33,6 +33,8 @@ impl Default for RuntimeConfig {
     }
 }
 
+type Channel<A> = (Sender<Envelope<A>>, Receiver<Envelope<A>>);
+
 enum Envelope<A: Algorithm> {
     App { from: ProcessId, msg: A::Msg },
     Heartbeat { from: ProcessId, msg: HeartbeatMsg },
@@ -55,8 +57,8 @@ impl<A: Algorithm> RuntimeReport<A> {
     pub fn last_output_of(&self, p: ProcessId) -> Option<&A::Output> {
         self.outputs
             .iter()
-            .filter(|(q, _, _)| *q == p)
-            .last()
+            .rev()
+            .find(|(q, _, _)| *q == p)
             .map(|(_, _, o)| o)
     }
 
@@ -64,8 +66,8 @@ impl<A: Algorithm> RuntimeReport<A> {
     pub fn last_leader_of(&self, p: ProcessId) -> Option<ProcessId> {
         self.leaders
             .iter()
-            .filter(|(q, _, _)| *q == p)
-            .last()
+            .rev()
+            .find(|(q, _, _)| *q == p)
             .map(|(_, _, l)| *l)
     }
 }
@@ -124,10 +126,8 @@ where
             started: Instant::now(),
             stop: AtomicBool::new(false),
         });
-        let channels: Vec<(Sender<Envelope<A>>, Receiver<Envelope<A>>)> =
-            (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<Envelope<A>>> =
-            channels.iter().map(|(s, _)| s.clone()).collect();
+        let channels: Vec<Channel<A>> = (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<A>>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let mut handles = Vec::with_capacity(n);
         for (i, (_, receiver)) in channels.into_iter().enumerate() {
             let me = ProcessId::new(i);
@@ -206,7 +206,9 @@ fn process_loop<A>(
     record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
     dispatch_hb(me, hb_actions, &senders, &shared);
     let leader = omega.leader();
-    let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| a.on_start(ctx));
+    let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+        a.on_start(ctx)
+    });
     dispatch_app(me, app_actions, &senders, &shared);
 
     loop {
@@ -216,8 +218,9 @@ fn process_loop<A>(
         match receiver.recv_timeout(config.tick) {
             Ok(Envelope::Crash) => return,
             Ok(Envelope::Heartbeat { from, msg }) => {
-                let actions =
-                    run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_message(from, msg, ctx));
+                let actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| {
+                    a.on_message(from, msg, ctx)
+                });
                 record_leaders(me, &actions.outputs, &shared, elapsed_ms(&shared));
                 dispatch_hb(me, actions, &senders, &shared);
             }
@@ -237,13 +240,13 @@ fn process_loop<A>(
             }
             Err(RecvTimeoutError::Timeout) => {
                 tick += 1;
-                let hb_actions =
-                    run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_timer(ctx));
+                let hb_actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_timer(ctx));
                 record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
                 dispatch_hb(me, hb_actions, &senders, &shared);
                 let leader = omega.leader();
-                let app_actions =
-                    run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| a.on_timer(ctx));
+                let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+                    a.on_timer(ctx)
+                });
                 dispatch_app(me, app_actions, &senders, &shared);
             }
             Err(RecvTimeoutError::Disconnected) => return,

@@ -134,13 +134,7 @@ impl<'a, A: Algorithm + ?Sized> Context<'a, A> {
     /// black-box transformations) can drive inner algorithms: build an
     /// `Actions` buffer, call the inner handler with a context over it, then
     /// translate the collected actions.
-    pub fn new(
-        me: ProcessId,
-        now: Time,
-        n: usize,
-        fd: A::Fd,
-        actions: &'a mut Actions<A>,
-    ) -> Self {
+    pub fn new(me: ProcessId, now: Time, n: usize, fd: A::Fd, actions: &'a mut Actions<A>) -> Self {
         Context {
             me,
             now,

@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn boxed_and_borrowed_detectors_delegate() {
         let mut inner = ConstFd(9);
-        let mut by_ref: &mut ConstFd = &mut inner;
+        let by_ref: &mut ConstFd = &mut inner;
         assert_eq!(by_ref.query(ProcessId::new(0), Time::ZERO), 9);
         let mut boxed: Box<ConstFd> = Box::new(ConstFd(5));
         assert_eq!(boxed.query(ProcessId::new(0), Time::ZERO), 5);

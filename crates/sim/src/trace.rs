@@ -114,7 +114,7 @@ impl<O: Clone> Trace<O> {
     /// Appends an event. Events must be appended in execution order.
     pub fn push(&mut self, event: TraceEvent<O>) {
         debug_assert!(
-            self.events.last().map_or(true, |e| e.time() <= event.time()),
+            self.events.last().is_none_or(|e| e.time() <= event.time()),
             "trace events must be appended in non-decreasing time order"
         );
         self.events.push(event);
@@ -246,7 +246,10 @@ mod tests {
         assert_eq!(outs, vec![42, 43]);
         assert_eq!(t.last_output_of(ProcessId::new(1)), Some(&43));
         assert_eq!(t.last_output_of(ProcessId::new(0)), None);
-        assert_eq!(t.output_times_of(ProcessId::new(1)), vec![Time::new(3), Time::new(5)]);
+        assert_eq!(
+            t.output_times_of(ProcessId::new(1)),
+            vec![Time::new(3), Time::new(5)]
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{
-    Actions, Algorithm, Context, FailureDetector, FailurePattern, Metrics, NetworkModel,
-    ProcessId, Time, Trace, TraceEvent,
+    Actions, Algorithm, Context, FailureDetector, FailurePattern, Metrics, NetworkModel, ProcessId,
+    Time, Trace, TraceEvent,
 };
 
 /// Builder for a [`World`].
@@ -264,13 +264,7 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
     /// Inputs scheduled in the past are delivered at the current time.
     pub fn schedule_input(&mut self, p: ProcessId, input: A::Input, at: u64) {
         let time = Time::new(at).max(self.now);
-        self.push_event(
-            time,
-            EventKind::Input {
-                process: p,
-                input,
-            },
-        );
+        self.push_event(time, EventKind::Input { process: p, input });
     }
 
     /// Submits an application input to process `p` at the current time.
@@ -298,10 +292,7 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
     /// stopped.
     pub fn run_until_quiescent(&mut self, max_time: u64) -> Time {
         let limit = Time::new(max_time);
-        loop {
-            let Some(Reverse(ev)) = self.queue.peek() else {
-                break;
-            };
+        while let Some(Reverse(ev)) = self.queue.peek() {
             if ev.time > limit {
                 break;
             }
@@ -312,7 +303,6 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
             }
             self.step();
         }
-        self.now = self.now.max(self.now);
         self.now
     }
 
@@ -525,11 +515,9 @@ mod tests {
         assert_eq!(w.trace().last_output_of(ProcessId::new(2)), None);
         assert_eq!(w.metrics().messages_dropped, 1);
         // the crash itself is recorded
-        assert!(w
-            .trace()
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Crashed { process, .. } if *process == ProcessId::new(2))));
+        assert!(w.trace().events().iter().any(
+            |e| matches!(e, TraceEvent::Crashed { process, .. } if *process == ProcessId::new(2))
+        ));
     }
 
     #[test]

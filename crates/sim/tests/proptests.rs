@@ -169,8 +169,8 @@ proptest! {
         for probe in 0u64..110 {
             let expected = sorted
                 .iter()
-                .filter(|(t, _)| *t <= probe)
-                .last()
+                .rev()
+                .find(|(t, _)| *t <= probe)
                 .map(|(_, v)| v);
             prop_assert_eq!(h.value_at(ProcessId::new(0), Time::new(probe)), expected);
         }

@@ -39,10 +39,17 @@ fn main() {
         );
     world.run_until(600);
     let history = world.fd().history().clone();
-    println!("recorded {} failure-detector samples from the run", history.len());
+    println!(
+        "recorded {} failure-detector samples from the run",
+        history.len()
+    );
 
     let dag = FdDag::from_history(&history, n);
-    println!("sample DAG: {} vertices, {} edges", dag.len(), dag.edge_count());
+    println!(
+        "sample DAG: {} vertices, {} edges",
+        dag.len(),
+        dag.edge_count()
+    );
 
     let extractor = OmegaExtractor::new(
         n,

@@ -14,7 +14,9 @@ use ec_core::etob_omega::{EtobConfig, EtobOmega};
 use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
 use ec_detectors::{omega::OmegaOracle, sigma::SigmaOracle, PairFd};
 use ec_replication::{ConvergenceReport, KvStore, Replica, ReplicaCommand};
-use ec_sim::{FailurePattern, NetworkModel, PartitionSpec, ProcessId, ProcessSet, Time, WorldBuilder};
+use ec_sim::{
+    FailurePattern, NetworkModel, PartitionSpec, ProcessId, ProcessSet, Time, WorldBuilder,
+};
 
 const N: usize = 5;
 const PARTITION: (u64, u64) = (50, 900);
@@ -79,14 +81,25 @@ fn main() {
 
     // --- report ---------------------------------------------------------
     let probe = Time::new(PARTITION.1 - 50);
-    println!("partition [{}, {}), probing applied commands at t = {probe}", PARTITION.0, PARTITION.1);
-    println!("{:<28} {:>18} {:>18}", "replica", "eventual (Ω)", "strong (Ω+Σ)");
+    println!(
+        "partition [{}, {}), probing applied commands at t = {probe}",
+        PARTITION.0, PARTITION.1
+    );
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "replica", "eventual (Ω)", "strong (Ω+Σ)"
+    );
     let eh = eventual.trace().output_history();
     let sh = strong.trace().output_history();
     for p in (0..N).map(ProcessId::new) {
         let e = eh.value_at(p, probe).map(|o| o.applied).unwrap_or(0);
         let s = sh.value_at(p, probe).map(|o| o.applied).unwrap_or(0);
-        println!("{:<28} {:>18} {:>18}", format!("{p} (during partition)"), e, s);
+        println!(
+            "{:<28} {:>18} {:>18}",
+            format!("{p} (during partition)"),
+            e,
+            s
+        );
     }
     for p in (0..N).map(ProcessId::new) {
         let e = eventual.algorithm(p).applied();
@@ -95,9 +108,19 @@ fn main() {
     }
     let er = ConvergenceReport::from_history(&eh, &failures.correct());
     let sr = ConvergenceReport::from_history(&sh, &failures.correct());
-    println!("\neventual store converged: {} (divergence episodes: {})", er.is_converged(), er.divergence_count());
-    println!("strong   store converged: {} (divergence episodes: {})", sr.is_converged(), sr.divergence_count());
-    println!("\nreading key3 on p3: eventual = {:?}, strong = {:?}",
+    println!(
+        "\neventual store converged: {} (divergence episodes: {})",
+        er.is_converged(),
+        er.divergence_count()
+    );
+    println!(
+        "strong   store converged: {} (divergence episodes: {})",
+        sr.is_converged(),
+        sr.divergence_count()
+    );
+    println!(
+        "\nreading key3 on p3: eventual = {:?}, strong = {:?}",
         eventual.algorithm(ProcessId::new(3)).state().get("key3"),
-        strong.algorithm(ProcessId::new(3)).state().get("key3"));
+        strong.algorithm(ProcessId::new(3)).state().get("key3")
+    );
 }

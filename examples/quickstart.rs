@@ -38,12 +38,8 @@ fn main() {
     }
 
     let history = world.trace().output_history();
-    let checker = EtobChecker::from_delivered(
-        &history,
-        workload.records(),
-        failures.correct(),
-        Time::ZERO,
-    );
+    let checker =
+        EtobChecker::from_delivered(&history, workload.records(), failures.correct(), Time::ZERO);
     match checker.find_stabilization_time() {
         Some(tau) => println!("\nordering properties hold from t = {tau} onwards"),
         None => println!("\nordering properties never stabilized (unexpected!)"),
@@ -51,7 +47,10 @@ fn main() {
     let verdict = checker
         .with_tau(checker.find_stabilization_time().unwrap_or(Time::ZERO))
         .check_all_with_causal();
-    println!("ETOB specification (incl. causal order): {:?}", verdict.map(|_| "OK"));
+    println!(
+        "ETOB specification (incl. causal order): {:?}",
+        verdict.map(|_| "OK")
+    );
     println!(
         "messages sent: {}, delivered: {}",
         world.metrics().messages_sent,

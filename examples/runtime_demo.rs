@@ -22,7 +22,10 @@ fn main() {
     println!("spawned {n} processes (threads); broadcasting 4 messages…");
     for k in 0..4u64 {
         let origin = ProcessId::new((k % n as u64) as usize);
-        runtime.submit(origin, EtobBroadcast::new(origin, k + 1, format!("msg-{k}").into_bytes()));
+        runtime.submit(
+            origin,
+            EtobBroadcast::new(origin, k + 1, format!("msg-{k}").into_bytes()),
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     runtime.run_for(Duration::from_millis(300));
@@ -32,7 +35,10 @@ fn main() {
     runtime.run_for(Duration::from_millis(400));
 
     let origin = ProcessId::new(2);
-    runtime.submit(origin, EtobBroadcast::new(origin, 99, b"after-crash".to_vec()));
+    runtime.submit(
+        origin,
+        EtobBroadcast::new(origin, 99, b"after-crash".to_vec()),
+    );
     runtime.run_for(Duration::from_millis(400));
 
     let report = runtime.shutdown();
@@ -47,6 +53,9 @@ fn main() {
                     .join(", ")
             })
             .unwrap_or_else(|| "(nothing)".to_string());
-        println!("  {p}: [{sequence}]  leader = {:?}", report.last_leader_of(p));
+        println!(
+            "  {p}: [{sequence}]  leader = {:?}",
+            report.last_leader_of(p)
+        );
     }
 }

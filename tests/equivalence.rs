@@ -28,7 +28,12 @@ fn etob_from_ec_satisfies_etob_and_measures_overhead() {
         .failures(failures.clone())
         .seed(4)
         .build_with(
-            |_p| EcToEtob::new(EcOmega::<Vec<AppMessage>>::new(EcConfig { poll_period: 3 }), 4),
+            |_p| {
+                EcToEtob::new(
+                    EcOmega::<Vec<AppMessage>>::new(EcConfig { poll_period: 3 }),
+                    4,
+                )
+            },
             omega.clone(),
         );
     workload.submit_to(&mut transformed);
@@ -72,8 +77,9 @@ fn ec_from_etob_satisfies_ec() {
         .seed(5)
         .build_with(
             |p| {
-                let values: Vec<Vec<u8>> =
-                    (1..=instances).map(|i| vec![p.index() as u8, i as u8]).collect();
+                let values: Vec<Vec<u8>> = (1..=instances)
+                    .map(|i| vec![p.index() as u8, i as u8])
+                    .collect();
                 MultiInstanceProposer::new(
                     EtobToEc::new(EtobOmega::new(p, EtobConfig::default()), 4),
                     values,
@@ -92,8 +98,16 @@ fn ec_from_etob_satisfies_ec() {
             })
         })
         .collect();
-    let checker = EcChecker::new(world.trace().output_history(), proposals, failures.correct());
-    assert!(checker.check_all(instances, 1).is_ok(), "{:?}", checker.check_all(instances, 1));
+    let checker = EcChecker::new(
+        world.trace().output_history(),
+        proposals,
+        failures.correct(),
+    );
+    assert!(
+        checker.check_all(instances, 1).is_ok(),
+        "{:?}",
+        checker.check_all(instances, 1)
+    );
 }
 
 #[test]
@@ -108,8 +122,9 @@ fn ec_to_eic_to_ec_circle_satisfies_ec() {
         .seed(6)
         .build_with(
             |p| {
-                let values: Vec<Vec<u8>> =
-                    (1..=instances).map(|i| vec![p.index() as u8, i as u8]).collect();
+                let values: Vec<Vec<u8>> = (1..=instances)
+                    .map(|i| vec![p.index() as u8, i as u8])
+                    .collect();
                 MultiInstanceProposer::new(
                     EicToEc::new(EcToEic::new(EcOmega::<Vec<Vec<u8>>>::new(EcConfig {
                         poll_period: 3,
@@ -130,6 +145,14 @@ fn ec_to_eic_to_ec_circle_satisfies_ec() {
             })
         })
         .collect();
-    let checker = EcChecker::new(world.trace().output_history(), proposals, failures.correct());
-    assert!(checker.check_all(instances, 1).is_ok(), "{:?}", checker.check_all(instances, 1));
+    let checker = EcChecker::new(
+        world.trace().output_history(),
+        proposals,
+        failures.correct(),
+    );
+    assert!(
+        checker.check_all(instances, 1).is_ok(),
+        "{:?}",
+        checker.check_all(instances, 1)
+    );
 }

@@ -58,7 +58,9 @@ fn first_delivery(
             first = Some(first.map_or(t, |x| x.min(t)));
         }
     }
-    first.expect("message must be delivered").saturating_since(Time::new(100))
+    first
+        .expect("message must be delivered")
+        .saturating_since(Time::new(100))
 }
 
 #[test]
@@ -70,6 +72,9 @@ fn etob_delivers_in_two_hops_and_consensus_in_three() {
         let strong_hops = strong / DELAY;
         assert_eq!(eventual_hops, 2, "n = {n}: eventual latency {eventual}");
         assert_eq!(strong_hops, 3, "n = {n}: strong latency {strong}");
-        assert!(eventual < strong, "eventual consistency must be strictly faster");
+        assert!(
+            eventual < strong,
+            "eventual consistency must be strictly faster"
+        );
     }
 }

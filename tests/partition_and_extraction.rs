@@ -89,13 +89,19 @@ fn eventual_store_serves_during_partition_strong_store_blocks() {
         .value_at(ProcessId::new(1), probe)
         .map(|o| o.applied)
         .unwrap_or(0);
-    assert!(eventual_progress >= 1, "Ω-only replica must serve during the partition");
+    assert!(
+        eventual_progress >= 1,
+        "Ω-only replica must serve during the partition"
+    );
     for p in (0..N).map(ProcessId::new) {
         let blocked = strong_history
             .value_at(p, probe)
             .map(|o| o.applied)
             .unwrap_or(0);
-        assert_eq!(blocked, 0, "Ω+Σ replica {p} must be blocked during the partition");
+        assert_eq!(
+            blocked, 0,
+            "Ω+Σ replica {p} must be blocked during the partition"
+        );
     }
 
     // both converge after the heal
@@ -105,7 +111,10 @@ fn eventual_store_serves_during_partition_strong_store_blocks() {
     }
     let report = ConvergenceReport::from_history(&eventual_history, &failures.correct());
     assert!(report.is_converged());
-    assert!(report.divergence_count() >= 1, "the partition must show up as a divergence episode");
+    assert!(
+        report.divergence_count() >= 1,
+        "the partition must show up as a divergence episode"
+    );
 }
 
 #[test]
@@ -146,5 +155,9 @@ fn cht_extraction_emulates_omega_across_a_leader_crash() {
     let (_, leader) = emulation
         .verify(&failures)
         .expect("the emulated history satisfies the Omega specification");
-    assert_eq!(leader, ProcessId::new(1), "the extracted leader is the surviving process");
+    assert_eq!(
+        leader,
+        ProcessId::new(1),
+        "the extracted leader is the surviving process"
+    );
 }

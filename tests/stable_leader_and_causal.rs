@@ -55,7 +55,11 @@ fn stable_leader_from_start_yields_strong_tob() {
             failures.correct(),
             Time::ZERO,
         );
-        assert!(checker.check_all_with_causal().is_ok(), "n = {n}: {:?}", checker.check_all_with_causal());
+        assert!(
+            checker.check_all_with_causal().is_ok(),
+            "n = {n}: {:?}",
+            checker.check_all_with_causal()
+        );
     }
 }
 
@@ -75,7 +79,11 @@ fn causal_order_survives_leader_divergence() {
         failures.correct(),
         Time::new(500),
     );
-    assert!(checker.check_causal_order().is_empty(), "{:?}", checker.check_causal_order());
+    assert!(
+        checker.check_causal_order().is_empty(),
+        "{:?}",
+        checker.check_causal_order()
+    );
     assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
 }
 
@@ -91,7 +99,15 @@ fn measured_convergence_respects_the_paper_bound() {
         let failures = FailurePattern::no_failures(n);
         let omega = OmegaOracle::stabilizing_at(failures.clone(), Time::new(tau_omega));
         let workload = BroadcastWorkload::uniform(n, 10, 5, 13);
-        let history = run(n, &workload, omega, delay, promote_period, tau_omega + 4_000, 21);
+        let history = run(
+            n,
+            &workload,
+            omega,
+            delay,
+            promote_period,
+            tau_omega + 4_000,
+            21,
+        );
         let checker = EtobChecker::from_delivered(
             &history,
             workload.records(),

@@ -1,0 +1,60 @@
+//! Offline stand-in for `crossbeam-channel` (see `vendor/README.md`).
+//!
+//! Re-exports the `std::sync::mpsc` machinery under the crossbeam names used
+//! by this workspace: [`unbounded`], [`Sender`], [`Receiver`],
+//! [`RecvTimeoutError`] and the related error types. Since Rust 1.72 the std
+//! channel *is* the crossbeam implementation upstreamed, so semantics match.
+
+#![warn(missing_docs)]
+
+pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+/// Creates an unbounded channel, crossbeam-style.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

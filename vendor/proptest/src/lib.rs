@@ -1,0 +1,290 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset used by this workspace: the [`proptest!`] macro,
+//! the [`strategy::Strategy`] trait over integer ranges / tuples /
+//! `prop::collection::vec`, [`arbitrary::any`], and the `prop_assert*`
+//! macros. Cases are generated from a deterministic seed; there is **no
+//! shrinking** — a failing case is reported with the generated inputs via
+//! the panic message instead.
+
+#![warn(missing_docs)]
+
+/// Number of cases each `proptest!` test executes (the real crate's default
+/// is 256; kept smaller because several tests run whole simulations).
+pub const NUM_CASES: u32 = 48;
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of generated values (stub of `proptest::strategy::Strategy`).
+    ///
+    /// Unlike the real crate there is no value tree / shrinking; a strategy
+    /// simply samples a fresh value per case.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value: core::fmt::Debug;
+
+        /// Generates one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (stub of `Strategy::prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: core::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: core::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for a full-range value, returned by [`crate::arbitrary::any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support (stub of `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::strategy::Any;
+
+    /// Returns a strategy generating arbitrary values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: super::strategy::Strategy,
+    {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (stub of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Creates the deterministic RNG driving a `proptest!` test.
+    ///
+    /// Seeded from `PROPTEST_SEED` when set, so a failing case can be
+    /// replayed; otherwise a fixed default.
+    pub fn new_rng() -> TestRng {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xEC_2015);
+        TestRng::seed_from_u64(seed)
+    }
+}
+
+/// The `proptest::prelude` — everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`] sampled cases.
+///
+/// The generated inputs of a failing case are included in the panic message
+/// (there is no shrinking in this stub).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_runner::new_rng();
+                for __proptest_case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let __proptest_inputs = format!(
+                        concat!("case ", "{}", $(concat!("; ", stringify!($arg), " = {:?}"),)+),
+                        __proptest_case, $(&$arg),+
+                    );
+                    let __proptest_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = __proptest_result {
+                        eprintln!("proptest failure [{}]: {}", stringify!($name), __proptest_inputs);
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec((0usize..4, 0u64..100), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!(*b < 100);
+            }
+        }
+
+        #[test]
+        fn any_compiles(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        use crate::strategy::Strategy;
+        let s = (0u64..5).prop_map(|x| x * 2);
+        let mut rng = crate::test_runner::new_rng();
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+}
