@@ -1,5 +1,5 @@
 //! The benchmark harness: one Criterion group per experiment of
-//! `EXPERIMENTS.md` (E1–E9 plus the ablations A1–A2).
+//! `EXPERIMENTS.md` (E1–E11 plus the ablations A1–A2).
 //!
 //! Besides the timing samples collected by Criterion, every experiment prints
 //! the table rows / series described in EXPERIMENTS.md (hop counts,
@@ -19,11 +19,11 @@ use ec_core::spec::{EcChecker, EicChecker, EtobChecker, ProposalRecord};
 use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
 use ec_core::transforms::{EcToEic, EcToEtob};
 use ec_core::types::{AppMessage, DeliveredSequence, EicInput, EicOutput, MsgId};
-use ec_core::workload::BroadcastWorkload;
+use ec_core::workload::{BroadcastWorkload, KvWorkload, ZipfMix};
 use ec_detectors::heartbeat::{HeartbeatConfig, HeartbeatOmega};
 use ec_detectors::omega::{OmegaOracle, PreStabilization};
 use ec_detectors::{check_omega_history, sigma::SigmaOracle, PairFd};
-use ec_replication::{KvStore, Replica, ReplicaCommand};
+use ec_replication::{KvStore, Replica, ReplicaCommand, ShardConfig, ShardedKv};
 use ec_sim::{
     FailurePattern, FdHistory, NetworkModel, OutputHistory, PartitionSpec, ProcessId, ProcessSet,
     RecordingFd, Time, WorldBuilder,
@@ -510,6 +510,7 @@ fn measured_convergence(tau_omega: u64, delay: u64, period: u64) -> (u64, u64) {
                     EtobConfig {
                         promote_period: period,
                         eager_promote: false,
+                        ..EtobConfig::default()
                     },
                 )
             },
@@ -772,6 +773,7 @@ fn promote_period_tradeoff(period: u64) -> (u64, u64) {
                     EtobConfig {
                         promote_period: period,
                         eager_promote: false,
+                        ..EtobConfig::default()
                     },
                 )
             },
@@ -813,6 +815,143 @@ fn a2_promote_period(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// E10: shard scaling — aggregate throughput vs shard count
+// ---------------------------------------------------------------------------
+
+/// Runs a fixed zipf client mix against an `s`-shard cluster and returns
+/// `(wall_micros, messages_sent, cluster_converged_at)`.
+fn sharded_run(shards: usize, ops: usize) -> (u128, u64, u64) {
+    let workload = KvWorkload::zipf(ZipfMix {
+        keys: 64,
+        ops,
+        skew: 1.0,
+        clients: 3,
+        start: 10,
+        spacing: 1,
+        seed: 17,
+        del_every: 0,
+    });
+    let mut cluster = ShardedKv::new(ShardConfig {
+        shards,
+        replicas_per_shard: 3,
+        etob: EtobConfig::batched(5),
+        ..Default::default()
+    });
+    cluster.submit_workload(&workload);
+    // Time only the serving phase: cluster construction and routing are
+    // per-run setup, not the throughput being measured.
+    let started = std::time::Instant::now();
+    cluster.run_until(workload.last_submission_time() + 500);
+    let wall = started.elapsed().as_micros();
+    let report = cluster.report();
+    assert!(report.all_converged(), "cluster must converge");
+    assert_eq!(report.total_ops_routed(), ops as u64);
+    (
+        wall,
+        report.totals.messages_sent,
+        report.converged_at().map(|t| t.as_u64()).unwrap_or(0),
+    )
+}
+
+fn e10_shard_scaling(c: &mut Criterion) {
+    let ops = 768;
+    println!(
+        "\n[E10] shard scaling: fixed {ops}-op zipf mix, 3 replicas per shard, batch flush = 5"
+    );
+    println!(
+        "{:<8} {:>14} {:>18} {:>16} {:>14}",
+        "shards", "wall [ms]", "throughput [op/s]", "messages", "converged [t]"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let (wall, messages, converged) = sharded_run(shards, ops);
+        println!(
+            "{:<8} {:>14.2} {:>18.0} {:>16} {:>14}",
+            shards,
+            wall as f64 / 1_000.0,
+            ops as f64 / (wall as f64 / 1_000_000.0),
+            messages,
+            converged
+        );
+    }
+    println!("  (each shard is an independent ETOB group: per-group update/promote payloads");
+    println!("   shrink with ops-per-shard, so aggregate throughput grows with shard count)");
+    let mut group = configure(c).benchmark_group("e10_shard_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("zipf_mix", shards), &shards, |b, &s| {
+            b.iter(|| sharded_run(s, ops))
+        });
+    }
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// E11: batching — broadcasts per delivered op vs flush interval
+// ---------------------------------------------------------------------------
+
+/// Runs one ETOB group under a dense broadcast workload and returns
+/// `(update_broadcasts, messages_sent, delivered_ops, wall_micros)`.
+fn batched_run(batch: u64, ops: usize) -> (u64, u64, usize, u128) {
+    let n = 4;
+    let failures = FailurePattern::no_failures(n);
+    let omega = OmegaOracle::stable_from_start(failures.clone());
+    let workload = BroadcastWorkload::uniform(n, ops, 10, 1);
+    let config = EtobConfig {
+        batch,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let mut world = WorldBuilder::new(n)
+        .network(NetworkModel::fixed_delay(2))
+        .failures(failures)
+        .seed(23)
+        .build_with(|p| EtobOmega::new(p, config), omega);
+    workload.submit_to(&mut world);
+    world.run_until(workload.last_submission_time() + 1_000);
+    let wall = started.elapsed().as_micros();
+    let delivered = world.algorithm(ProcessId::new(0)).delivered().len();
+    assert_eq!(delivered, ops, "all ops must be delivered");
+    let updates: u64 = (0..n)
+        .map(|p| world.algorithm(ProcessId::new(p)).updates_sent())
+        .sum();
+    (updates, world.metrics().messages_sent, delivered, wall)
+}
+
+fn e11_batching(c: &mut Criterion) {
+    let ops = 160;
+    println!("\n[E11] batching: {ops} ops, n = 4, spacing 1 tick (flush interval 0 = off)");
+    println!(
+        "{:<10} {:>10} {:>20} {:>12} {:>18}",
+        "batch", "updates", "broadcasts per op", "messages", "throughput [op/s]"
+    );
+    for batch in [0u64, 2, 5, 10, 20] {
+        let (updates, messages, delivered, wall) = batched_run(batch, ops);
+        println!(
+            "{:<10} {:>10} {:>20.3} {:>12} {:>18.0}",
+            batch,
+            updates,
+            updates as f64 / delivered as f64,
+            messages,
+            delivered as f64 / (wall as f64 / 1_000_000.0)
+        );
+    }
+    let mut group = configure(c).benchmark_group("e11_batching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for batch in [0u64, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("flush", batch), &batch, |b, &batch| {
+            b.iter(|| batched_run(batch, ops))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     e1_delivery_latency,
@@ -824,6 +963,8 @@ criterion_group!(
     e7_cht_extraction,
     e8_convergence_bound,
     e9_eic,
+    e10_shard_scaling,
+    e11_batching,
     a1_omega_implementations,
     a2_promote_period
 );

@@ -3,3 +3,6 @@
 //! Each Criterion bench target in this crate regenerates one experiment from
 //! `EXPERIMENTS.md`; this library holds the workload generators and reporting
 //! helpers they share.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]

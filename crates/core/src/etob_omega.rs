@@ -117,6 +117,20 @@ pub struct EtobConfig {
     /// of waiting for the next period. This realizes the paper's optimal
     /// two-communication-step delivery; ablation A2 quantifies the trade-off.
     pub eager_promote: bool,
+    /// Message batching: the maximum number of ticks an application message
+    /// may wait before the `update` carrying it is broadcast.
+    ///
+    /// With `batch == 0` (the default) every `broadcastETOB(m, C(m))`
+    /// invocation broadcasts `update(CG_i)` immediately — one broadcast per
+    /// operation, the literal Algorithm 5. With `batch > 0` the process
+    /// instead coalesces all operations submitted within a `batch`-tick
+    /// window into a *single* `update(CG_i)` broadcast, so the hot path
+    /// scales with operations per flush rather than per message. This is
+    /// correct as-is because `update` messages carry the whole causality
+    /// graph: the flushed broadcast covers every pending message at once.
+    /// Experiment E11 quantifies the broadcasts-per-op reduction; the
+    /// trade-off is up to `batch` extra ticks of delivery latency.
+    pub batch: u64,
 }
 
 impl Default for EtobConfig {
@@ -124,6 +138,7 @@ impl Default for EtobConfig {
         EtobConfig {
             promote_period: 5,
             eager_promote: false,
+            batch: 0,
         }
     }
 }
@@ -136,6 +151,21 @@ impl EtobConfig {
             eager_promote: true,
             ..Default::default()
         }
+    }
+
+    /// Configuration that coalesces operations submitted within a
+    /// `flush_interval`-tick window into one `update` broadcast (used by the
+    /// sharded service and by experiment E11).
+    pub fn batched(flush_interval: u64) -> Self {
+        EtobConfig {
+            batch: flush_interval,
+            ..Default::default()
+        }
+    }
+
+    /// Returns `true` if message batching is enabled.
+    pub fn batching_enabled(&self) -> bool {
+        self.batch > 0
     }
 }
 
@@ -151,10 +181,43 @@ pub struct EtobOmega {
     promoted_ids: BTreeSet<MsgId>,
     /// `CG_i`: the causality graph.
     graph: CausalGraph,
+    /// Batching state: absolute deadline of the pending flush, if any.
+    next_flush: Option<u64>,
+    /// Batching state: absolute deadline of the next periodic promote.
+    next_promote: u64,
+    /// Number of `update` broadcasts sent (one per flush in batch mode, one
+    /// per operation otherwise) — reported by the batching experiment E11.
+    updates_sent: u64,
 }
 
 impl EtobOmega {
     /// Creates the automaton for process `me`.
+    ///
+    /// # Example
+    ///
+    /// Run Algorithm 5 over the simulator with a stable leader and check that
+    /// a broadcast is delivered everywhere:
+    ///
+    /// ```
+    /// use ec_core::etob_omega::{EtobConfig, EtobOmega};
+    /// use ec_core::workload::BroadcastWorkload;
+    /// use ec_detectors::omega::OmegaOracle;
+    /// use ec_sim::{FailurePattern, NetworkModel, ProcessId, WorldBuilder};
+    ///
+    /// let n = 3;
+    /// let failures = FailurePattern::no_failures(n);
+    /// let omega = OmegaOracle::stable_from_start(failures.clone());
+    /// let mut world = WorldBuilder::new(n)
+    ///     .network(NetworkModel::fixed_delay(2))
+    ///     .failures(failures)
+    ///     .build_with(|p| EtobOmega::new(p, EtobConfig::default()), omega);
+    /// let workload = BroadcastWorkload::uniform(n, 4, 10, 10);
+    /// workload.submit_to(&mut world);
+    /// world.run_until(1_000);
+    /// for p in world.process_ids() {
+    ///     assert_eq!(world.algorithm(p).delivered().len(), 4);
+    /// }
+    /// ```
     pub fn new(me: ProcessId, config: EtobConfig) -> Self {
         EtobOmega {
             me,
@@ -163,7 +226,17 @@ impl EtobOmega {
             promote: Vec::new(),
             promoted_ids: BTreeSet::new(),
             graph: CausalGraph::new(),
+            next_flush: None,
+            next_promote: 0,
+            updates_sent: 0,
         }
+    }
+
+    /// Number of `update` broadcasts this process has performed. In batch
+    /// mode several operations share one broadcast, so this is the quantity
+    /// the batching experiment (E11) compares against delivered operations.
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
     }
 
     /// The current delivered sequence `d_i`.
@@ -236,13 +309,24 @@ impl Algorithm for EtobOmega {
     type Fd = ProcessId;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        self.next_promote = self.config.promote_period;
         ctx.set_timer(self.config.promote_period);
     }
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
         // On broadcastETOB(m, C(m)): UpdateCG(m, C(m)); send update(CG_i) to all.
         self.graph.update(input.message);
-        ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+        if self.config.batching_enabled() {
+            // Coalesce: the update goes out at the next flush deadline and
+            // covers every message recorded in the graph by then.
+            if self.next_flush.is_none() {
+                self.next_flush = Some(ctx.now().as_u64() + self.config.batch);
+                ctx.set_timer(self.config.batch);
+            }
+        } else {
+            self.updates_sent += 1;
+            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+        }
     }
 
     fn on_message(&mut self, from: ProcessId, msg: EtobMsg, ctx: &mut Context<'_, Self>) {
@@ -266,11 +350,31 @@ impl Algorithm for EtobOmega {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
-        // On local timeout: if Ω_i = p_i then send promote(promote_i) to all.
-        if *ctx.fd() == self.me {
-            ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+        if self.config.batching_enabled() {
+            // With batching the process juggles two timer chains (flush and
+            // promote) through the single `on_timer` entry point, so each
+            // fire is matched against absolute deadlines: a timer that has
+            // not crossed its deadline does nothing and does not re-arm.
+            let now = ctx.now().as_u64();
+            if self.next_flush.is_some_and(|at| now >= at) {
+                self.next_flush = None;
+                self.updates_sent += 1;
+                ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+            }
+            if now >= self.next_promote {
+                if *ctx.fd() == self.me {
+                    ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+                }
+                self.next_promote = now + self.config.promote_period;
+                ctx.set_timer(self.config.promote_period);
+            }
+        } else {
+            // On local timeout: if Ω_i = p_i then send promote(promote_i) to all.
+            if *ctx.fd() == self.me {
+                ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+            }
+            ctx.set_timer(self.config.promote_period);
         }
-        ctx.set_timer(self.config.promote_period);
     }
 }
 
@@ -522,6 +626,157 @@ mod tests {
         // two communication steps of 10 ticks each, plus negligible local time
         assert!(latency >= 2 * delay, "latency {latency}");
         assert!(latency < 3 * delay, "latency {latency} should be < 3 hops");
+    }
+
+    #[test]
+    fn batched_runs_satisfy_etob_with_fewer_update_broadcasts() {
+        let n = 4;
+        let failures = FailurePattern::no_failures(n);
+        // spacing 1 ⇒ each origin submits every 4 ticks, well inside the
+        // 10-tick flush window, so batching has something to coalesce
+        let workload = BroadcastWorkload::uniform(n, 16, 10, 1);
+        let run = |config: EtobConfig| {
+            let omega = OmegaOracle::stable_from_start(failures.clone());
+            let mut world = WorldBuilder::new(n)
+                .network(NetworkModel::fixed_delay(2))
+                .failures(failures.clone())
+                .seed(42)
+                .build_with(|p| EtobOmega::new(p, config), omega);
+            workload.submit_to(&mut world);
+            world.run_until(5_000);
+            let updates: u64 = world
+                .process_ids()
+                .map(|p| world.algorithm(p).updates_sent())
+                .sum();
+            (world.trace().output_history(), updates)
+        };
+        let (unbatched, updates_unbatched) = run(EtobConfig::default());
+        let (batched, updates_batched) = run(EtobConfig::batched(10));
+        for history in [&unbatched, &batched] {
+            let checker = EtobChecker::from_delivered(
+                history,
+                workload.records(),
+                failures.correct(),
+                Time::ZERO,
+            );
+            assert!(checker.check_all().is_ok(), "{:?}", checker.check_all());
+        }
+        // one update per op without batching; coalesced flushes with it
+        assert_eq!(updates_unbatched, 16);
+        assert!(
+            updates_batched < updates_unbatched,
+            "batching must coalesce update broadcasts ({updates_batched} vs {updates_unbatched})"
+        );
+        // both runs deliver the same set of messages everywhere
+        let ids = |h: &OutputHistory<DeliveredSequence>| {
+            let mut v: Vec<MsgId> = h
+                .last(ProcessId::new(0))
+                .map(|s| s.iter().map(|m| m.id).collect())
+                .unwrap_or_default();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&unbatched), ids(&batched));
+    }
+
+    #[test]
+    fn batched_single_origin_delivers_the_same_stable_sequence() {
+        // All broadcasts originate at one process, so the promotion order is
+        // forced (FIFO per origin): the batched and unbatched stable
+        // sequences must be identical, not merely equivalent.
+        let n = 3;
+        let failures = FailurePattern::no_failures(n);
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..8u64 {
+            workload.push(
+                ProcessId::new(1),
+                20 + 4 * k,
+                format!("op{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let run = |config: EtobConfig| {
+            run_etob(
+                n,
+                &workload,
+                failures.clone(),
+                OmegaOracle::stable_from_start(failures.clone()),
+                NetworkModel::fixed_delay(2),
+                4_000,
+                config,
+            )
+        };
+        let unbatched = run(EtobConfig::default());
+        let batched = run(EtobConfig::batched(7));
+        for p in (0..n).map(ProcessId::new) {
+            let ids = |h: &OutputHistory<DeliveredSequence>| -> Vec<MsgId> {
+                h.last(p)
+                    .map(|s| s.iter().map(|m| m.id).collect())
+                    .unwrap_or_default()
+            };
+            assert_eq!(ids(&unbatched), ids(&batched), "sequences differ at {p}");
+            assert_eq!(ids(&unbatched).len(), 8);
+        }
+    }
+
+    #[test]
+    fn batching_flushes_at_the_deadline_not_per_operation() {
+        // Two ops land inside one flush window; the update goes out once.
+        let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::batched(5));
+        let mut actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(10),
+                3,
+                ProcessId::new(0),
+                &mut actions,
+            );
+            alg.on_input(
+                EtobBroadcast::new(ProcessId::new(0), 1, b"a".to_vec()),
+                &mut ctx,
+            );
+            alg.on_input(
+                EtobBroadcast::new(ProcessId::new(0), 2, b"b".to_vec()),
+                &mut ctx,
+            );
+        }
+        assert!(actions.sends.is_empty(), "ops must be buffered, not sent");
+        // only the first op arms a flush timer
+        assert_eq!(actions.timers, vec![5]);
+
+        // before the deadline the timer does nothing
+        let mut early = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(12),
+                3,
+                ProcessId::new(1),
+                &mut early,
+            );
+            alg.on_timer(&mut ctx);
+        }
+        assert!(early.sends.is_empty());
+
+        // at the deadline one update carrying both messages goes to all
+        let mut flush = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(15),
+                3,
+                ProcessId::new(1),
+                &mut flush,
+            );
+            alg.on_timer(&mut ctx);
+        }
+        assert_eq!(flush.sends.len(), 3, "one broadcast to the 3 processes");
+        assert!(flush
+            .sends
+            .iter()
+            .all(|(_, m)| matches!(m, EtobMsg::Update(g) if g.len() == 2)));
+        assert_eq!(alg.updates_sent(), 1);
     }
 
     #[test]

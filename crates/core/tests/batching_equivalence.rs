@@ -1,0 +1,113 @@
+//! Property tests for the batching path of Algorithm 5.
+//!
+//! Batching only changes *when* `update(CG_i)` broadcasts leave a process,
+//! never what they carry (an update always carries the full causality
+//! graph). These properties pin that down:
+//!
+//! * over workloads with a forced promotion order (single origin), batched
+//!   and unbatched runs deliver the *identical* stable sequence for the same
+//!   seed;
+//! * over arbitrary multi-origin workloads, a batched run still satisfies
+//!   the full ETOB specification (with causal order) and delivers exactly
+//!   the same message set as the unbatched run.
+
+use ec_core::etob_omega::{EtobConfig, EtobOmega};
+use ec_core::spec::EtobChecker;
+use ec_core::types::{DeliveredSequence, MsgId};
+use ec_core::workload::BroadcastWorkload;
+use ec_detectors::omega::OmegaOracle;
+use ec_sim::{FailurePattern, NetworkModel, OutputHistory, ProcessId, Time, WorldBuilder};
+use proptest::prelude::*;
+
+fn run(
+    n: usize,
+    workload: &BroadcastWorkload,
+    seed: u64,
+    config: EtobConfig,
+    horizon: u64,
+) -> OutputHistory<DeliveredSequence> {
+    let failures = FailurePattern::no_failures(n);
+    let omega = OmegaOracle::stable_from_start(failures.clone());
+    let mut world = WorldBuilder::new(n)
+        .network(NetworkModel::fixed_delay(2))
+        .failures(failures)
+        .seed(seed)
+        .build_with(|p| EtobOmega::new(p, config), omega);
+    workload.submit_to(&mut world);
+    world.run_until(horizon);
+    world.trace().output_history()
+}
+
+fn final_ids(history: &OutputHistory<DeliveredSequence>, p: ProcessId) -> Vec<MsgId> {
+    history
+        .last(p)
+        .map(|seq| seq.iter().map(|m| m.id).collect())
+        .unwrap_or_default()
+}
+
+proptest! {
+    /// With a single origin the promotion order is forced (FIFO per origin),
+    /// so batching must not change the stable sequence at all — only the
+    /// number of broadcasts that produced it.
+    #[test]
+    fn batched_and_unbatched_deliver_the_same_stable_sequence(
+        n in 3usize..6,
+        ops in 1usize..10,
+        spacing in 1u64..8,
+        batch in 1u64..15,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..ops {
+            workload.push(
+                ProcessId::new(1),
+                10 + spacing * k as u64,
+                format!("m{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let horizon = workload.last_submission_time() + 1_000;
+        let unbatched = run(n, &workload, seed, EtobConfig::default(), horizon);
+        let batched = run(n, &workload, seed, EtobConfig::batched(batch), horizon);
+        for p in (0..n).map(ProcessId::new) {
+            prop_assert_eq!(final_ids(&unbatched, p), final_ids(&batched, p));
+            prop_assert_eq!(final_ids(&batched, p).len(), ops);
+        }
+    }
+
+    /// Over arbitrary multi-origin workloads a batched run satisfies the
+    /// full ETOB spec (including causal order) and delivers the same message
+    /// set as the unbatched run — batching never loses or invents messages.
+    #[test]
+    fn batched_runs_satisfy_the_spec_and_deliver_the_same_set(
+        n in 3usize..6,
+        ops in 1usize..12,
+        spacing in 1u64..6,
+        batch in 1u64..12,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let workload = BroadcastWorkload::uniform(n, ops, 10, spacing);
+        let failures = FailurePattern::no_failures(n);
+        let horizon = workload.last_submission_time() + 1_500;
+        let unbatched = run(n, &workload, seed, EtobConfig::default(), horizon);
+        let batched = run(n, &workload, seed, EtobConfig::batched(batch), horizon);
+        let checker = EtobChecker::from_delivered(
+            &batched,
+            workload.records(),
+            failures.correct(),
+            Time::ZERO,
+        );
+        prop_assert!(
+            checker.check_all_with_causal().is_ok(),
+            "batched run violates ETOB: {:?}",
+            checker.check_all_with_causal()
+        );
+        for p in (0..n).map(ProcessId::new) {
+            let mut a = final_ids(&unbatched, p);
+            let mut b = final_ids(&batched, p);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "delivered sets differ at {}", p);
+        }
+    }
+}

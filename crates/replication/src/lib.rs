@@ -18,14 +18,20 @@
 //!   episodes last, how many commands were applied on each side of a
 //!   partition. These are the quantities the partition-tolerance experiment
 //!   (E2) reports.
+//! * [`shard`] — horizontal scale: a sharded eventually consistent KV
+//!   service that hash-partitions the keyspace across many independent ETOB
+//!   groups, routes client operations to the owning shard, and aggregates
+//!   per-shard convergence and message metrics (experiments E10/E11).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod convergence;
 pub mod replica;
+pub mod shard;
 pub mod state_machine;
 
 pub use convergence::{ConvergenceReport, Divergence};
 pub use replica::{Replica, ReplicaCommand, ReplicaOutput};
+pub use shard::{shard_of, ClusterReport, ShardConfig, ShardReport, ShardedKv, ShardedKvBuilder};
 pub use state_machine::{Counter, KvStore, Register, StateMachine};

@@ -64,6 +64,23 @@ pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast> {
 
 impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
     /// Wraps a broadcast layer.
+    ///
+    /// # Example
+    ///
+    /// A single eventually consistent KV replica over Algorithm 5 (run a
+    /// whole group of them with [`ec_sim::WorldBuilder`], or a hash-sharded
+    /// cluster with [`crate::shard::ShardedKv`]):
+    ///
+    /// ```
+    /// use ec_core::etob_omega::{EtobConfig, EtobOmega};
+    /// use ec_replication::{KvStore, Replica};
+    /// use ec_sim::ProcessId;
+    ///
+    /// let replica: Replica<KvStore, EtobOmega> =
+    ///     Replica::new(EtobOmega::new(ProcessId::new(0), EtobConfig::default()));
+    /// assert_eq!(replica.applied(), 0);
+    /// assert!(replica.state().is_empty());
+    /// ```
     pub fn new(broadcast: B) -> Self {
         Replica {
             broadcast,

@@ -1,0 +1,579 @@
+//! A sharded, eventually consistent key–value service over batched ETOB.
+//!
+//! The paper's motivating systems (Dynamo, PNUTS, Bigtable) scale
+//! horizontally: the keyspace is hash-partitioned across many independent
+//! replica groups, each internally replicated. This module provides exactly
+//! that layer on top of Algorithm 5:
+//!
+//! * [`shard_of`] — the deterministic hash partitioner mapping a key to the
+//!   shard that owns it;
+//! * [`ShardedKv`] — a cluster of `shards` independent ETOB groups, each a
+//!   simulated world of [`Replica<KvStore, EtobOmega>`] processes driven by
+//!   its own Ω oracle. Client operations are routed to the owning shard and
+//!   enter through a round-robin entry replica;
+//! * [`ClusterReport`] / [`ShardReport`] — aggregated per-shard convergence,
+//!   availability and message-cost metrics.
+//!
+//! Because shards are fully independent ETOB groups, each pays only the
+//! two-communication-step stable-leader latency the paper proves for a
+//! *single* group, regardless of cluster size — and a partition inside one
+//! shard delays convergence of that shard only (the experiments E10 and the
+//! `tests/sharding.rs` suite demonstrate both properties). Combined with the
+//! [`EtobConfig::batch`](ec_core::etob_omega::EtobConfig) flush knob, the
+//! per-shard hot path scales with operations per flush rather than per
+//! message (experiment E11).
+
+use ec_core::etob_omega::{EtobConfig, EtobOmega};
+use ec_core::workload::{KvOp, KvWorkload};
+use ec_detectors::omega::OmegaOracle;
+use ec_sim::{FailurePattern, Metrics, NetworkModel, ProcessId, Time, World, WorldBuilder};
+
+use crate::convergence::ConvergenceReport;
+use crate::replica::{Replica, ReplicaCommand};
+use crate::state_machine::KvStore;
+
+/// The simulated world of one shard: an independent group of KV replicas
+/// over Algorithm 5, driven by its own Ω oracle.
+pub type ShardWorld = World<Replica<KvStore, EtobOmega>, OmegaOracle>;
+
+/// Maps a key to the shard that owns it: FNV-1a over the key bytes, reduced
+/// modulo the shard count. Deterministic and stable across runs, so routers,
+/// tests and clients always agree on ownership.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ec_replication::shard::shard_of;
+/// let s = shard_of("user:42", 8);
+/// assert!(s < 8);
+/// assert_eq!(s, shard_of("user:42", 8), "routing is deterministic");
+/// ```
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    assert!(shards > 0, "a cluster needs at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Configuration of a [`ShardedKv`] cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of independent ETOB groups the keyspace is partitioned across.
+    pub shards: usize,
+    /// Replicas per shard (each shard is its own `n`-process world).
+    pub replicas_per_shard: usize,
+    /// ETOB configuration shared by all shards (promote period, eager
+    /// promotion, and the batching flush interval).
+    pub etob: EtobConfig,
+    /// Network model shared by all shards; override a single shard's network
+    /// (e.g. to script a partition) via [`ShardedKvBuilder::shard_network`].
+    pub network: NetworkModel,
+    /// Base seed; shard `s` runs with `seed + s` so the shard worlds are
+    /// deterministic but not lock-stepped copies of each other.
+    pub seed: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            replicas_per_shard: 3,
+            etob: EtobConfig::default(),
+            network: NetworkModel::fixed_delay(2),
+            seed: 7,
+        }
+    }
+}
+
+/// Builder for a [`ShardedKv`], allowing per-shard network overrides.
+#[derive(Clone, Debug)]
+pub struct ShardedKvBuilder {
+    config: ShardConfig,
+    shard_networks: Vec<Option<NetworkModel>>,
+}
+
+impl ShardedKvBuilder {
+    /// Starts building a cluster from a base configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero shards or fewer than two
+    /// replicas per shard (each shard is a world, and worlds need `n ≥ 2`).
+    pub fn new(config: ShardConfig) -> Self {
+        assert!(config.shards > 0, "a cluster needs at least one shard");
+        assert!(
+            config.replicas_per_shard >= 2,
+            "each shard runs a world of at least two replicas"
+        );
+        let shard_networks = vec![None; config.shards];
+        ShardedKvBuilder {
+            config,
+            shard_networks,
+        }
+    }
+
+    /// Overrides the network model of one shard — the hook the partition
+    /// experiments use to isolate replicas of a single shard while the rest
+    /// of the cluster keeps its base network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_network(mut self, shard: usize, network: NetworkModel) -> Self {
+        assert!(shard < self.config.shards, "no such shard: {shard}");
+        self.shard_networks[shard] = Some(network);
+        self
+    }
+
+    /// Builds the cluster: one independent world per shard.
+    pub fn build(self) -> ShardedKv {
+        let ShardedKvBuilder {
+            config,
+            shard_networks,
+        } = self;
+        let n = config.replicas_per_shard;
+        let worlds = shard_networks
+            .into_iter()
+            .enumerate()
+            .map(|(s, network)| {
+                let failures = FailurePattern::no_failures(n);
+                let omega = OmegaOracle::stable_from_start(failures.clone());
+                let etob = config.etob;
+                WorldBuilder::new(n)
+                    .network(network.unwrap_or_else(|| config.network.clone()))
+                    .failures(failures)
+                    .seed(config.seed + s as u64)
+                    .build_with(|p| Replica::new(EtobOmega::new(p, etob)), omega)
+            })
+            .collect();
+        ShardedKv {
+            ops_routed: vec![0; config.shards],
+            next_entry: vec![0; config.shards],
+            config,
+            worlds,
+        }
+    }
+}
+
+/// A sharded eventually consistent key–value service: `shards` independent
+/// ETOB replica groups behind a hash router.
+///
+/// # Example
+///
+/// ```
+/// use ec_replication::shard::{ShardConfig, ShardedKv};
+///
+/// let mut cluster = ShardedKv::new(ShardConfig::default());
+/// cluster.put("alice", "1", 10);
+/// cluster.put("bob", "2", 12);
+/// cluster.run_until(2_000);
+/// assert_eq!(cluster.get("alice").as_deref(), Some("1"));
+/// assert_eq!(cluster.get("bob").as_deref(), Some("2"));
+/// let report = cluster.report();
+/// assert!(report.all_converged());
+/// assert_eq!(report.total_ops_routed(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedKv {
+    config: ShardConfig,
+    worlds: Vec<ShardWorld>,
+    /// Operations routed to each shard so far.
+    ops_routed: Vec<u64>,
+    /// Round-robin entry replica per shard (simulating clients contacting
+    /// different front-end replicas).
+    next_entry: Vec<usize>,
+}
+
+impl ShardedKv {
+    /// Builds a cluster with a uniform network across shards. Use
+    /// [`ShardedKv::builder`] to override single shards.
+    pub fn new(config: ShardConfig) -> Self {
+        ShardedKvBuilder::new(config).build()
+    }
+
+    /// Starts a builder (for per-shard network overrides).
+    pub fn builder(config: ShardConfig) -> ShardedKvBuilder {
+        ShardedKvBuilder::new(config)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Replicas per shard.
+    pub fn replicas_per_shard(&self) -> usize {
+        self.config.replicas_per_shard
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of_key(&self, key: &str) -> usize {
+        shard_of(key, self.config.shards)
+    }
+
+    /// Routes a `put key value` to the owning shard at time `at`; returns the
+    /// shard it was routed to.
+    pub fn put(&mut self, key: &str, value: &str, at: u64) -> usize {
+        let command = KvStore::put(key, value);
+        self.route(key, command, at, None)
+    }
+
+    /// Routes a `del key` to the owning shard at time `at`; returns the shard
+    /// it was routed to.
+    pub fn del(&mut self, key: &str, at: u64) -> usize {
+        let command = KvStore::del(key);
+        self.route(key, command, at, None)
+    }
+
+    /// Routes one operation of a [`KvWorkload`] client mix. The client index
+    /// picks the entry replica inside the owning shard, so distinct clients
+    /// exercise distinct front ends.
+    pub fn submit(&mut self, op: &KvOp) -> usize {
+        let command = match &op.value {
+            Some(value) => KvStore::put(&op.key, value),
+            None => KvStore::del(&op.key),
+        };
+        self.route(&op.key, command, op.at, Some(op.client))
+    }
+
+    /// Routes an entire client mix.
+    pub fn submit_workload(&mut self, workload: &KvWorkload) {
+        for op in workload.ops() {
+            self.submit(op);
+        }
+    }
+
+    fn route(&mut self, key: &str, command: Vec<u8>, at: u64, client: Option<usize>) -> usize {
+        let shard = self.shard_of_key(key);
+        let n = self.config.replicas_per_shard;
+        let entry = match client {
+            Some(c) => c % n,
+            None => {
+                let e = self.next_entry[shard];
+                self.next_entry[shard] = (e + 1) % n;
+                e
+            }
+        };
+        self.ops_routed[shard] += 1;
+        self.worlds[shard].schedule_input(ProcessId::new(entry), ReplicaCommand::new(command), at);
+        shard
+    }
+
+    /// Advances every shard world to time `t` (shards are independent, so
+    /// this is a simple per-shard run).
+    pub fn run_until(&mut self, t: u64) {
+        for world in &mut self.worlds {
+            world.run_until(t);
+        }
+    }
+
+    /// Reads `key` from replica 0 of the owning shard (a local, eventually
+    /// consistent read, as in the Dynamo-style systems the paper cites).
+    pub fn get(&self, key: &str) -> Option<String> {
+        let shard = self.shard_of_key(key);
+        self.worlds[shard]
+            .algorithm(ProcessId::new(0))
+            .state()
+            .get(key)
+            .map(str::to_owned)
+    }
+
+    /// Per-replica applied-command counts of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn applied(&self, shard: usize) -> Vec<usize> {
+        let world = &self.worlds[shard];
+        world
+            .process_ids()
+            .map(|p| world.algorithm(p).applied())
+            .collect()
+    }
+
+    /// Operations routed to `shard` so far.
+    pub fn ops_routed(&self, shard: usize) -> u64 {
+        self.ops_routed[shard]
+    }
+
+    /// The world of one shard (for inspection in tests and experiments).
+    pub fn world(&self, shard: usize) -> &ShardWorld {
+        &self.worlds[shard]
+    }
+
+    /// Aggregates per-shard convergence and message metrics into a
+    /// cluster-level report.
+    pub fn report(&self) -> ClusterReport {
+        let mut totals = Metrics::new(0);
+        let shards = self
+            .worlds
+            .iter()
+            .enumerate()
+            .map(|(s, world)| {
+                totals.merge(world.metrics());
+                let convergence = ConvergenceReport::from_history(
+                    &world.trace().output_history(),
+                    &world.failures().correct(),
+                );
+                let updates_sent = world
+                    .process_ids()
+                    .map(|p| world.algorithm(p).broadcast_layer().updates_sent())
+                    .sum();
+                ShardReport {
+                    shard: s,
+                    ops_routed: self.ops_routed[s],
+                    applied: self.applied(s),
+                    converged_at: convergence.converged_at,
+                    divergences: convergence.divergence_count(),
+                    messages_sent: world.metrics().messages_sent,
+                    updates_sent,
+                }
+            })
+            .collect();
+        ClusterReport { shards, totals }
+    }
+}
+
+/// Convergence and cost summary of one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardReport {
+    /// The shard index.
+    pub shard: usize,
+    /// Operations routed to this shard.
+    pub ops_routed: u64,
+    /// Applied-command count per replica.
+    pub applied: Vec<usize>,
+    /// When the shard's replicas (re-)converged, if they did.
+    pub converged_at: Option<Time>,
+    /// Number of divergence episodes observed.
+    pub divergences: usize,
+    /// Messages sent inside the shard.
+    pub messages_sent: u64,
+    /// `update` broadcasts performed inside the shard (ops ÷ this ratio is
+    /// the batching amortization the E11 experiment reports).
+    pub updates_sent: u64,
+}
+
+impl ShardReport {
+    /// Returns `true` if the shard's replicas agree at the end of the run.
+    pub fn is_converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+}
+
+/// Cluster-level aggregation of the per-shard reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// One report per shard.
+    pub shards: Vec<ShardReport>,
+    /// Merged counters of all shard worlds.
+    pub totals: Metrics,
+}
+
+impl ClusterReport {
+    /// Returns `true` if every shard converged.
+    pub fn all_converged(&self) -> bool {
+        self.shards.iter().all(ShardReport::is_converged)
+    }
+
+    /// Total operations routed across shards.
+    pub fn total_ops_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops_routed).sum()
+    }
+
+    /// Total commands applied across all replicas of all shards.
+    pub fn total_applied(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.applied.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// Total `update` broadcasts across shards (the E11 denominator).
+    pub fn total_updates_sent(&self) -> u64 {
+        self.shards.iter().map(|s| s.updates_sent).sum()
+    }
+
+    /// The cluster-level convergence time: the latest per-shard convergence
+    /// time, or `None` if any shard has not converged. Shards are
+    /// independent, so the slowest shard is what a client spanning the whole
+    /// keyspace observes — the completion time experiment E10 reports.
+    ///
+    /// Note that the underlying worlds never go *quiescent*: the paper's
+    /// Algorithm 5 has the stable leader gossip its promotion sequence
+    /// forever, so convergence of the delivered state — not absence of
+    /// traffic — is the right completion signal.
+    pub fn converged_at(&self) -> Option<Time> {
+        self.shards
+            .iter()
+            .map(|s| s.converged_at)
+            .collect::<Option<Vec<Time>>>()
+            .and_then(|times| times.into_iter().max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::workload::ZipfMix;
+    use ec_sim::{PartitionSpec, ProcessSet};
+
+    #[test]
+    fn router_is_deterministic_and_covers_all_shards() {
+        let keys: Vec<String> = (0..200).map(|k| format!("key{k}")).collect();
+        let shards = 8;
+        let mut hits = vec![0usize; shards];
+        for key in &keys {
+            let s = shard_of(key, shards);
+            assert_eq!(s, shard_of(key, shards));
+            hits[s] += 1;
+        }
+        // FNV spreads 200 keys over 8 shards without leaving any empty
+        assert!(hits.iter().all(|&h| h > 0), "hits = {hits:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = shard_of("k", 0);
+    }
+
+    #[test]
+    fn cluster_routes_runs_and_converges() {
+        let mut cluster = ShardedKv::new(ShardConfig {
+            shards: 3,
+            replicas_per_shard: 3,
+            ..Default::default()
+        });
+        assert_eq!(cluster.num_shards(), 3);
+        assert_eq!(cluster.replicas_per_shard(), 3);
+        let mut routed = [0u64; 3];
+        for k in 0..12u64 {
+            let key = format!("k{k}");
+            let shard = cluster.put(&key, &format!("v{k}"), 10 + 5 * k);
+            assert_eq!(shard, cluster.shard_of_key(&key));
+            routed[shard] += 1;
+        }
+        cluster.run_until(3_000);
+        for k in 0..12u64 {
+            let key = format!("k{k}");
+            assert_eq!(cluster.get(&key).as_deref(), Some(&*format!("v{k}")));
+        }
+        let report = cluster.report();
+        assert!(report.all_converged());
+        assert_eq!(report.total_ops_routed(), 12);
+        for (s, shard_report) in report.shards.iter().enumerate() {
+            assert_eq!(shard_report.ops_routed, routed[s]);
+            // every replica of the shard applied every op routed to it
+            assert!(shard_report.applied.iter().all(|&a| a as u64 == routed[s]));
+        }
+        // the aggregate counters cover all shards
+        assert!(report.totals.messages_sent > 0);
+        assert_eq!(report.totals.sends_per_process.len(), 9);
+    }
+
+    #[test]
+    fn deletes_are_routed_to_the_owning_shard() {
+        let mut cluster = ShardedKv::new(ShardConfig {
+            shards: 2,
+            replicas_per_shard: 2,
+            ..Default::default()
+        });
+        cluster.put("gone", "soon", 10);
+        cluster.del("gone", 50);
+        cluster.run_until(2_000);
+        assert_eq!(cluster.get("gone"), None);
+        assert_eq!(cluster.report().total_ops_routed(), 2);
+    }
+
+    #[test]
+    fn zipf_workload_runs_end_to_end_with_batching() {
+        let workload = KvWorkload::zipf(ZipfMix {
+            keys: 24,
+            ops: 60,
+            clients: 6,
+            ..Default::default()
+        });
+        let mut cluster = ShardedKv::new(ShardConfig {
+            shards: 4,
+            replicas_per_shard: 3,
+            etob: EtobConfig::batched(8),
+            ..Default::default()
+        });
+        cluster.submit_workload(&workload);
+        cluster.run_until(workload.last_submission_time() + 2_000);
+        let report = cluster.report();
+        assert!(report.all_converged());
+        let finished = report.converged_at().expect("all shards converged");
+        assert!(finished.as_u64() >= workload.ops()[0].at);
+        assert_eq!(report.total_ops_routed(), 60);
+        // every shard applied exactly what was routed to it, on every replica
+        for s in report.shards {
+            assert!(s.applied.iter().all(|&a| a as u64 == s.ops_routed));
+        }
+    }
+
+    #[test]
+    fn partitioning_one_shard_delays_only_that_shard() {
+        let base = ShardConfig {
+            shards: 3,
+            replicas_per_shard: 3,
+            ..Default::default()
+        };
+        let isolated: ProcessSet = [0].into_iter().collect();
+        let partitioned_net = NetworkModel::fixed_delay(2).with_partition(
+            Time::new(5),
+            Time::new(1_500),
+            PartitionSpec::isolate(isolated, 3),
+        );
+        let mut cluster = ShardedKv::builder(base)
+            .shard_network(1, partitioned_net)
+            .build();
+        // three ops per shard, entering through replica 1 (connected side)
+        for shard in 0..3 {
+            for k in 0..20u64 {
+                let key = format!("s{shard}-{k}");
+                if cluster.shard_of_key(&key) == shard {
+                    cluster.submit(&KvOp {
+                        client: 1,
+                        at: 20 + 10 * k,
+                        key,
+                        value: Some("v".into()),
+                    });
+                }
+            }
+        }
+        cluster.run_until(1_000); // probe while shard 1 is partitioned
+        let report = cluster.report();
+        for s in [0usize, 2] {
+            assert!(
+                report.shards[s].is_converged(),
+                "unaffected shard {s} must be converged: {:?}",
+                report.shards[s]
+            );
+        }
+        // the isolated replica of shard 1 lags behind its shard's routed ops
+        let lagging = cluster.applied(1)[0];
+        assert!(
+            (lagging as u64) < cluster.ops_routed(1),
+            "isolated replica should lag"
+        );
+        // after the heal the affected shard converges too
+        cluster.run_until(4_000);
+        assert!(cluster.report().all_converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such shard")]
+    fn shard_network_override_checks_bounds() {
+        let _ = ShardedKv::builder(ShardConfig::default())
+            .shard_network(99, NetworkModel::fixed_delay(1));
+    }
+}

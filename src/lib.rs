@@ -49,6 +49,23 @@
 //! );
 //! assert!(checker.check_all_with_causal().is_ok());
 //! ```
+//!
+//! # Scaling out
+//!
+//! The sharded service layer partitions a keyspace across independent ETOB
+//! groups; see [`replication::shard`] and the `sharded_kv` example:
+//!
+//! ```
+//! use eventual_consistency::replication::shard::{ShardConfig, ShardedKv};
+//!
+//! let mut cluster = ShardedKv::new(ShardConfig::default());
+//! cluster.put("alice", "1", 10);
+//! cluster.run_until(2_000);
+//! assert_eq!(cluster.get("alice").as_deref(), Some("1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use ec_cht as cht;
 pub use ec_core as core;

@@ -6,10 +6,11 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] = [
+const EXAMPLES: [&str; 5] = [
     "quickstart",
     "leader_extraction",
     "partitioned_kv",
+    "sharded_kv",
     "runtime_demo",
 ];
 

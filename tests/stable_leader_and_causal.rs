@@ -29,6 +29,7 @@ fn run(
                     EtobConfig {
                         promote_period,
                         eager_promote: false,
+                        ..EtobConfig::default()
                     },
                 )
             },
