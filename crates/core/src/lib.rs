@@ -51,4 +51,4 @@ pub use types::{
     AppMessage, DeliveredSequence, EcInput, EcOutput, EicInput, EicOutput, Either, EtobBroadcast,
     EventualConsensus, EventualIrrevocableConsensus, EventualTotalOrderBroadcast, MsgId,
 };
-pub use workload::BroadcastWorkload;
+pub use workload::{BroadcastWorkload, KvOp, KvWorkload, ZipfMix};

@@ -409,6 +409,99 @@ mod tests {
         assert!(with_dels.ops().iter().any(|op| !op.is_put()));
     }
 
+    /// Determinism is part of the workload contract: the sharded service
+    /// experiments, the determinism CI job and the cross-engine conformance
+    /// suite all assume that the same parameters reproduce the same op
+    /// stream on every run and every platform. Known-answer snapshot.
+    #[test]
+    fn zipf_mix_op_stream_is_pinned() {
+        let w = KvWorkload::zipf(ZipfMix {
+            keys: 4,
+            ops: 10,
+            skew: 1.0,
+            clients: 2,
+            start: 5,
+            spacing: 3,
+            seed: 42,
+            del_every: 3,
+        });
+        let rendered: Vec<String> = w
+            .ops()
+            .iter()
+            .map(|op| {
+                format!(
+                    "c{}@{} {}={}",
+                    op.client,
+                    op.at,
+                    op.key,
+                    op.value.as_deref().unwrap_or("<del>")
+                )
+            })
+            .collect();
+        let expected = [
+            "c0@5 k0=v0",
+            "c1@8 k1=v1",
+            "c0@11 k3=v2",
+            "c1@14 k1=v3",
+            "c0@17 k2=v4",
+            "c1@20 k1=<del>",
+            "c0@23 k2=<del>",
+            "c1@26 k1=v7",
+            "c0@29 k1=v8",
+            "c1@32 k1=v9",
+        ];
+        assert_eq!(
+            rendered, expected,
+            "the zipf generator drifted from its pinned op stream"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_streams_different_seeds_differ() {
+        let params = ZipfMix {
+            keys: 16,
+            ops: 120,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = KvWorkload::zipf(params.clone());
+        let b = KvWorkload::zipf(params.clone());
+        assert_eq!(a.ops(), b.ops(), "same seed must give an identical stream");
+        let c = KvWorkload::zipf(ZipfMix { seed: 10, ..params });
+        assert_ne!(a.ops(), c.ops(), "a different seed must perturb the mix");
+    }
+
+    /// Skew sanity: under a zipf mix the hottest key is the lowest rank, and
+    /// head ranks dominate the tail in frequency order.
+    #[test]
+    fn zipf_mix_orders_key_frequencies_by_rank() {
+        let w = KvWorkload::zipf(ZipfMix {
+            keys: 16,
+            ops: 2_000,
+            skew: 1.2,
+            del_every: 0,
+            ..Default::default()
+        });
+        let hist = w.key_histogram();
+        let hottest = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &h)| h)
+            .map(|(r, _)| r);
+        assert_eq!(hottest, Some(0), "rank 0 must be the hottest key: {hist:?}");
+        // the head of the distribution dominates every tail rank
+        for (rank, &h) in hist.iter().enumerate().skip(4) {
+            assert!(
+                hist[0] > h,
+                "rank 0 ({}) must out-draw tail rank {rank} ({h}): {hist:?}",
+                hist[0]
+            );
+        }
+        // and frequencies of the first few ranks are non-increasing in
+        // aggregate: rank 0 ≥ rank 1 ≥ … over a big enough sample
+        assert!(hist[0] >= hist[1] && hist[1] >= hist[3], "hist = {hist:?}");
+    }
+
     #[test]
     fn per_origin_sequence_numbers_are_dense() {
         let mut w = BroadcastWorkload::new();

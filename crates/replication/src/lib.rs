@@ -3,35 +3,59 @@
 //!
 //! The paper's motivation is replicated services in the style of Dynamo,
 //! PNUTS and Bigtable: a deterministic state machine replicated over server
-//! processes. This crate provides that application layer:
+//! processes. This crate provides that application layer, fronted by an
+//! engine-agnostic deployment facade:
 //!
+//! * [`cluster`] — **the main entry point**: [`ClusterBuilder`] deploys any
+//!   state machine at a chosen [`Consistency`] level on a chosen execution
+//!   engine and returns a [`Cluster`] with uniform [`Session`] client
+//!   handles and a uniform [`ClusterReport`]. What is replicated, how
+//!   strongly, and where it runs are configuration, not code.
+//! * [`engine`] — the [`Engine`] trait and its two implementations:
+//!   [`SimEngine`] (deterministic simulation over `ec-sim`) and
+//!   [`ThreadEngine`] (one OS thread per replica over `ec-runtime`). The
+//!   cross-engine conformance suite drives the same workload through both
+//!   and checks byte-identical convergence — the paper's
+//!   "not a simulator artifact" claim as an executable test.
+//! * [`session`] — client sessions that automatically thread causal
+//!   dependencies (`C(m)`) through successive commands, replacing hand-built
+//!   dependency lists.
 //! * [`state_machine`] — deterministic state machines (a key–value store, a
 //!   counter, a last-writer-wins register) driven by opaque commands.
-//! * [`replica`] — a generic replica that feeds client commands into *any*
-//!   [`ec_core::types::EventualTotalOrderBroadcast`] implementation and
-//!   replays the delivered sequence into its state machine. Instantiated
-//!   with Algorithm 5 it is an *eventually consistent* replicated service
-//!   needing only Ω; instantiated with the quorum-gated baseline it is a
-//!   *strongly consistent* one needing Ω + Σ.
+//! * [`replica`] — the low-level path: a generic replica that feeds client
+//!   commands into *any* [`ec_core::types::EventualTotalOrderBroadcast`]
+//!   implementation and replays the delivered sequence into its state
+//!   machine. The facade wires this for you; drive it by hand only when an
+//!   experiment needs direct control over the world or the broadcast layer.
 //! * [`convergence`] — convergence metrics over replica output histories:
 //!   when did all correct replicas last agree, how long did divergence
 //!   episodes last, how many commands were applied on each side of a
 //!   partition. These are the quantities the partition-tolerance experiment
 //!   (E2) reports.
-//! * [`shard`] — horizontal scale: a sharded eventually consistent KV
-//!   service that hash-partitions the keyspace across many independent ETOB
-//!   groups, routes client operations to the owning shard, and aggregates
-//!   per-shard convergence and message metrics (experiments E10/E11).
+//! * [`shard`] — horizontal scale: [`ShardedCluster`] partitions a keyspace
+//!   across independent replica groups behind a pluggable [`Router`]
+//!   (FNV-1a hashing by default), aggregating per-shard convergence and
+//!   message metrics (experiments E10/E11). [`ShardedKv`] is its key–value
+//!   instantiation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod convergence;
+pub mod engine;
 pub mod replica;
+pub mod session;
 pub mod shard;
 pub mod state_machine;
 
+pub use cluster::{Cluster, ClusterBuilder, ClusterReport, Consistency, ShardReport};
 pub use convergence::{ConvergenceReport, Divergence};
+pub use engine::{DeployPlan, Engine, EngineDeployment, EngineKind, SimEngine, ThreadEngine};
 pub use replica::{Replica, ReplicaCommand, ReplicaOutput};
-pub use shard::{shard_of, ClusterReport, ShardConfig, ShardReport, ShardedKv, ShardedKvBuilder};
+pub use session::Session;
+pub use shard::{
+    shard_of, HashRouter, Router, ShardConfig, ShardedCluster, ShardedClusterBuilder, ShardedKv,
+    ShardedKvBuilder,
+};
 pub use state_machine::{Counter, KvStore, Register, StateMachine};

@@ -18,6 +18,16 @@ pub struct ReplicaCommand {
     /// Identifiers of commands this one causally depends on (passed through
     /// to the broadcast layer as `C(m)`).
     pub deps: Vec<MsgId>,
+    /// Explicit message identifier, or `None` to let the receiving replica
+    /// assign one from its own counter.
+    ///
+    /// The `Cluster`/`Session` facade pre-assigns identifiers so client
+    /// sessions can thread causal dependencies across commands without
+    /// reaching into replica state. An explicit identifier must be unique in
+    /// the run and must not collide with replica-assigned ones — within one
+    /// deployment, either let every command be assigned automatically or
+    /// route every command through the facade, not both.
+    pub id: Option<MsgId>,
 }
 
 impl ReplicaCommand {
@@ -26,12 +36,47 @@ impl ReplicaCommand {
         ReplicaCommand {
             command,
             deps: Vec::new(),
+            id: None,
         }
     }
 
     /// A command with declared causal dependencies.
     pub fn with_deps(command: Vec<u8>, deps: Vec<MsgId>) -> Self {
-        ReplicaCommand { command, deps }
+        ReplicaCommand {
+            command,
+            deps,
+            id: None,
+        }
+    }
+
+    /// Sets an explicit message identifier (see [`ReplicaCommand::id`]).
+    pub fn with_id(mut self, id: MsgId) -> Self {
+        self.id = Some(id);
+        self
+    }
+}
+
+impl From<Vec<u8>> for ReplicaCommand {
+    fn from(command: Vec<u8>) -> Self {
+        ReplicaCommand::new(command)
+    }
+}
+
+impl From<&[u8]> for ReplicaCommand {
+    fn from(command: &[u8]) -> Self {
+        ReplicaCommand::new(command.to_vec())
+    }
+}
+
+impl From<&str> for ReplicaCommand {
+    fn from(command: &str) -> Self {
+        ReplicaCommand::new(command.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for ReplicaCommand {
+    fn from(command: String) -> Self {
+        ReplicaCommand::new(command.into_bytes())
     }
 }
 
@@ -173,12 +218,19 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Algorithm for Replica<S, B
     }
 
     fn on_input(&mut self, input: ReplicaCommand, ctx: &mut Context<'_, Self>) {
-        self.next_seq += 1;
-        let message = AppMessage::with_deps(
-            MsgId::new(ctx.me(), self.next_seq),
-            input.command,
-            input.deps,
-        );
+        let id = match input.id {
+            Some(id) => {
+                // keep the local counter ahead of explicit ids so a later
+                // auto-assigned id cannot collide with this one
+                self.next_seq = self.next_seq.max(id.seq);
+                id
+            }
+            None => {
+                self.next_seq += 1;
+                MsgId::new(ctx.me(), self.next_seq)
+            }
+        };
+        let message = AppMessage::with_deps(id, input.command, input.deps);
         self.drive(ctx, |b, ictx| b.on_input(EtobBroadcast { message }, ictx));
     }
 
@@ -350,5 +402,56 @@ mod tests {
         assert!(format!("{replica:?}").contains("Replica"));
         let cmd = ReplicaCommand::with_deps(b"x".to_vec(), vec![MsgId::new(ProcessId::new(0), 1)]);
         assert_eq!(cmd.deps.len(), 1);
+    }
+
+    #[test]
+    fn commands_convert_from_bytes_and_strings() {
+        let from_vec: ReplicaCommand = KvStore::put("a", "1").into();
+        let from_str: ReplicaCommand = "put a 1".into();
+        let from_string: ReplicaCommand = String::from("put a 1").into();
+        let from_slice: ReplicaCommand = b"put a 1".as_slice().into();
+        assert_eq!(from_vec, from_str);
+        assert_eq!(from_str, from_string);
+        assert_eq!(from_string, from_slice);
+        assert!(from_str.id.is_none() && from_str.deps.is_empty());
+    }
+
+    #[test]
+    fn explicit_ids_are_honored_and_keep_the_counter_ahead() {
+        let n = 2;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let mut world = WorldBuilder::new(n)
+            .network(NetworkModel::fixed_delay(2))
+            .failures(failures)
+            .build_with(
+                |p| -> EventualReplica { Replica::new(EtobOmega::new(p, EtobConfig::default())) },
+                omega,
+            );
+        let explicit = MsgId::new(ProcessId::new(0), 7);
+        world.schedule_input(
+            ProcessId::new(0),
+            ReplicaCommand::new(KvStore::put("a", "1")).with_id(explicit),
+            10,
+        );
+        // a later auto-assigned command must not collide with seq 7
+        world.schedule_input(
+            ProcessId::new(0),
+            ReplicaCommand::new(KvStore::put("b", "2")),
+            50,
+        );
+        world.run_until(2_000);
+        let delivered = world
+            .algorithm(ProcessId::new(0))
+            .broadcast_layer()
+            .delivered();
+        let ids: Vec<MsgId> = delivered.iter().map(|m| m.id).collect();
+        assert!(ids.contains(&explicit));
+        assert_eq!(ids.len(), 2);
+        assert!(ids[0] != ids[1], "auto id must not collide: {ids:?}");
+        assert_eq!(
+            world.algorithm(ProcessId::new(1)).state().get("b"),
+            Some("2")
+        );
     }
 }

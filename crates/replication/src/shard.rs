@@ -1,44 +1,46 @@
-//! A sharded, eventually consistent key–value service over batched ETOB.
+//! Horizontal scale: a sharded replicated service over independent replica
+//! groups.
 //!
 //! The paper's motivating systems (Dynamo, PNUTS, Bigtable) scale
 //! horizontally: the keyspace is hash-partitioned across many independent
-//! replica groups, each internally replicated. This module provides exactly
-//! that layer on top of Algorithm 5:
+//! replica groups, each internally replicated. This module provides that
+//! layer on top of the [`Cluster`] facade:
 //!
-//! * [`shard_of`] — the deterministic hash partitioner mapping a key to the
-//!   shard that owns it;
-//! * [`ShardedKv`] — a cluster of `shards` independent ETOB groups, each a
-//!   simulated world of [`Replica<KvStore, EtobOmega>`] processes driven by
-//!   its own Ω oracle. Client operations are routed to the owning shard and
-//!   enter through a round-robin entry replica;
-//! * [`ClusterReport`] / [`ShardReport`] — aggregated per-shard convergence,
-//!   availability and message-cost metrics.
+//! * [`Router`] — the pluggable key → shard mapping, with the FNV-1a
+//!   [`HashRouter`] (the function [`shard_of`]) as the default;
+//! * [`ShardedCluster`] — `shards` independent [`Cluster`]s of any state
+//!   machine at any consistency level, on any engine. Client operations are
+//!   routed to the owning shard and enter through a round-robin entry
+//!   replica;
+//! * [`ShardedKv`] — the key–value instantiation
+//!   (`ShardedCluster<KvStore>`), with `put`/`del`/`get` conveniences and
+//!   [`ec_core::workload::KvWorkload`] intake.
 //!
-//! Because shards are fully independent ETOB groups, each pays only the
+//! Because shards are fully independent groups, each pays only the
 //! two-communication-step stable-leader latency the paper proves for a
 //! *single* group, regardless of cluster size — and a partition inside one
-//! shard delays convergence of that shard only (the experiments E10 and the
+//! shard delays convergence of that shard only (experiment E10 and the
 //! `tests/sharding.rs` suite demonstrate both properties). Combined with the
 //! [`EtobConfig::batch`](ec_core::etob_omega::EtobConfig) flush knob, the
 //! per-shard hot path scales with operations per flush rather than per
 //! message (experiment E11).
 
-use ec_core::etob_omega::{EtobConfig, EtobOmega};
+use std::fmt;
+
+use ec_core::etob_omega::EtobConfig;
 use ec_core::workload::{KvOp, KvWorkload};
-use ec_detectors::omega::OmegaOracle;
-use ec_sim::{FailurePattern, Metrics, NetworkModel, ProcessId, Time, World, WorldBuilder};
+use ec_sim::{Metrics, NetworkModel, ProcessId};
 
-use crate::convergence::ConvergenceReport;
-use crate::replica::{Replica, ReplicaCommand};
-use crate::state_machine::KvStore;
-
-/// The simulated world of one shard: an independent group of KV replicas
-/// over Algorithm 5, driven by its own Ω oracle.
-pub type ShardWorld = World<Replica<KvStore, EtobOmega>, OmegaOracle>;
+use crate::cluster::{Cluster, ClusterBuilder, Consistency};
+pub use crate::cluster::{ClusterReport, ShardReport};
+use crate::engine::{Engine, SimEngine};
+use crate::state_machine::{KvStore, StateMachine};
 
 /// Maps a key to the shard that owns it: FNV-1a over the key bytes, reduced
-/// modulo the shard count. Deterministic and stable across runs, so routers,
-/// tests and clients always agree on ownership.
+/// modulo the shard count. Deterministic and stable across runs *and
+/// platforms* — the key → shard mapping is a wire-format guarantee, pinned
+/// by known-answer tests, so routers, tests and clients always agree on
+/// ownership.
 ///
 /// # Panics
 ///
@@ -62,18 +64,37 @@ pub fn shard_of(key: &str, shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
-/// Configuration of a [`ShardedKv`] cluster.
+/// A pluggable key → shard mapping. Implementations must be deterministic:
+/// every client and every test must agree on which shard owns a key.
+pub trait Router: fmt::Debug {
+    /// The shard (in `0..shards`) owning `key`.
+    fn route(&self, key: &str, shards: usize) -> usize;
+}
+
+/// The default router: FNV-1a hash partitioning via [`shard_of`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HashRouter;
+
+impl Router for HashRouter {
+    fn route(&self, key: &str, shards: usize) -> usize {
+        shard_of(key, shards)
+    }
+}
+
+/// Configuration of a [`ShardedCluster`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardConfig {
-    /// Number of independent ETOB groups the keyspace is partitioned across.
+    /// Number of independent replica groups the keyspace is partitioned
+    /// across.
     pub shards: usize,
-    /// Replicas per shard (each shard is its own `n`-process world).
+    /// Replicas per shard (each shard is its own `n`-process group).
     pub replicas_per_shard: usize,
     /// ETOB configuration shared by all shards (promote period, eager
     /// promotion, and the batching flush interval).
     pub etob: EtobConfig,
-    /// Network model shared by all shards; override a single shard's network
-    /// (e.g. to script a partition) via [`ShardedKvBuilder::shard_network`].
+    /// Network model shared by all shards (simulation engine); override a
+    /// single shard's network (e.g. to script a partition) via
+    /// [`ShardedClusterBuilder::shard_network`].
     pub network: NetworkModel,
     /// Base seed; shard `s` runs with `seed + s` so the shard worlds are
     /// deterministic but not lock-stepped copies of each other.
@@ -92,36 +113,68 @@ impl Default for ShardConfig {
     }
 }
 
-/// Builder for a [`ShardedKv`], allowing per-shard network overrides.
+/// Builder for a [`ShardedCluster`], allowing per-shard network overrides, a
+/// custom [`Router`], a consistency level, and custom engines.
 #[derive(Clone, Debug)]
-pub struct ShardedKvBuilder {
+pub struct ShardedClusterBuilder<S, R = HashRouter> {
     config: ShardConfig,
+    consistency: Consistency,
+    router: R,
     shard_networks: Vec<Option<NetworkModel>>,
+    _state: std::marker::PhantomData<fn() -> S>,
 }
 
-impl ShardedKvBuilder {
-    /// Starts building a cluster from a base configuration.
+/// Builder alias for the key–value instantiation (kept as the name the
+/// sharded-KV experiments and examples use).
+pub type ShardedKvBuilder = ShardedClusterBuilder<KvStore>;
+
+impl<S: StateMachine + Send + 'static> ShardedClusterBuilder<S> {
+    /// Starts building a cluster from a base configuration, with the
+    /// default FNV-1a [`HashRouter`].
     ///
     /// # Panics
     ///
     /// Panics if the configuration names zero shards or fewer than two
-    /// replicas per shard (each shard is a world, and worlds need `n ≥ 2`).
+    /// replicas per shard (each shard is a group, and groups need `n ≥ 2`).
     pub fn new(config: ShardConfig) -> Self {
         assert!(config.shards > 0, "a cluster needs at least one shard");
         assert!(
             config.replicas_per_shard >= 2,
-            "each shard runs a world of at least two replicas"
+            "each shard runs a group of at least two replicas"
         );
         let shard_networks = vec![None; config.shards];
-        ShardedKvBuilder {
+        ShardedClusterBuilder {
             config,
+            consistency: Consistency::Eventual,
+            router: HashRouter,
             shard_networks,
+            _state: std::marker::PhantomData,
         }
+    }
+}
+
+impl<S: StateMachine + Send + 'static, R: Router> ShardedClusterBuilder<S, R> {
+    /// Replaces the router.
+    pub fn router<R2: Router>(self, router: R2) -> ShardedClusterBuilder<S, R2> {
+        ShardedClusterBuilder {
+            config: self.config,
+            consistency: self.consistency,
+            router,
+            shard_networks: self.shard_networks,
+            _state: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the consistency level of every shard (eventual by default).
+    pub fn consistency(mut self, consistency: Consistency) -> Self {
+        self.consistency = consistency;
+        self
     }
 
     /// Overrides the network model of one shard — the hook the partition
     /// experiments use to isolate replicas of a single shard while the rest
-    /// of the cluster keeps its base network.
+    /// of the cluster keeps its base network. Applies to the default
+    /// simulation engines of [`ShardedClusterBuilder::build`].
     ///
     /// # Panics
     ///
@@ -132,38 +185,66 @@ impl ShardedKvBuilder {
         self
     }
 
-    /// Builds the cluster: one independent world per shard.
-    pub fn build(self) -> ShardedKv {
-        let ShardedKvBuilder {
+    /// Builds the cluster on per-shard deterministic simulation engines
+    /// (shard `s` seeded with `seed + s`, honoring
+    /// [`ShardedClusterBuilder::shard_network`] overrides).
+    pub fn build(mut self) -> ShardedCluster<S, R> {
+        let config = self.config.clone();
+        let networks = std::mem::replace(&mut self.shard_networks, vec![None; config.shards]);
+        self.build_with(|s| {
+            SimEngine::new()
+                .network(
+                    networks[s]
+                        .clone()
+                        .unwrap_or_else(|| config.network.clone()),
+                )
+                .seed(config.seed + s as u64)
+        })
+    }
+
+    /// Builds the cluster with one engine per shard produced by
+    /// `make_engine` — how a sharded service is deployed on the thread
+    /// runtime (or any custom [`Engine`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ShardedClusterBuilder::shard_network`] overrides were
+    /// set: those configure the default simulation engines of
+    /// [`ShardedClusterBuilder::build`] and would be silently ignored here —
+    /// bake per-shard differences into `make_engine` instead.
+    pub fn build_with<E: Engine>(
+        self,
+        mut make_engine: impl FnMut(usize) -> E,
+    ) -> ShardedCluster<S, R> {
+        assert!(
+            self.shard_networks.iter().all(Option::is_none),
+            "shard_network overrides apply only to build(); configure custom engines directly"
+        );
+        let ShardedClusterBuilder {
             config,
-            shard_networks,
+            consistency,
+            router,
+            ..
         } = self;
-        let n = config.replicas_per_shard;
-        let worlds = shard_networks
-            .into_iter()
-            .enumerate()
-            .map(|(s, network)| {
-                let failures = FailurePattern::no_failures(n);
-                let omega = OmegaOracle::stable_from_start(failures.clone());
-                let etob = config.etob;
-                WorldBuilder::new(n)
-                    .network(network.unwrap_or_else(|| config.network.clone()))
-                    .failures(failures)
-                    .seed(config.seed + s as u64)
-                    .build_with(|p| Replica::new(EtobOmega::new(p, etob)), omega)
+        let clusters = (0..config.shards)
+            .map(|s| {
+                ClusterBuilder::<S>::new(config.replicas_per_shard)
+                    .consistency(consistency)
+                    .etob(config.etob)
+                    .deploy(&make_engine(s))
             })
             .collect();
-        ShardedKv {
-            ops_routed: vec![0; config.shards],
+        ShardedCluster {
             next_entry: vec![0; config.shards],
             config,
-            worlds,
+            router,
+            clusters,
         }
     }
 }
 
-/// A sharded eventually consistent key–value service: `shards` independent
-/// ETOB replica groups behind a hash router.
+/// A sharded replicated service: `shards` independent [`Cluster`]s behind a
+/// [`Router`].
 ///
 /// # Example
 ///
@@ -181,28 +262,42 @@ impl ShardedKvBuilder {
 /// assert_eq!(report.total_ops_routed(), 2);
 /// ```
 #[derive(Debug)]
-pub struct ShardedKv {
+pub struct ShardedCluster<S, R = HashRouter>
+where
+    S: StateMachine + Send + 'static,
+    R: Router,
+{
     config: ShardConfig,
-    worlds: Vec<ShardWorld>,
-    /// Operations routed to each shard so far.
-    ops_routed: Vec<u64>,
+    router: R,
+    clusters: Vec<Cluster<S>>,
     /// Round-robin entry replica per shard (simulating clients contacting
     /// different front-end replicas).
     next_entry: Vec<usize>,
 }
 
+/// The sharded eventually consistent key–value service: the
+/// [`ShardedCluster`] instantiation the KV experiments (E10/E11) use.
+pub type ShardedKv = ShardedCluster<KvStore>;
+
 impl ShardedKv {
-    /// Builds a cluster with a uniform network across shards. Use
+    /// Builds a KV cluster with a uniform network across shards. Use
     /// [`ShardedKv::builder`] to override single shards.
     pub fn new(config: ShardConfig) -> Self {
-        ShardedKvBuilder::new(config).build()
+        ShardedClusterBuilder::new(config).build()
     }
 
-    /// Starts a builder (for per-shard network overrides).
+    /// Starts a builder (for per-shard network overrides, consistency or
+    /// engine choice).
     pub fn builder(config: ShardConfig) -> ShardedKvBuilder {
-        ShardedKvBuilder::new(config)
+        ShardedClusterBuilder::new(config)
     }
+}
 
+impl<S, R> ShardedCluster<S, R>
+where
+    S: StateMachine + Send + 'static,
+    R: Router,
+{
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.config.shards
@@ -213,44 +308,31 @@ impl ShardedKv {
         self.config.replicas_per_shard
     }
 
-    /// The shard owning `key`.
+    /// The shard owning `key`, per the configured [`Router`].
     pub fn shard_of_key(&self, key: &str) -> usize {
-        shard_of(key, self.config.shards)
+        self.router.route(key, self.config.shards)
     }
 
-    /// Routes a `put key value` to the owning shard at time `at`; returns the
-    /// shard it was routed to.
-    pub fn put(&mut self, key: &str, value: &str, at: u64) -> usize {
-        let command = KvStore::put(key, value);
-        self.route(key, command, at, None)
+    /// The [`Cluster`] of one shard (for inspection in tests and
+    /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn cluster(&self, shard: usize) -> &Cluster<S> {
+        &self.clusters[shard]
     }
 
-    /// Routes a `del key` to the owning shard at time `at`; returns the shard
-    /// it was routed to.
-    pub fn del(&mut self, key: &str, at: u64) -> usize {
-        let command = KvStore::del(key);
-        self.route(key, command, at, None)
-    }
-
-    /// Routes one operation of a [`KvWorkload`] client mix. The client index
-    /// picks the entry replica inside the owning shard, so distinct clients
-    /// exercise distinct front ends.
-    pub fn submit(&mut self, op: &KvOp) -> usize {
-        let command = match &op.value {
-            Some(value) => KvStore::put(&op.key, value),
-            None => KvStore::del(&op.key),
-        };
-        self.route(&op.key, command, op.at, Some(op.client))
-    }
-
-    /// Routes an entire client mix.
-    pub fn submit_workload(&mut self, workload: &KvWorkload) {
-        for op in workload.ops() {
-            self.submit(op);
-        }
-    }
-
-    fn route(&mut self, key: &str, command: Vec<u8>, at: u64, client: Option<usize>) -> usize {
+    /// Routes a raw state-machine command to the shard owning `key` at time
+    /// `at`; returns the shard it was routed to. The entry replica is the
+    /// client index modulo the shard size if given, else round-robin.
+    pub fn submit_keyed(
+        &mut self,
+        key: &str,
+        command: Vec<u8>,
+        at: u64,
+        client: Option<usize>,
+    ) -> usize {
         let shard = self.shard_of_key(key);
         let n = self.config.replicas_per_shard;
         let entry = match client {
@@ -261,28 +343,16 @@ impl ShardedKv {
                 e
             }
         };
-        self.ops_routed[shard] += 1;
-        self.worlds[shard].schedule_input(ProcessId::new(entry), ReplicaCommand::new(command), at);
+        self.clusters[shard].submit_at(ProcessId::new(entry), command, at);
         shard
     }
 
-    /// Advances every shard world to time `t` (shards are independent, so
-    /// this is a simple per-shard run).
+    /// Advances every shard to time `t` (shards are independent, so this is
+    /// a simple per-shard run).
     pub fn run_until(&mut self, t: u64) {
-        for world in &mut self.worlds {
-            world.run_until(t);
+        for cluster in &mut self.clusters {
+            cluster.run_until(t);
         }
-    }
-
-    /// Reads `key` from replica 0 of the owning shard (a local, eventually
-    /// consistent read, as in the Dynamo-style systems the paper cites).
-    pub fn get(&self, key: &str) -> Option<String> {
-        let shard = self.shard_of_key(key);
-        self.worlds[shard]
-            .algorithm(ProcessId::new(0))
-            .state()
-            .get(key)
-            .map(str::to_owned)
     }
 
     /// Per-replica applied-command counts of one shard.
@@ -291,131 +361,87 @@ impl ShardedKv {
     ///
     /// Panics if `shard` is out of range.
     pub fn applied(&self, shard: usize) -> Vec<usize> {
-        let world = &self.worlds[shard];
-        world
-            .process_ids()
-            .map(|p| world.algorithm(p).applied())
-            .collect()
+        let cluster = &self.clusters[shard];
+        cluster.replica_ids().map(|p| cluster.applied(p)).collect()
     }
 
     /// Operations routed to `shard` so far.
     pub fn ops_routed(&self, shard: usize) -> u64 {
-        self.ops_routed[shard]
+        self.clusters[shard].submitted()
     }
 
-    /// The world of one shard (for inspection in tests and experiments).
-    pub fn world(&self, shard: usize) -> &ShardWorld {
-        &self.worlds[shard]
-    }
-
-    /// Aggregates per-shard convergence and message metrics into a
-    /// cluster-level report.
+    /// Aggregates the per-shard reports into a cluster-level report.
     pub fn report(&self) -> ClusterReport {
+        Self::aggregate(self.clusters.iter().map(Cluster::report))
+    }
+
+    /// Stops every shard and aggregates the final per-shard reports (joins
+    /// replica threads on thread engines).
+    pub fn finish(self) -> ClusterReport {
+        Self::aggregate(self.clusters.into_iter().map(Cluster::finish))
+    }
+
+    fn aggregate(reports: impl Iterator<Item = ClusterReport>) -> ClusterReport {
+        let mut shards = Vec::new();
         let mut totals = Metrics::new(0);
-        let shards = self
-            .worlds
-            .iter()
-            .enumerate()
-            .map(|(s, world)| {
-                totals.merge(world.metrics());
-                let convergence = ConvergenceReport::from_history(
-                    &world.trace().output_history(),
-                    &world.failures().correct(),
-                );
-                let updates_sent = world
-                    .process_ids()
-                    .map(|p| world.algorithm(p).broadcast_layer().updates_sent())
-                    .sum();
-                ShardReport {
-                    shard: s,
-                    ops_routed: self.ops_routed[s],
-                    applied: self.applied(s),
-                    converged_at: convergence.converged_at,
-                    divergences: convergence.divergence_count(),
-                    messages_sent: world.metrics().messages_sent,
-                    updates_sent,
-                }
-            })
-            .collect();
-        ClusterReport { shards, totals }
+        let mut engine = None;
+        let mut consistency = None;
+        for report in reports {
+            totals.merge(&report.totals);
+            engine.get_or_insert(report.engine);
+            consistency.get_or_insert(report.consistency);
+            for mut shard in report.shards {
+                shard.shard = shards.len();
+                shards.push(shard);
+            }
+        }
+        ClusterReport {
+            engine: engine.expect("a sharded cluster has at least one shard"),
+            consistency: consistency.expect("a sharded cluster has at least one shard"),
+            shards,
+            totals,
+        }
     }
 }
 
-/// Convergence and cost summary of one shard.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ShardReport {
-    /// The shard index.
-    pub shard: usize,
-    /// Operations routed to this shard.
-    pub ops_routed: u64,
-    /// Applied-command count per replica.
-    pub applied: Vec<usize>,
-    /// When the shard's replicas (re-)converged, if they did.
-    pub converged_at: Option<Time>,
-    /// Number of divergence episodes observed.
-    pub divergences: usize,
-    /// Messages sent inside the shard.
-    pub messages_sent: u64,
-    /// `update` broadcasts performed inside the shard (ops ÷ this ratio is
-    /// the batching amortization the E11 experiment reports).
-    pub updates_sent: u64,
-}
-
-impl ShardReport {
-    /// Returns `true` if the shard's replicas agree at the end of the run.
-    pub fn is_converged(&self) -> bool {
-        self.converged_at.is_some()
-    }
-}
-
-/// Cluster-level aggregation of the per-shard reports.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ClusterReport {
-    /// One report per shard.
-    pub shards: Vec<ShardReport>,
-    /// Merged counters of all shard worlds.
-    pub totals: Metrics,
-}
-
-impl ClusterReport {
-    /// Returns `true` if every shard converged.
-    pub fn all_converged(&self) -> bool {
-        self.shards.iter().all(ShardReport::is_converged)
+impl<R: Router> ShardedCluster<KvStore, R> {
+    /// Routes a `put key value` to the owning shard at time `at`; returns
+    /// the shard it was routed to.
+    pub fn put(&mut self, key: &str, value: &str, at: u64) -> usize {
+        self.submit_keyed(key, KvStore::put(key, value), at, None)
     }
 
-    /// Total operations routed across shards.
-    pub fn total_ops_routed(&self) -> u64 {
-        self.shards.iter().map(|s| s.ops_routed).sum()
+    /// Routes a `del key` to the owning shard at time `at`; returns the
+    /// shard it was routed to.
+    pub fn del(&mut self, key: &str, at: u64) -> usize {
+        self.submit_keyed(key, KvStore::del(key), at, None)
     }
 
-    /// Total commands applied across all replicas of all shards.
-    pub fn total_applied(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.applied.iter().sum::<usize>())
-            .sum()
+    /// Routes one operation of a [`KvWorkload`] client mix. The client index
+    /// picks the entry replica inside the owning shard, so distinct clients
+    /// exercise distinct front ends.
+    pub fn submit(&mut self, op: &KvOp) -> usize {
+        let command = match &op.value {
+            Some(value) => KvStore::put(&op.key, value),
+            None => KvStore::del(&op.key),
+        };
+        self.submit_keyed(&op.key, command, op.at, Some(op.client))
     }
 
-    /// Total `update` broadcasts across shards (the E11 denominator).
-    pub fn total_updates_sent(&self) -> u64 {
-        self.shards.iter().map(|s| s.updates_sent).sum()
+    /// Routes an entire client mix.
+    pub fn submit_workload(&mut self, workload: &KvWorkload) {
+        for op in workload.ops() {
+            self.submit(op);
+        }
     }
 
-    /// The cluster-level convergence time: the latest per-shard convergence
-    /// time, or `None` if any shard has not converged. Shards are
-    /// independent, so the slowest shard is what a client spanning the whole
-    /// keyspace observes — the completion time experiment E10 reports.
-    ///
-    /// Note that the underlying worlds never go *quiescent*: the paper's
-    /// Algorithm 5 has the stable leader gossip its promotion sequence
-    /// forever, so convergence of the delivered state — not absence of
-    /// traffic — is the right completion signal.
-    pub fn converged_at(&self) -> Option<Time> {
-        self.shards
-            .iter()
-            .map(|s| s.converged_at)
-            .collect::<Option<Vec<Time>>>()
-            .and_then(|times| times.into_iter().max())
+    /// Reads `key` from replica 0 of the owning shard (a local, eventually
+    /// consistent read, as in the Dynamo-style systems the paper cites).
+    pub fn get(&self, key: &str) -> Option<String> {
+        let shard = self.shard_of_key(key);
+        self.clusters[shard]
+            .state(ProcessId::new(0))
+            .and_then(|s| s.get(key).map(str::to_owned))
     }
 }
 
@@ -423,7 +449,7 @@ impl ClusterReport {
 mod tests {
     use super::*;
     use ec_core::workload::ZipfMix;
-    use ec_sim::{PartitionSpec, ProcessSet};
+    use ec_sim::{PartitionSpec, ProcessSet, Time};
 
     #[test]
     fn router_is_deterministic_and_covers_all_shards() {
@@ -433,10 +459,42 @@ mod tests {
         for key in &keys {
             let s = shard_of(key, shards);
             assert_eq!(s, shard_of(key, shards));
+            assert_eq!(s, HashRouter.route(key, shards));
             hits[s] += 1;
         }
         // FNV spreads 200 keys over 8 shards without leaving any empty
         assert!(hits.iter().all(|&h| h > 0), "hits = {hits:?}");
+    }
+
+    /// The key → shard mapping is a wire-format guarantee: clients persist
+    /// and exchange shard assignments, so the FNV-1a reduction must never
+    /// change across versions or platforms. Known-answer vectors, verified
+    /// against an independent FNV-1a implementation.
+    #[test]
+    fn shard_of_matches_pinned_fnv1a_test_vectors() {
+        // (key, shards, expected shard); FNV-1a 64-bit offset basis
+        // 0xcbf29ce484222325, prime 0x100000001b3.
+        let vectors: &[(&str, usize, usize)] = &[
+            ("", 8, 5),        // hash = 0xcbf29ce484222325
+            ("a", 8, 4),       // hash = 0xaf63dc4c8601ec8c
+            ("b", 8, 5),       // hash = 0xaf63df4c8601f1a5
+            ("foobar", 8, 0),  // hash = 0x85944171f73967e8
+            ("user:42", 8, 2), // hash = 0x6c151ea4dcd221c2
+            ("user:42", 4, 2),
+            ("user:42", 16, 2),
+            ("alice", 4, 3),               // hash = 0x508b2abb65a03907
+            ("bob", 4, 0),                 // hash = 0x004d4419134a0a54
+            ("k0", 8, 6),                  // hash = 0x08be0e07b562230e
+            ("k1", 8, 1),                  // hash = 0x08be0f07b56224c1
+            ("the quick brown fox", 8, 2), // hash = 0x59aeb7b40bd8c122
+        ];
+        for &(key, shards, expected) in vectors {
+            assert_eq!(
+                shard_of(key, shards),
+                expected,
+                "shard_of({key:?}, {shards}) drifted from the pinned wire format"
+            );
+        }
     }
 
     #[test]
@@ -470,9 +528,11 @@ mod tests {
         assert!(report.all_converged());
         assert_eq!(report.total_ops_routed(), 12);
         for (s, shard_report) in report.shards.iter().enumerate() {
+            assert_eq!(shard_report.shard, s);
             assert_eq!(shard_report.ops_routed, routed[s]);
             // every replica of the shard applied every op routed to it
             assert!(shard_report.applied.iter().all(|&a| a as u64 == routed[s]));
+            assert!(shard_report.snapshots_agree());
         }
         // the aggregate counters cover all shards
         assert!(report.totals.messages_sent > 0);
@@ -536,7 +596,7 @@ mod tests {
         let mut cluster = ShardedKv::builder(base)
             .shard_network(1, partitioned_net)
             .build();
-        // three ops per shard, entering through replica 1 (connected side)
+        // ops entering through replica 1 (connected side)
         for shard in 0..3 {
             for k in 0..20u64 {
                 let key = format!("s{shard}-{k}");
@@ -571,9 +631,65 @@ mod tests {
     }
 
     #[test]
+    fn custom_routers_and_state_machines_plug_in() {
+        /// Routes by key length instead of hash.
+        #[derive(Debug)]
+        struct LengthRouter;
+        impl Router for LengthRouter {
+            fn route(&self, key: &str, shards: usize) -> usize {
+                key.len() % shards
+            }
+        }
+
+        use crate::state_machine::Counter;
+        let mut cluster: ShardedCluster<Counter, LengthRouter> =
+            ShardedClusterBuilder::<Counter>::new(ShardConfig {
+                shards: 2,
+                replicas_per_shard: 2,
+                ..Default::default()
+            })
+            .router(LengthRouter)
+            .build();
+        assert_eq!(cluster.shard_of_key("ab"), 0);
+        assert_eq!(cluster.shard_of_key("abc"), 1);
+        cluster.submit_keyed("ab", Counter::add(2), 10, None);
+        cluster.submit_keyed("abc", Counter::add(3), 10, None);
+        cluster.run_until(2_000);
+        let even = cluster.cluster(0).state(ProcessId::new(0)).unwrap();
+        let odd = cluster.cluster(1).state(ProcessId::new(0)).unwrap();
+        assert_eq!(even.value(), 2);
+        assert_eq!(odd.value(), 3);
+        assert_eq!(cluster.report().total_applied(), 4);
+    }
+
+    #[test]
     #[should_panic(expected = "no such shard")]
     fn shard_network_override_checks_bounds() {
         let _ = ShardedKv::builder(ShardConfig::default())
             .shard_network(99, NetworkModel::fixed_delay(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "apply only to build()")]
+    fn build_with_rejects_silently_dropped_network_overrides() {
+        let _ = ShardedKv::builder(ShardConfig::default())
+            .shard_network(0, NetworkModel::fixed_delay(9))
+            .build_with(|_| SimEngine::new());
+    }
+
+    #[test]
+    fn build_with_plugs_in_custom_engines_per_shard() {
+        let mut cluster = ShardedKv::builder(ShardConfig {
+            shards: 2,
+            replicas_per_shard: 2,
+            ..Default::default()
+        })
+        .build_with(|s| SimEngine::new().seed(100 + s as u64));
+        cluster.put("a", "1", 10);
+        cluster.put("b", "2", 10);
+        cluster.run_until(2_000);
+        assert_eq!(cluster.get("a").as_deref(), Some("1"));
+        assert_eq!(cluster.get("b").as_deref(), Some("2"));
+        assert!(cluster.report().all_converged());
     }
 }

@@ -23,6 +23,19 @@ pub trait StateMachine: Clone + fmt::Debug + Default {
     /// A canonical encoding of the current state.
     fn snapshot(&self) -> Vec<u8>;
 
+    /// Reconstructs a state machine from a [`StateMachine::snapshot`]
+    /// encoding, if the implementation supports it.
+    ///
+    /// Execution engines that cannot reach into replica memory (the thread
+    /// runtime observes replicas only through their emitted outputs) use
+    /// this to offer typed reads: the latest snapshot bytes are decoded back
+    /// into an `S`. The default returns `None`, which degrades such reads to
+    /// raw snapshot bytes; the built-in state machines all round-trip.
+    fn from_snapshot(snapshot: &[u8]) -> Option<Self> {
+        let _ = snapshot;
+        None
+    }
+
     /// Replays a full command sequence from the initial state.
     fn replay<'a, I: IntoIterator<Item = &'a [u8]>>(commands: I) -> Self {
         let mut sm = Self::default();
@@ -94,6 +107,20 @@ impl StateMachine for KvStore {
         }
         out
     }
+
+    /// Exact for every state reachable through [`KvStore::put`] /
+    /// [`KvStore::del`] commands whose keys avoid `=` and whose keys and
+    /// values avoid `;` (commands are whitespace-delimited, so such bytes
+    /// are representable but make the `k=v;` encoding ambiguous).
+    fn from_snapshot(snapshot: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(snapshot).ok()?;
+        let mut store = KvStore::default();
+        for segment in text.split(';').filter(|s| !s.is_empty()) {
+            let (key, value) = segment.split_once('=')?;
+            store.entries.insert(key.to_string(), value.to_string());
+        }
+        Some(store)
+    }
 }
 
 /// A signed counter. Commands: `+<n>` and `-<n>`.
@@ -136,6 +163,13 @@ impl StateMachine for Counter {
     fn snapshot(&self) -> Vec<u8> {
         self.value.to_le_bytes().to_vec()
     }
+
+    fn from_snapshot(snapshot: &[u8]) -> Option<Self> {
+        let bytes: [u8; 8] = snapshot.try_into().ok()?;
+        Some(Counter {
+            value: i64::from_le_bytes(bytes),
+        })
+    }
 }
 
 /// A register holding the last written value (last writer in delivery order
@@ -168,6 +202,14 @@ impl StateMachine for Register {
         let mut out = self.writes.to_le_bytes().to_vec();
         out.extend_from_slice(&self.value);
         out
+    }
+
+    fn from_snapshot(snapshot: &[u8]) -> Option<Self> {
+        let (writes, value) = snapshot.split_first_chunk::<8>()?;
+        Some(Register {
+            value: value.to_vec(),
+            writes: u64::from_le_bytes(*writes),
+        })
     }
 }
 
@@ -228,6 +270,26 @@ mod tests {
         assert_eq!(r.writes(), 2);
         let again = Register::replay([b"first".as_slice(), b"second".as_slice()]);
         assert_eq!(again.snapshot(), r.snapshot());
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_from_snapshot() {
+        let mut kv = KvStore::default();
+        kv.apply(&KvStore::put("x", "1"));
+        kv.apply(&KvStore::put("y", "two words"));
+        assert_eq!(KvStore::from_snapshot(&kv.snapshot()), Some(kv.clone()));
+        assert_eq!(KvStore::from_snapshot(b""), Some(KvStore::default()));
+        assert_eq!(KvStore::from_snapshot(b"corrupt"), None);
+
+        let mut c = Counter::default();
+        c.apply(&Counter::add(-12));
+        assert_eq!(Counter::from_snapshot(&c.snapshot()), Some(c));
+        assert_eq!(Counter::from_snapshot(b"short"), None);
+
+        let mut r = Register::default();
+        r.apply(b"payload");
+        assert_eq!(Register::from_snapshot(&r.snapshot()), Some(r));
+        assert_eq!(Register::from_snapshot(b"tiny"), None);
     }
 
     #[test]

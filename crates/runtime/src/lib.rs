@@ -22,7 +22,18 @@
 //!   driven anyway;
 //! * failure detection: Ω is implemented by heartbeats and timeouts, so its
 //!   stabilization time depends on real scheduling latencies rather than on a
-//!   scripted oracle.
+//!   scripted oracle. Algorithms whose failure detector is richer than Ω can
+//!   still run via [`Runtime::spawn_with_fd`], which derives each step's
+//!   detector value from the current heartbeat leader — e.g. pairing it with
+//!   a static full-membership quorum to realize the Ω + Σ the strongly
+//!   consistent baseline queries (valid while no process crashes; after a
+//!   crash such a Σ stops being live, which is exactly the paper's point
+//!   about the price of strong consistency).
+//!
+//! This crate is usually not driven directly: the `ec-replication` crate's
+//! `ThreadEngine` wraps [`Runtime`] behind the same `Cluster`/`Session`
+//! facade that drives the simulator, so a replicated service can switch
+//! between deterministic simulation and real threads as configuration.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -10,7 +10,7 @@ use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use ec_detectors::{HeartbeatConfig, HeartbeatMsg, HeartbeatOmega};
-use ec_sim::{Actions, Algorithm, Context, ProcessId, Time};
+use ec_sim::{Actions, Algorithm, Context, Metrics, OutputHistory, ProcessId, Time};
 
 /// Configuration of a [`Runtime`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +35,12 @@ impl Default for RuntimeConfig {
 
 type Channel<A> = (Sender<Envelope<A>>, Receiver<Envelope<A>>);
 
+/// How a process derives the failure-detector value its algorithm queries
+/// from the local heartbeat module's current leader estimate: a pure function
+/// of `(leader, n)`. The identity map realizes Ω; pairing the leader with a
+/// static quorum realizes the Ω + Σ the strongly consistent baseline needs.
+type FdDerive<F> = Arc<dyn Fn(ProcessId, usize) -> F + Send + Sync>;
+
 enum Envelope<A: Algorithm> {
     App { from: ProcessId, msg: A::Msg },
     Heartbeat { from: ProcessId, msg: HeartbeatMsg },
@@ -43,13 +49,22 @@ enum Envelope<A: Algorithm> {
 }
 
 /// What a run collected: every output of every process, with the wall-clock
-/// milliseconds (since runtime start) at which it was produced, and the
-/// leader estimates of the heartbeat Ω modules.
+/// milliseconds (since runtime start) at which it was produced, the leader
+/// estimates of the heartbeat Ω modules, the application-message counters,
+/// and the final automaton state of every process.
 pub struct RuntimeReport<A: Algorithm> {
+    /// Number of processes the runtime ran.
+    pub n: usize,
     /// Application outputs as `(process, elapsed_ms, output)`.
     pub outputs: Vec<(ProcessId, u64, A::Output)>,
     /// Leader estimates as `(process, elapsed_ms, leader)`.
     pub leaders: Vec<(ProcessId, u64, ProcessId)>,
+    /// The final automaton of each process, harvested when its thread
+    /// stopped. A crashed process contributes the state it had at the crash.
+    pub final_states: Vec<Option<A>>,
+    /// Application-message counters (heartbeat traffic of the Ω modules is
+    /// not counted; `timer_fires` counts the periodic ticks).
+    pub metrics: Metrics,
 }
 
 impl<A: Algorithm> RuntimeReport<A> {
@@ -70,13 +85,37 @@ impl<A: Algorithm> RuntimeReport<A> {
             .find(|(q, _, _)| *q == p)
             .map(|(_, _, l)| *l)
     }
+
+    /// The final automaton state of process `p`.
+    pub fn final_state_of(&self, p: ProcessId) -> Option<&A> {
+        self.final_states.get(p.index()).and_then(Option::as_ref)
+    }
+
+    /// The outputs as an [`OutputHistory`], with wall-clock milliseconds
+    /// mapped to [`Time`] values at `ms_per_tick` milliseconds per tick —
+    /// the bridge that lets the simulator's history-based checkers and
+    /// convergence reports run over a threaded execution.
+    pub fn output_history(&self, ms_per_tick: u64) -> OutputHistory<A::Output> {
+        let scale = ms_per_tick.max(1);
+        let mut history = OutputHistory::new(self.n);
+        for (p, ms, out) in &self.outputs {
+            history.record(*p, Time::new(ms / scale), out.clone());
+        }
+        history
+    }
 }
 
 impl<A: Algorithm> fmt::Debug for RuntimeReport<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RuntimeReport")
+            .field("n", &self.n)
             .field("outputs", &self.outputs.len())
             .field("leaders", &self.leaders.len())
+            .field(
+                "final_states",
+                &self.final_states.iter().filter(|s| s.is_some()).count(),
+            )
+            .field("metrics", &self.metrics)
             .finish()
     }
 }
@@ -84,21 +123,28 @@ impl<A: Algorithm> fmt::Debug for RuntimeReport<A> {
 struct Shared<A: Algorithm> {
     outputs: Mutex<Vec<(ProcessId, u64, A::Output)>>,
     leaders: Mutex<Vec<(ProcessId, u64, ProcessId)>>,
+    final_states: Mutex<Vec<Option<A>>>,
+    metrics: Mutex<Metrics>,
     started: Instant,
     stop: AtomicBool,
 }
 
-/// A running set of processes executing an [`Algorithm`] whose failure
-/// detector is Ω (range [`ProcessId`]), with Ω provided by per-process
-/// heartbeat modules.
-pub struct Runtime<A: Algorithm<Fd = ProcessId>> {
+/// A running set of processes executing an [`Algorithm`] as one OS thread
+/// each, with the failure-detector value of every step derived from a
+/// per-process heartbeat Ω module.
+///
+/// [`Runtime::spawn`] covers algorithms whose failure detector *is* Ω
+/// (`Fd = ProcessId`); [`Runtime::spawn_with_fd`] additionally supports any
+/// detector value derivable from the current leader estimate, e.g. the
+/// `(leader, quorum)` pairs of the Ω + Σ baseline.
+pub struct Runtime<A: Algorithm> {
     n: usize,
     senders: Vec<Sender<Envelope<A>>>,
     shared: Arc<Shared<A>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl<A: Algorithm<Fd = ProcessId>> fmt::Debug for Runtime<A> {
+impl<A: Algorithm> fmt::Debug for Runtime<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
             .field("n", &self.n)
@@ -109,23 +155,29 @@ impl<A: Algorithm<Fd = ProcessId>> fmt::Debug for Runtime<A> {
 
 impl<A> Runtime<A>
 where
-    A: Algorithm<Fd = ProcessId> + Send + 'static,
+    A: Algorithm + Send + 'static,
     A::Msg: Send,
     A::Input: Send,
     A::Output: Send,
 {
-    /// Spawns `n` processes running the algorithm produced by `factory`.
-    pub fn spawn<F>(n: usize, config: RuntimeConfig, mut factory: F) -> Self
+    /// Spawns `n` processes running the algorithm produced by `factory`,
+    /// with each step's failure-detector value computed by `derive` from the
+    /// local heartbeat module's current leader estimate and `n`.
+    pub fn spawn_with_fd<F, D>(n: usize, config: RuntimeConfig, mut factory: F, derive: D) -> Self
     where
         F: FnMut(ProcessId) -> A,
+        D: Fn(ProcessId, usize) -> A::Fd + Send + Sync + 'static,
     {
         assert!(n >= 2, "the system model requires at least two processes");
         let shared = Arc::new(Shared::<A> {
             outputs: Mutex::new(Vec::new()),
             leaders: Mutex::new(Vec::new()),
+            final_states: Mutex::new((0..n).map(|_| None).collect()),
+            metrics: Mutex::new(Metrics::new(n)),
             started: Instant::now(),
             stop: AtomicBool::new(false),
         });
+        let derive: FdDerive<A::Fd> = Arc::new(derive);
         let channels: Vec<Channel<A>> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Envelope<A>>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let mut handles = Vec::with_capacity(n);
@@ -134,8 +186,19 @@ where
             let algorithm = factory(me);
             let peer_senders = senders.clone();
             let shared_ref = Arc::clone(&shared);
+            let derive_ref = Arc::clone(&derive);
             handles.push(std::thread::spawn(move || {
-                process_loop(me, n, algorithm, receiver, peer_senders, shared_ref, config)
+                let final_state = process_loop(
+                    me,
+                    n,
+                    algorithm,
+                    receiver,
+                    peer_senders,
+                    Arc::clone(&shared_ref),
+                    config,
+                    derive_ref,
+                );
+                shared_ref.final_states.lock()[me.index()] = Some(final_state);
             }));
         }
         Runtime {
@@ -169,16 +232,64 @@ where
         std::thread::sleep(duration);
     }
 
-    /// Stops all processes and returns everything they output.
+    /// The most recent output of process `p`, observed live (without
+    /// stopping the run) — how service facades poll replica progress.
+    pub fn latest_output_of(&self, p: ProcessId) -> Option<A::Output> {
+        self.shared
+            .outputs
+            .lock()
+            .iter()
+            .rev()
+            .find(|(q, _, _)| *q == p)
+            .map(|(_, _, o)| o.clone())
+    }
+
+    /// A snapshot of every `(process, elapsed_ms, output)` produced so far.
+    pub fn outputs_so_far(&self) -> Vec<(ProcessId, u64, A::Output)> {
+        self.shared.outputs.lock().clone()
+    }
+
+    /// A snapshot of the application-message counters so far.
+    pub fn metrics(&self) -> Metrics {
+        self.shared.metrics.lock().clone()
+    }
+
+    /// Milliseconds elapsed since the runtime was spawned.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.shared.started.elapsed().as_millis() as u64
+    }
+
+    /// Stops all processes and returns everything they output, together with
+    /// the final automaton state of every process.
     pub fn shutdown(self) -> RuntimeReport<A> {
         self.shared.stop.store(true, Ordering::SeqCst);
         for handle in self.handles {
             let _ = handle.join();
         }
         RuntimeReport {
+            n: self.n,
             outputs: std::mem::take(&mut self.shared.outputs.lock()),
             leaders: std::mem::take(&mut self.shared.leaders.lock()),
+            final_states: std::mem::take(&mut self.shared.final_states.lock()),
+            metrics: self.shared.metrics.lock().clone(),
         }
+    }
+}
+
+impl<A> Runtime<A>
+where
+    A: Algorithm<Fd = ProcessId> + Send + 'static,
+    A::Msg: Send,
+    A::Input: Send,
+    A::Output: Send,
+{
+    /// Spawns `n` processes running the algorithm produced by `factory`,
+    /// with Ω provided directly by the per-process heartbeat modules.
+    pub fn spawn<F>(n: usize, config: RuntimeConfig, factory: F) -> Self
+    where
+        F: FnMut(ProcessId) -> A,
+    {
+        Self::spawn_with_fd(n, config, factory, |leader, _n| leader)
     }
 }
 
@@ -191,8 +302,10 @@ fn process_loop<A>(
     senders: Vec<Sender<Envelope<A>>>,
     shared: Arc<Shared<A>>,
     config: RuntimeConfig,
-) where
-    A: Algorithm<Fd = ProcessId>,
+    derive: FdDerive<A::Fd>,
+) -> A
+where
+    A: Algorithm,
 {
     let mut omega = HeartbeatOmega::new(me, n, config.heartbeat);
     let mut tick: u64 = 0;
@@ -205,18 +318,16 @@ fn process_loop<A>(
     let hb_actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_start(ctx));
     record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
     dispatch_hb(me, hb_actions, &senders, &shared);
-    let leader = omega.leader();
-    let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
-        a.on_start(ctx)
-    });
+    let fd = derive(omega.leader(), n);
+    let app_actions = run_handler(&mut algorithm, me, n, fd, tick, |a, ctx| a.on_start(ctx));
     dispatch_app(me, app_actions, &senders, &shared);
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
-            return;
+            return algorithm;
         }
         match receiver.recv_timeout(config.tick) {
-            Ok(Envelope::Crash) => return,
+            Ok(Envelope::Crash) => return algorithm,
             Ok(Envelope::Heartbeat { from, msg }) => {
                 let actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| {
                     a.on_message(from, msg, ctx)
@@ -225,31 +336,33 @@ fn process_loop<A>(
                 dispatch_hb(me, actions, &senders, &shared);
             }
             Ok(Envelope::App { from, msg }) => {
-                let leader = omega.leader();
-                let actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+                shared.metrics.lock().messages_delivered += 1;
+                let fd = derive(omega.leader(), n);
+                let actions = run_handler(&mut algorithm, me, n, fd, tick, |a, ctx| {
                     a.on_message(from, msg, ctx)
                 });
                 dispatch_app(me, actions, &senders, &shared);
             }
             Ok(Envelope::Input(input)) => {
-                let leader = omega.leader();
-                let actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
+                shared.metrics.lock().inputs += 1;
+                let fd = derive(omega.leader(), n);
+                let actions = run_handler(&mut algorithm, me, n, fd, tick, |a, ctx| {
                     a.on_input(input, ctx)
                 });
                 dispatch_app(me, actions, &senders, &shared);
             }
             Err(RecvTimeoutError::Timeout) => {
                 tick += 1;
+                shared.metrics.lock().timer_fires += 1;
                 let hb_actions = run_handler(&mut omega, me, n, (), tick, |a, ctx| a.on_timer(ctx));
                 record_leaders(me, &hb_actions.outputs, &shared, elapsed_ms(&shared));
                 dispatch_hb(me, hb_actions, &senders, &shared);
-                let leader = omega.leader();
-                let app_actions = run_handler(&mut algorithm, me, n, leader, tick, |a, ctx| {
-                    a.on_timer(ctx)
-                });
+                let fd = derive(omega.leader(), n);
+                let app_actions =
+                    run_handler(&mut algorithm, me, n, fd, tick, |a, ctx| a.on_timer(ctx));
                 dispatch_app(me, app_actions, &senders, &shared);
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => return algorithm,
         }
     }
 }
@@ -280,6 +393,13 @@ fn dispatch_app<A: Algorithm>(
     shared: &Arc<Shared<A>>,
 ) {
     let elapsed = shared.started.elapsed().as_millis() as u64;
+    {
+        let mut metrics = shared.metrics.lock();
+        for _ in &actions.sends {
+            metrics.record_send(me);
+        }
+        metrics.outputs += actions.outputs.len() as u64;
+    }
     for (to, msg) in actions.sends {
         if let Some(sender) = senders.get(to.index()) {
             let _ = sender.send(Envelope::App { from: me, msg });
@@ -324,7 +444,9 @@ fn record_leaders<A: Algorithm>(
 mod tests {
     use super::*;
     use ec_core::etob_omega::{EtobConfig, EtobOmega};
+    use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
     use ec_core::types::EtobBroadcast;
+    use ec_sim::ProcessSet;
 
     fn config() -> RuntimeConfig {
         RuntimeConfig {
@@ -370,6 +492,21 @@ mod tests {
         for p in (0..n).map(ProcessId::new) {
             assert_eq!(report.last_leader_of(p), Some(ProcessId::new(0)));
         }
+        // the final automaton state is harvested and matches the outputs
+        for p in (0..n).map(ProcessId::new) {
+            let final_state = report.final_state_of(p).expect("state harvested");
+            assert_eq!(final_state.delivered().len(), 5, "{p}");
+        }
+        // app messages were counted
+        assert!(report.metrics.messages_sent > 0);
+        assert!(report.metrics.messages_delivered > 0);
+        assert_eq!(report.metrics.inputs, 5);
+        // the output history bridge reproduces the last outputs
+        let history = report.output_history(1);
+        assert_eq!(
+            history.last(ProcessId::new(0)).map(Vec::len),
+            Some(reference.len())
+        );
     }
 
     #[test]
@@ -383,10 +520,8 @@ mod tests {
         runtime.run_for(Duration::from_millis(150));
         runtime.crash(ProcessId::new(0));
         runtime.run_for(Duration::from_millis(250));
-        runtime.submit(
-            ProcessId::new(2),
-            EtobBroadcast::new(ProcessId::new(2), 1, b"after".to_vec()),
-        );
+        let origin = ProcessId::new(2);
+        runtime.submit(origin, EtobBroadcast::new(origin, 99, b"after".to_vec()));
         runtime.run_for(Duration::from_millis(300));
         let report = runtime.shutdown();
         // the survivors eventually elected p1 and still deliver new messages
@@ -399,6 +534,85 @@ mod tests {
             );
         }
         assert!(format!("{report:?}").contains("RuntimeReport"));
+    }
+
+    #[test]
+    fn live_accessors_observe_a_run_in_flight() {
+        let n = 2;
+        let runtime = Runtime::spawn(n, config(), |p| EtobOmega::new(p, EtobConfig::default()));
+        runtime.submit(
+            ProcessId::new(0),
+            EtobBroadcast::new(ProcessId::new(0), 1, b"live".to_vec()),
+        );
+        // poll instead of a fixed sleep so the test is robust on slow machines
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(out) = runtime.latest_output_of(ProcessId::new(1)) {
+                if !out.is_empty() {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "p1 never delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!runtime.outputs_so_far().is_empty());
+        assert!(runtime.metrics().messages_sent > 0);
+        let _ = runtime.elapsed_ms();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn spawn_with_fd_supplies_leader_and_quorum_to_the_strong_baseline() {
+        let n = 3;
+        let runtime = Runtime::spawn_with_fd(
+            n,
+            config(),
+            |p| ConsensusTob::new(p, ConsensusTobConfig::default()),
+            |leader, n| (leader, ProcessSet::all(n)),
+        );
+        for k in 0..3u64 {
+            let origin = ProcessId::new((k % 3) as usize);
+            runtime.submit(
+                origin,
+                EtobBroadcast::new(origin, k + 1, format!("m{k}").into_bytes()),
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // poll until every process delivered all three messages
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let done = (0..n).map(ProcessId::new).all(|p| {
+                runtime
+                    .latest_output_of(p)
+                    .map(|seq| seq.len() == 3)
+                    .unwrap_or(false)
+            });
+            if done {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "quorum-gated TOB did not deliver in time"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let report = runtime.shutdown();
+        // identical delivery order everywhere (strong consistency)
+        let reference: Vec<_> = report
+            .last_output_of(ProcessId::new(0))
+            .expect("delivered")
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        for p in (1..n).map(ProcessId::new) {
+            let seq: Vec<_> = report
+                .last_output_of(p)
+                .expect("delivered")
+                .iter()
+                .map(|m| m.id)
+                .collect();
+            assert_eq!(seq, reference, "{p} diverged");
+        }
     }
 
     #[test]

@@ -3,84 +3,58 @@
 //! sequencer), both living through a 2-vs-3 network partition that contains
 //! the leader on the minority side.
 //!
+//! The two stores are the *same code* — a `Cluster<KvStore>` deployed
+//! through the facade — differing only in the builder's `consistency` knob.
 //! The eventually consistent store keeps serving writes on the leader's side
-//! during the partition and converges after the heal; the strongly consistent
-//! store blocks until the partition heals — Σ is exactly the availability
-//! price of strong consistency (Sections 1 and 7 of the paper).
+//! during the partition and converges after the heal; the strongly
+//! consistent store blocks until the partition heals — Σ is exactly the
+//! availability price of strong consistency (Sections 1 and 7 of the paper).
 //!
 //! Run with: `cargo run --example partitioned_kv`
 
-use ec_core::etob_omega::{EtobConfig, EtobOmega};
-use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
-use ec_detectors::{omega::OmegaOracle, sigma::SigmaOracle, PairFd};
-use ec_replication::{ConvergenceReport, KvStore, Replica, ReplicaCommand};
-use ec_sim::{
-    FailurePattern, NetworkModel, PartitionSpec, ProcessId, ProcessSet, Time, WorldBuilder,
-};
+use ec_replication::{Cluster, ClusterBuilder, Consistency, KvStore, SimEngine};
+use ec_sim::{NetworkModel, PartitionSpec, ProcessId, ProcessSet, Time};
 
 const N: usize = 5;
 const PARTITION: (u64, u64) = (50, 900);
 const HORIZON: u64 = 2_500;
 
-fn network() -> NetworkModel {
+fn engine() -> SimEngine {
     let minority: ProcessSet = [0, 1].into_iter().collect();
-    NetworkModel::fixed_delay(2).with_partition(
+    let network = NetworkModel::fixed_delay(2).with_partition(
         Time::new(PARTITION.0),
         Time::new(PARTITION.1),
         PartitionSpec::isolate(minority, N),
-    )
+    );
+    SimEngine::new().network(network).seed(1)
 }
 
-fn writes() -> Vec<(ProcessId, ReplicaCommand, u64)> {
-    (0..6u64)
-        .map(|k| {
-            (
-                ProcessId::new((k % 2) as usize), // submitted on the leader's side
-                ReplicaCommand::new(KvStore::put(&format!("key{k}"), &format!("value{k}"))),
-                100 + 25 * k,
-            )
-        })
-        .collect()
+fn deploy(consistency: Consistency) -> Cluster<KvStore> {
+    let mut cluster = ClusterBuilder::<KvStore>::new(N)
+        .consistency(consistency)
+        .deploy(&engine());
+    // both clients sit on the leader's (minority) side of the partition
+    let mut sessions = [
+        cluster.session_at(ProcessId::new(0)),
+        cluster.session_at(ProcessId::new(1)),
+    ];
+    for k in 0..6u64 {
+        let session = &mut sessions[(k % 2) as usize];
+        cluster.submit(
+            session,
+            KvStore::put(&format!("key{k}"), &format!("value{k}")),
+            100 + 25 * k,
+        );
+    }
+    cluster.run_until(HORIZON);
+    cluster
 }
 
 fn main() {
-    let failures = FailurePattern::no_failures(N);
+    let eventual = deploy(Consistency::Eventual);
+    let strong = deploy(Consistency::Strong);
 
-    // --- eventually consistent store (needs only Ω) --------------------
-    let omega = OmegaOracle::stable_from_start(failures.clone());
-    let mut eventual = WorldBuilder::new(N)
-        .network(network())
-        .failures(failures.clone())
-        .seed(1)
-        .build_with(
-            |p| Replica::<KvStore, _>::new(EtobOmega::new(p, EtobConfig::default())),
-            omega,
-        );
-    for (p, cmd, at) in writes() {
-        eventual.schedule_input(p, cmd, at);
-    }
-    eventual.run_until(HORIZON);
-
-    // --- strongly consistent store (needs Ω + Σ) -----------------------
-    let fd = PairFd::new(
-        OmegaOracle::stable_from_start(failures.clone()),
-        SigmaOracle::majority(failures.clone()),
-    );
-    let mut strong = WorldBuilder::new(N)
-        .network(network())
-        .failures(failures.clone())
-        .seed(1)
-        .build_with(
-            |p| Replica::<KvStore, _>::new(ConsensusTob::new(p, ConsensusTobConfig::default())),
-            fd,
-        );
-    for (p, cmd, at) in writes() {
-        strong.schedule_input(p, cmd, at);
-    }
-    strong.run_until(HORIZON);
-
-    // --- report ---------------------------------------------------------
-    let probe = Time::new(PARTITION.1 - 50);
+    let probe = PARTITION.1 - 50;
     println!(
         "partition [{}, {}), probing applied commands at t = {probe}",
         PARTITION.0, PARTITION.1
@@ -89,38 +63,35 @@ fn main() {
         "{:<28} {:>18} {:>18}",
         "replica", "eventual (Ω)", "strong (Ω+Σ)"
     );
-    let eh = eventual.trace().output_history();
-    let sh = strong.trace().output_history();
+    let eventual_during = eventual.applied_at_all(probe);
+    let strong_during = strong.applied_at_all(probe);
     for p in (0..N).map(ProcessId::new) {
-        let e = eh.value_at(p, probe).map(|o| o.applied).unwrap_or(0);
-        let s = sh.value_at(p, probe).map(|o| o.applied).unwrap_or(0);
         println!(
             "{:<28} {:>18} {:>18}",
             format!("{p} (during partition)"),
-            e,
-            s
+            eventual_during[p.index()],
+            strong_during[p.index()],
         );
     }
     for p in (0..N).map(ProcessId::new) {
-        let e = eventual.algorithm(p).applied();
-        let s = strong.algorithm(p).applied();
-        println!("{:<28} {:>18} {:>18}", format!("{p} (after heal)"), e, s);
+        println!(
+            "{:<28} {:>18} {:>18}",
+            format!("{p} (after heal)"),
+            eventual.applied(p),
+            strong.applied(p)
+        );
     }
-    let er = ConvergenceReport::from_history(&eh, &failures.correct());
-    let sr = ConvergenceReport::from_history(&sh, &failures.correct());
-    println!(
-        "\neventual store converged: {} (divergence episodes: {})",
-        er.is_converged(),
-        er.divergence_count()
-    );
-    println!(
-        "strong   store converged: {} (divergence episodes: {})",
-        sr.is_converged(),
-        sr.divergence_count()
-    );
+
     println!(
         "\nreading key3 on p3: eventual = {:?}, strong = {:?}",
-        eventual.algorithm(ProcessId::new(3)).state().get("key3"),
-        strong.algorithm(ProcessId::new(3)).state().get("key3")
+        eventual
+            .state(ProcessId::new(3))
+            .and_then(|s| s.get("key3").map(str::to_owned)),
+        strong
+            .state(ProcessId::new(3))
+            .and_then(|s| s.get("key3").map(str::to_owned)),
     );
+
+    println!("\n{}", eventual.report());
+    println!("{}", strong.report());
 }

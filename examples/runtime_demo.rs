@@ -1,61 +1,53 @@
-//! Algorithm 5 over real OS threads: the `ec-runtime` crate runs the same
-//! automaton used in the simulator as one thread per process, connected by
-//! channels, with a heartbeat-based Ω. The demo broadcasts a few messages,
-//! crashes the leader midway, and shows that the survivors re-elect a leader
-//! and keep delivering in the same order.
+//! The service facade over real OS threads: the same `Cluster`/`Session`
+//! API that drives the simulator deploys a replicated key–value store as
+//! one thread per replica with a heartbeat-based Ω. The demo writes through
+//! a session, crashes the leader midway, and shows that the surviving
+//! replicas re-elect a leader, keep serving, and converge to identical
+//! state — eventual consistency surviving a real crash on real threads.
 //!
 //! Run with: `cargo run --example runtime_demo`
 
-use std::time::Duration;
-
-use ec_core::etob_omega::{EtobConfig, EtobOmega};
-use ec_core::types::EtobBroadcast;
-use ec_runtime::{Runtime, RuntimeConfig};
+use ec_replication::{Cluster, ClusterBuilder, KvStore, ThreadEngine};
 use ec_sim::ProcessId;
 
 fn main() {
     let n = 4;
-    let runtime = Runtime::spawn(n, RuntimeConfig::default(), |p| {
-        EtobOmega::new(p, EtobConfig::default())
-    });
+    let mut cluster: Cluster<KvStore> = ClusterBuilder::new(n).deploy(&ThreadEngine::default());
+    println!("spawned {n} replicas (threads); writing 4 keys through one session…");
 
-    println!("spawned {n} processes (threads); broadcasting 4 messages…");
+    // the session enters through p1, which survives the crash below
+    let mut session = cluster.session_at(ProcessId::new(1));
     for k in 0..4u64 {
-        let origin = ProcessId::new((k % n as u64) as usize);
-        runtime.submit(
-            origin,
-            EtobBroadcast::new(origin, k + 1, format!("msg-{k}").into_bytes()),
+        cluster.submit(
+            &mut session,
+            KvStore::put(&format!("key{k}"), &format!("value{k}")),
+            10 + 10 * k,
         );
-        std::thread::sleep(Duration::from_millis(10));
     }
-    runtime.run_for(Duration::from_millis(300));
+    cluster.run_until(300);
 
     println!("crashing the current leader p0…");
-    runtime.crash(ProcessId::new(0));
-    runtime.run_for(Duration::from_millis(400));
+    cluster.crash(ProcessId::new(0));
+    cluster.run_until(700);
 
-    let origin = ProcessId::new(2);
-    runtime.submit(
-        origin,
-        EtobBroadcast::new(origin, 99, b"after-crash".to_vec()),
-    );
-    runtime.run_for(Duration::from_millis(400));
+    cluster.submit(&mut session, KvStore::put("after-crash", "served"), 710);
+    let survivors_converged = cluster.run_until_applied(5, 5_000);
+    println!("survivors applied all 5 commands after re-election: {survivors_converged}");
 
-    let report = runtime.shutdown();
-    println!("\nfinal delivered sequences (survivors):");
+    println!("\nfinal state of the survivors:");
     for p in (1..n).map(ProcessId::new) {
-        let sequence = report
-            .last_output_of(p)
-            .map(|seq| {
-                seq.iter()
-                    .map(|m| String::from_utf8_lossy(&m.payload).into_owned())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            })
-            .unwrap_or_else(|| "(nothing)".to_string());
+        let state = cluster.state(p).expect("snapshot decodes");
         println!(
-            "  {p}: [{sequence}]  leader = {:?}",
-            report.last_leader_of(p)
+            "  {p}: applied = {}, after-crash = {:?}",
+            cluster.applied(p),
+            state.get("after-crash")
         );
     }
+
+    let report = cluster.finish();
+    println!("\n{report}");
+    assert!(
+        report.shards[0].applied[1..].iter().all(|&a| a == 5),
+        "survivors must apply every command, including the post-crash write"
+    );
 }

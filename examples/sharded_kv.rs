@@ -1,11 +1,12 @@
 //! Scaling out: a sharded, eventually consistent key–value service.
 //!
-//! The keyspace is hash-partitioned across independent ETOB groups (shards),
-//! each a replicated `KvStore` over Algorithm 5 with message batching. A
-//! zipf-skewed client mix is routed to the owning shards; one shard then
-//! lives through an internal partition — and because shards are independent,
-//! every other shard's service is completely unaffected while the affected
-//! shard (being eventually consistent!) keeps serving on its majority side.
+//! The keyspace is hash-partitioned across independent replica groups
+//! (shards) by the default FNV-1a `HashRouter`, each shard a replicated
+//! `KvStore` over Algorithm 5 with message batching. A zipf-skewed client
+//! mix is routed to the owning shards; one shard then lives through an
+//! internal partition — and because shards are independent, every other
+//! shard's service is completely unaffected while the affected shard (being
+//! eventually consistent!) keeps serving on its majority side.
 //!
 //! Run with: `cargo run --example sharded_kv`
 
@@ -58,40 +59,11 @@ fn main() {
         workload.keyspace()
     );
     println!("shard {PARTITIONED_SHARD} partitioned (replica 2 isolated) during [50, 2500)\n");
-    println!(
-        "{:<8} {:>8} {:>16} {:>14} {:>10} {:>12}",
-        "shard", "ops", "applied/replica", "converged at", "messages", "updates"
-    );
+
     let report = cluster.report();
-    for s in &report.shards {
-        println!(
-            "{:<8} {:>8} {:>16} {:>14} {:>10} {:>12}",
-            format!(
-                "s{}{}",
-                s.shard,
-                if s.shard == PARTITIONED_SHARD {
-                    "*"
-                } else {
-                    ""
-                }
-            ),
-            s.ops_routed,
-            format!("{:?}", s.applied),
-            s.converged_at
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "-".into()),
-            s.messages_sent,
-            s.updates_sent,
-        );
-    }
+    println!("{report}");
     println!(
-        "\ncluster: {} ops routed, {} commands applied, all converged: {}",
-        report.total_ops_routed(),
-        report.total_applied(),
-        report.all_converged()
-    );
-    println!(
-        "batching amortization: {} ops / {} update broadcasts = {:.2} ops per broadcast",
+        "\nbatching amortization: {} ops / {} update broadcasts = {:.2} ops per broadcast",
         report.total_ops_routed(),
         report.total_updates_sent(),
         report.total_ops_routed() as f64 / report.total_updates_sent() as f64

@@ -15,45 +15,52 @@
 //!   baselines.
 //! * [`cht`] — the generalized CHT reduction extracting Ω from any EC
 //!   implementation (Section 4 / Appendix B).
-//! * [`replication`] — replicated state machines over ETOB (eventual
-//!   consistency) and consensus-based TOB (strong consistency).
+//! * [`replication`] — the service layer: the `Cluster`/`Session` facade
+//!   deploying replicated state machines at a chosen consistency level on a
+//!   chosen execution engine, plus sharding for horizontal scale.
 //! * [`runtime`] — a thread-per-process real-time runtime running the same
-//!   algorithms over OS channels.
+//!   algorithms over OS channels (the `ThreadEngine` of the facade).
 //!
 //! # Quickstart
 //!
-//! ```
-//! use eventual_consistency::core::etob_omega::{EtobConfig, EtobOmega};
-//! use eventual_consistency::core::spec::EtobChecker;
-//! use eventual_consistency::core::workload::BroadcastWorkload;
-//! use eventual_consistency::detectors::omega::OmegaOracle;
-//! use eventual_consistency::sim::{FailurePattern, NetworkModel, Time, WorldBuilder};
+//! A replicated service is three configuration choices: *what* is
+//! replicated (any deterministic state machine), *how strongly*
+//! (`Consistency::Eventual` = Algorithm 5 over Ω; `Consistency::Strong` =
+//! the Ω + Σ quorum sequencer), and *where* it runs (`SimEngine` for
+//! deterministic simulation, `ThreadEngine` for real OS threads):
 //!
-//! // Five processes, none crash, leader election stabilizes immediately.
-//! let n = 5;
-//! let failures = FailurePattern::no_failures(n);
-//! let omega = OmegaOracle::stable_from_start(failures.clone());
-//! let mut world = WorldBuilder::new(n)
-//!     .network(NetworkModel::fixed_delay(2))
-//!     .failures(failures.clone())
-//!     .seed(7)
-//!     .build_with(|p| EtobOmega::new(p, EtobConfig::default()), omega);
-//! let workload = BroadcastWorkload::uniform(n, 6, 10, 10);
-//! workload.submit_to(&mut world);
-//! world.run_until(2_000);
-//! let checker = EtobChecker::from_delivered(
-//!     &world.trace().output_history(),
-//!     workload.records(),
-//!     failures.correct(),
-//!     Time::ZERO,
-//! );
-//! assert!(checker.check_all_with_causal().is_ok());
+//! ```
+//! use eventual_consistency::replication::{
+//!     ClusterBuilder, Consistency, KvStore, SimEngine,
+//! };
+//!
+//! // Three KV replicas, eventually consistent, on the simulator.
+//! let mut cluster = ClusterBuilder::<KvStore>::new(3)
+//!     .consistency(Consistency::Eventual)
+//!     .deploy(&SimEngine::new());
+//!
+//! // Sessions thread causal dependencies automatically: this client's
+//! // second write is guaranteed to overwrite its first, everywhere.
+//! let mut session = cluster.session();
+//! cluster.submit(&mut session, KvStore::put("greeting", "hello"), 10);
+//! cluster.submit(&mut session, KvStore::put("greeting", "world"), 20);
+//! cluster.run_until(2_000);
+//!
+//! for p in cluster.replica_ids() {
+//!     assert_eq!(cluster.state(p).unwrap().get("greeting"), Some("world"));
+//! }
+//! let report = cluster.report();
+//! assert!(report.all_converged());
+//! // swap `SimEngine::new()` for `ThreadEngine::default()` and the same
+//! // code runs over real threads — see examples/quickstart.rs and the
+//! // cross-engine conformance suite in tests/conformance.rs.
 //! ```
 //!
 //! # Scaling out
 //!
-//! The sharded service layer partitions a keyspace across independent ETOB
-//! groups; see [`replication::shard`] and the `sharded_kv` example:
+//! The sharded service layer partitions a keyspace across independent
+//! replica groups behind a pluggable router; see [`replication::shard`] and
+//! the `sharded_kv` example:
 //!
 //! ```
 //! use eventual_consistency::replication::shard::{ShardConfig, ShardedKv};
@@ -63,6 +70,14 @@
 //! cluster.run_until(2_000);
 //! assert_eq!(cluster.get("alice").as_deref(), Some("1"));
 //! ```
+//!
+//! # The low-level path
+//!
+//! The facade wires `Replica<S, B>` over a broadcast layer and a failure
+//! detector for you. Experiments that need direct control — scripted Ω
+//! histories, custom broadcast layers, the specification checkers — build
+//! worlds by hand with [`sim::WorldBuilder`] and the pieces in [`core`];
+//! the `tests/` suites and `ec-bench` show that style.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

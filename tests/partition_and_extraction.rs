@@ -9,12 +9,9 @@
 
 use ec_cht::{OmegaEmulation, OmegaExtractor, TreeConfig};
 use ec_core::ec_omega::{EcConfig, EcOmega};
-use ec_core::etob_omega::{EtobConfig, EtobOmega};
 use ec_core::harness::MultiInstanceProposer;
-use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
 use ec_detectors::omega::{OmegaOracle, PreStabilization};
-use ec_detectors::{sigma::SigmaOracle, PairFd};
-use ec_replication::{ConvergenceReport, KvStore, Replica, ReplicaCommand};
+use ec_replication::{Cluster, ClusterBuilder, Consistency, KvStore, SimEngine};
 use ec_sim::{
     FailurePattern, NetworkModel, PartitionSpec, ProcessId, ProcessSet, RecordingFd, Time,
     WorldBuilder,
@@ -32,88 +29,63 @@ fn partitioned_network() -> NetworkModel {
     )
 }
 
-fn writes() -> Vec<(ProcessId, ReplicaCommand, u64)> {
-    (0..6u64)
-        .map(|k| {
-            (
-                ProcessId::new((k % 2) as usize),
-                ReplicaCommand::new(KvStore::put(&format!("k{k}"), "v")),
-                100 + 25 * k,
-            )
-        })
-        .collect()
+/// The same service code at both consistency levels: only the builder's
+/// `consistency` knob differs.
+fn deploy_store(consistency: Consistency) -> Cluster<KvStore> {
+    let engine = SimEngine::new().network(partitioned_network()).seed(1);
+    let mut cluster = ClusterBuilder::<KvStore>::new(N)
+        .consistency(consistency)
+        .deploy(&engine);
+    // two client sessions on the leader's (minority) side of the partition
+    let mut sessions = [
+        cluster.session_at(ProcessId::new(0)),
+        cluster.session_at(ProcessId::new(1)),
+    ];
+    for k in 0..6u64 {
+        let session = &mut sessions[(k % 2) as usize];
+        cluster.submit(session, KvStore::put(&format!("k{k}"), "v"), 100 + 25 * k);
+    }
+    cluster.run_until(2_500);
+    cluster
 }
 
 #[test]
 fn eventual_store_serves_during_partition_strong_store_blocks() {
-    let failures = FailurePattern::no_failures(N);
+    let eventual = deploy_store(Consistency::Eventual);
+    let strong = deploy_store(Consistency::Strong);
 
-    let omega = OmegaOracle::stable_from_start(failures.clone());
-    let mut eventual = WorldBuilder::new(N)
-        .network(partitioned_network())
-        .failures(failures.clone())
-        .seed(1)
-        .build_with(
-            |p| Replica::<KvStore, _>::new(EtobOmega::new(p, EtobConfig::default())),
-            omega,
-        );
-    for (p, cmd, at) in writes() {
-        eventual.schedule_input(p, cmd, at);
-    }
-    eventual.run_until(2_500);
-
-    let fd = PairFd::new(
-        OmegaOracle::stable_from_start(failures.clone()),
-        SigmaOracle::majority(failures.clone()),
-    );
-    let mut strong = WorldBuilder::new(N)
-        .network(partitioned_network())
-        .failures(failures.clone())
-        .seed(1)
-        .build_with(
-            |p| Replica::<KvStore, _>::new(ConsensusTob::new(p, ConsensusTobConfig::default())),
-            fd,
-        );
-    for (p, cmd, at) in writes() {
-        strong.schedule_input(p, cmd, at);
-    }
-    strong.run_until(2_500);
-
-    let probe = Time::new(HEAL - 20);
-    let eventual_history = eventual.trace().output_history();
-    let strong_history = strong.trace().output_history();
+    let probe = HEAL - 20;
 
     // E2 headline: the eventually consistent leader-side replica made
     // progress during the partition, the strongly consistent one did not.
-    let eventual_progress = eventual_history
-        .value_at(ProcessId::new(1), probe)
-        .map(|o| o.applied)
-        .unwrap_or(0);
     assert!(
-        eventual_progress >= 1,
+        eventual.applied_at(ProcessId::new(1), probe) >= 1,
         "Ω-only replica must serve during the partition"
     );
-    for p in (0..N).map(ProcessId::new) {
-        let blocked = strong_history
-            .value_at(p, probe)
-            .map(|o| o.applied)
-            .unwrap_or(0);
-        assert_eq!(
-            blocked, 0,
-            "Ω+Σ replica {p} must be blocked during the partition"
-        );
-    }
+    assert_eq!(
+        strong.applied_at_all(probe),
+        vec![0; N],
+        "every Ω+Σ replica must be blocked during the partition"
+    );
 
     // both converge after the heal
     for p in (0..N).map(ProcessId::new) {
-        assert_eq!(eventual.algorithm(p).applied(), 6);
-        assert_eq!(strong.algorithm(p).applied(), 6);
+        assert_eq!(eventual.applied(p), 6);
+        assert_eq!(strong.applied(p), 6);
     }
-    let report = ConvergenceReport::from_history(&eventual_history, &failures.correct());
-    assert!(report.is_converged());
+    let eventual_report = eventual.finish();
+    assert!(eventual_report.all_converged());
     assert!(
-        report.divergence_count() >= 1,
+        eventual_report.shards[0].divergences >= 1,
         "the partition must show up as a divergence episode"
+    );
+    assert!(eventual_report.shards[0].snapshots_agree());
+    let strong_report = strong.finish();
+    assert!(strong_report.all_converged());
+    // both levels end in the same state on this conflict-free workload
+    assert_eq!(
+        eventual_report.shards[0].snapshots,
+        strong_report.shards[0].snapshots
     );
 }
 

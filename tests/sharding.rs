@@ -128,11 +128,10 @@ fn sharded_reads_reflect_the_zipf_client_mix() {
     let mut expected = std::collections::BTreeMap::new();
     for shard in 0..SHARDS {
         let delivered = cluster
-            .world(shard)
-            .algorithm(eventual_consistency::sim::ProcessId::new(0))
-            .broadcast_layer()
-            .delivered();
-        for m in delivered {
+            .cluster(shard)
+            .delivered(eventual_consistency::sim::ProcessId::new(0))
+            .expect("simulated shards expose their stable sequence");
+        for m in &delivered {
             let text = String::from_utf8(m.payload.clone()).unwrap();
             let mut parts = text.splitn(3, ' ');
             let (Some("put"), Some(key), Some(value)) = (parts.next(), parts.next(), parts.next())
