@@ -1,0 +1,420 @@
+//! Post-hoc consistency checking of a recorded chaos run.
+//!
+//! The checker consumes a [`RunOutcome`] and verifies what each consistency
+//! level actually promises once faults have ceased:
+//!
+//! * **Convergence** (both levels): all correct replicas expose
+//!   byte-identical state-machine snapshots and identical delivered
+//!   sequences — the paper's eventual-consistency guarantee, generalizing
+//!   the `ConvergenceReport` metrics to adversarial runs.
+//! * **Integrity** (both): nothing is invented and nothing is delivered
+//!   twice, even under duplicating links.
+//! * **Eventual delivery** (both): every write accepted by a replica that
+//!   was never down is eventually delivered everywhere. (A write accepted by
+//!   a replica that later crashed may be lost before propagating — that is
+//!   the unacknowledged-write window every AP store has.)
+//! * **Session order** (both): each session's delivered writes form a prefix
+//!   of its submission order, on every correct replica — the causal-order
+//!   property P3 carried by `C(m)`.
+//! * **Read sanity** (eventual): a read observes only values that were
+//!   actually written (or nothing).
+//! * **Linearizability** (strong): the per-key operation history — writes
+//!   with their invocation/acknowledgement intervals, barrier reads with
+//!   their observations — admits a legal linearization (WGL search,
+//!   [`crate::lin`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ec_core::types::MsgId;
+use ec_replication::Consistency;
+use ec_sim::ProcessId;
+
+use crate::driver::{OpRecord, RunOutcome};
+use crate::lin::{linearizable_register, LinOp};
+
+/// One failed check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The check that failed.
+    pub check: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+/// The checker's verdict on one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// The checked scenario's name.
+    pub name: String,
+    /// The run's consistency level.
+    pub consistency: Consistency,
+    /// Every failed check (empty = the run is consistent).
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// Returns `true` if every check passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ok() {
+            write!(f, "{} [{}]: OK", self.name, self.consistency)
+        } else {
+            writeln!(
+                f,
+                "{} [{}]: {} violation(s)",
+                self.name,
+                self.consistency,
+                self.violations.len()
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  {}: {}", v.check, v.detail)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs every applicable check against the outcome.
+pub fn check_outcome(outcome: &RunOutcome) -> Verdict {
+    let mut violations = Vec::new();
+    check_convergence(outcome, &mut violations);
+    check_integrity(outcome, &mut violations);
+    check_eventual_delivery(outcome, &mut violations);
+    check_session_order(outcome, &mut violations);
+    match outcome.consistency {
+        Consistency::Eventual => check_read_sanity(outcome, &mut violations),
+        Consistency::Strong => check_linearizability(outcome, &mut violations),
+    }
+    Verdict {
+        name: outcome.name.clone(),
+        consistency: outcome.consistency,
+        violations,
+    }
+}
+
+fn check_convergence(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    let mut correct = outcome.correct.iter();
+    let Some(reference) = correct.next() else {
+        return;
+    };
+    for p in correct {
+        if outcome.snapshots[p.index()] != outcome.snapshots[reference.index()] {
+            violations.push(Violation {
+                check: "convergence",
+                detail: format!(
+                    "correct replicas {reference} and {p} hold different final snapshots \
+                     after faults ceased"
+                ),
+            });
+        }
+        if outcome.delivered_ids(p) != outcome.delivered_ids(reference) {
+            violations.push(Violation {
+                check: "convergence",
+                detail: format!(
+                    "correct replicas {reference} and {p} hold different delivered sequences"
+                ),
+            });
+        }
+    }
+}
+
+fn check_integrity(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    let submitted: BTreeSet<MsgId> = outcome
+        .history
+        .iter()
+        .filter_map(|r| match r {
+            OpRecord::Write { id, .. } => Some(*id),
+            OpRecord::Read { .. } => None,
+        })
+        .collect();
+    for p in (0..outcome.n).map(ProcessId::new) {
+        let ids = outcome.delivered_ids(p);
+        let unique: BTreeSet<MsgId> = ids.iter().copied().collect();
+        if unique.len() != ids.len() {
+            violations.push(Violation {
+                check: "integrity",
+                detail: format!("{p} delivered a message more than once"),
+            });
+        }
+        for id in &unique {
+            if !submitted.contains(id) {
+                violations.push(Violation {
+                    check: "integrity",
+                    detail: format!("{p} delivered {id:?}, which no client submitted"),
+                });
+            }
+        }
+    }
+}
+
+fn check_eventual_delivery(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    for record in outcome.writes() {
+        let OpRecord::Write { entry, id, key, .. } = record else {
+            continue;
+        };
+        if outcome.ever_down.contains(*entry) {
+            continue; // no guarantee: the accepting replica was down at some point
+        }
+        for p in outcome.correct.iter() {
+            if !outcome.delivered[p.index()].iter().any(|m| m.id == *id) {
+                violations.push(Violation {
+                    check: "eventual-delivery",
+                    detail: format!(
+                        "write {id:?} to {key} was accepted by always-up {entry} \
+                         but never delivered at correct {p}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_session_order(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    // submission order per session
+    let mut per_session: BTreeMap<usize, Vec<MsgId>> = BTreeMap::new();
+    for record in outcome.writes() {
+        if let OpRecord::Write { session, id, .. } = record {
+            per_session.entry(*session).or_default().push(*id);
+        }
+    }
+    for p in outcome.correct.iter() {
+        let delivered = outcome.delivered_ids(p);
+        let position: BTreeMap<MsgId, usize> = delivered
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        for (session, chain) in &per_session {
+            let positions: Vec<Option<usize>> =
+                chain.iter().map(|id| position.get(id).copied()).collect();
+            // the delivered subset must be a prefix of the chain…
+            if let Some(first_missing) = positions.iter().position(Option::is_none) {
+                if positions[first_missing..].iter().any(Option::is_some) {
+                    violations.push(Violation {
+                        check: "session-order",
+                        detail: format!(
+                            "{p} delivered a later write of session {session} without \
+                             its causal predecessor (op #{first_missing} missing)"
+                        ),
+                    });
+                    continue;
+                }
+            }
+            // …and must appear in submission order
+            let present: Vec<usize> = positions.iter().flatten().copied().collect();
+            if present.windows(2).any(|w| w[0] >= w[1]) {
+                violations.push(Violation {
+                    check: "session-order",
+                    detail: format!(
+                        "{p} delivered session {session}'s writes out of submission order"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_read_sanity(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    let mut written: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for record in outcome.writes() {
+        if let OpRecord::Write { key, value, .. } = record {
+            written.entry(key).or_default().insert(value);
+        }
+    }
+    for record in &outcome.history {
+        let OpRecord::Read {
+            key,
+            value: Some(value),
+            entry,
+            ..
+        } = record
+        else {
+            continue;
+        };
+        let valid = written
+            .get(key.as_str())
+            .is_some_and(|values| values.contains(value.as_str()));
+        if !valid {
+            violations.push(Violation {
+                check: "read-sanity",
+                detail: format!("read of {key} at {entry} observed {value:?}, never written"),
+            });
+        }
+    }
+}
+
+fn check_linearizability(outcome: &RunOutcome, violations: &mut Vec<Violation>) {
+    // in-total-order = must appear in any linearization
+    let decided: BTreeSet<MsgId> = outcome
+        .correct
+        .first()
+        .map(|p| outcome.delivered_ids(p).into_iter().collect())
+        .unwrap_or_default();
+    let mut per_key: BTreeMap<&str, Vec<LinOp>> = BTreeMap::new();
+    for record in &outcome.history {
+        match record {
+            OpRecord::Write {
+                id,
+                key,
+                value,
+                invoked,
+                acked,
+                ..
+            } => {
+                per_key.entry(key).or_default().push(LinOp::write(
+                    value,
+                    *invoked,
+                    *acked,
+                    decided.contains(id),
+                ));
+            }
+            OpRecord::Read {
+                key,
+                value,
+                invoked,
+                returned,
+                ..
+            } => {
+                per_key.entry(key).or_default().push(LinOp::read(
+                    value.as_deref(),
+                    *invoked,
+                    *returned,
+                ));
+            }
+        }
+    }
+    for (key, ops) in per_key {
+        if !linearizable_register(&ops) {
+            violations.push(Violation {
+                check: "linearizability",
+                detail: format!(
+                    "no legal linearization of the {} operation(s) on key {key}",
+                    ops.len()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_scenario;
+    use crate::scenario::{ClientOp, Scenario, WorkloadOp};
+    use ec_replication::KvStore;
+
+    fn put(at: u64, session: usize, key: &str, value: &str) -> ClientOp {
+        ClientOp {
+            at,
+            session,
+            op: WorkloadOp::Put {
+                key: key.into(),
+                value: value.into(),
+            },
+        }
+    }
+
+    fn read(at: u64, session: usize, key: &str) -> ClientOp {
+        ClientOp {
+            at,
+            session,
+            op: WorkloadOp::Read { key: key.into() },
+        }
+    }
+
+    #[test]
+    fn quiet_runs_pass_every_check_at_both_levels() {
+        for consistency in [Consistency::Eventual, Consistency::Strong] {
+            let mut s = Scenario::quiet("checker-quiet", 4, consistency);
+            s.workload = vec![
+                put(10, 0, "alpha", "1"),
+                put(40, 1, "beta", "2"),
+                put(90, 0, "alpha", "3"),
+                read(2_500, 1, "alpha"),
+                read(3_100, 0, "beta"),
+            ];
+            let verdict = check_outcome(&run_scenario::<KvStore>(&s));
+            assert!(verdict.ok(), "{verdict}");
+            assert!(format!("{verdict}").contains("OK"));
+        }
+    }
+
+    #[test]
+    fn doctored_outcomes_trip_the_checks() {
+        let mut s = Scenario::quiet("checker-doctored", 3, Consistency::Eventual);
+        s.workload = vec![put(10, 0, "k", "v"), read(2_500, 1, "k")];
+        let outcome = run_scenario::<KvStore>(&s);
+
+        // divergent snapshot
+        let mut bad = outcome.clone();
+        bad.snapshots[2] = b"doctored".to_vec();
+        let verdict = check_outcome(&bad);
+        assert!(verdict
+            .violations
+            .iter()
+            .any(|v| v.check == "convergence" && v.detail.contains("snapshots")));
+
+        // duplicated delivery
+        let mut bad = outcome.clone();
+        let dup = bad.delivered[1][0].clone();
+        bad.delivered[1].push(dup);
+        let verdict = check_outcome(&bad);
+        assert!(verdict.violations.iter().any(|v| v.check == "integrity"));
+
+        // lost delivery at a correct replica
+        let mut bad = outcome.clone();
+        bad.delivered[0].clear();
+        let verdict = check_outcome(&bad);
+        assert!(verdict
+            .violations
+            .iter()
+            .any(|v| v.check == "eventual-delivery"));
+
+        // read of a never-written value
+        let mut bad = outcome.clone();
+        if let Some(OpRecord::Read { value, .. }) = bad
+            .history
+            .iter_mut()
+            .find(|r| matches!(r, OpRecord::Read { .. }))
+        {
+            *value = Some("forged".into());
+        }
+        let verdict = check_outcome(&bad);
+        assert!(verdict.violations.iter().any(|v| v.check == "read-sanity"));
+    }
+
+    #[test]
+    fn session_order_violations_are_detected() {
+        let mut s = Scenario::quiet("checker-session", 3, Consistency::Eventual);
+        s.workload = vec![put(10, 0, "k", "a"), put(40, 0, "k", "b")];
+        let outcome = run_scenario::<KvStore>(&s);
+        // swap the session's two writes in one replica's delivered sequence
+        let mut bad = outcome.clone();
+        bad.delivered[1].swap(0, 1);
+        let verdict = check_outcome(&bad);
+        assert!(
+            verdict
+                .violations
+                .iter()
+                .any(|v| v.check == "session-order" && v.detail.contains("out of submission")),
+            "{verdict}"
+        );
+        // drop only the *first* write from a replica: prefix violation
+        let mut bad = outcome;
+        bad.delivered[1].remove(0);
+        let verdict = check_outcome(&bad);
+        assert!(
+            verdict
+                .violations
+                .iter()
+                .any(|v| v.check == "session-order" && v.detail.contains("causal predecessor")),
+            "{verdict}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Deliberately broken state machines — the checker's test dummies.
+//!
+//! A checker that never fires is worthless. [`MergingKv`] carries a classic
+//! injected bug: it treats register writes — inherently **non-commutative**
+//! operations — as if they commuted, merging concurrent values with a
+//! deterministic "biggest value wins" rule instead of honoring the delivered
+//! total order. The replicas still *converge* (the merge is deterministic
+//! and order-insensitive), so the convergence checker stays green; the
+//! linearizability checker at `Consistency::Strong` catches it, because a
+//! later acknowledged write of a *smaller* value must win in any legal
+//! linearization but loses under the merge.
+
+use std::collections::BTreeMap;
+
+use ec_replication::StateMachine;
+
+use crate::driver::KvInterface;
+
+/// A key–value store with an injected non-commutativity bug: `put` keeps
+/// whichever value is larger by `(length, lexicographic)` order instead of
+/// last-delivered-wins. Command encoding is identical to
+/// [`ec_replication::KvStore`] (`put <key> <value>` / `del <key>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergingKv {
+    entries: BTreeMap<String, String>,
+}
+
+impl MergingKv {
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    fn keeps(existing: &str, incoming: &str) -> bool {
+        (existing.len(), existing) >= (incoming.len(), incoming)
+    }
+}
+
+impl StateMachine for MergingKv {
+    fn apply(&mut self, command: &[u8]) {
+        let Ok(text) = std::str::from_utf8(command) else {
+            return;
+        };
+        let mut parts = text.splitn(3, ' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("put"), Some(key), Some(value)) => {
+                // BUG: delivery order is ignored; the "largest" value wins,
+                // as if register writes commuted.
+                match self.entries.get(key) {
+                    Some(existing) if Self::keeps(existing, value) => {}
+                    _ => {
+                        self.entries.insert(key.to_string(), value.to_string());
+                    }
+                }
+            }
+            (Some("del"), Some(key), _) => {
+                self.entries.remove(key);
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (k, v) in &self.entries {
+            out.extend_from_slice(k.as_bytes());
+            out.push(b'=');
+            out.extend_from_slice(v.as_bytes());
+            out.push(b';');
+        }
+        out
+    }
+
+    fn from_snapshot(snapshot: &[u8]) -> Option<Self> {
+        let text = std::str::from_utf8(snapshot).ok()?;
+        let mut store = MergingKv::default();
+        for segment in text.split(';').filter(|s| !s.is_empty()) {
+            let (key, value) = segment.split_once('=')?;
+            store.entries.insert(key.to_string(), value.to_string());
+        }
+        Some(store)
+    }
+}
+
+impl KvInterface for MergingKv {
+    fn put_command(key: &str, value: &str) -> Vec<u8> {
+        format!("put {key} {value}").into_bytes()
+    }
+    fn lookup(&self, key: &str) -> Option<String> {
+        self.get(key).map(str::to_string)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_bug_ignores_delivery_order() {
+        let mut kv = MergingKv::default();
+        kv.apply(b"put k aaaa");
+        kv.apply(b"put k b");
+        // a correct register would hold "b"; the bug keeps the longer value
+        assert_eq!(kv.get("k"), Some("aaaa"));
+        // …deterministically in both orders, so replicas still converge
+        let mut other = MergingKv::default();
+        other.apply(b"put k b");
+        other.apply(b"put k aaaa");
+        assert_eq!(kv.snapshot(), other.snapshot());
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        let mut kv = MergingKv::default();
+        kv.apply(b"put a 1");
+        kv.apply(b"put b 22");
+        kv.apply(b"del a");
+        assert_eq!(MergingKv::from_snapshot(&kv.snapshot()), Some(kv));
+    }
+}

@@ -1,0 +1,242 @@
+//! The seeded randomized scenario explorer.
+//!
+//! [`ScenarioGen`] turns one seed into an endless stream of well-formed
+//! [`Scenario`]s mixing partitions, lossy/duplicating/reordering links,
+//! crash–recovery, permanent crashes, and Ω lie windows over randomized
+//! key–value workloads. Generation is a pure function of the seed, so a
+//! whole explorer suite is one number — the CI chaos job runs the same seed
+//! twice and diffs the verdicts to pin down nondeterminism.
+//!
+//! The generator only emits scenarios within the envelope the algorithms
+//! promise to survive: every fault window closes by the fault horizon, loss
+//! stays below certainty (fairness), strong scenarios keep a correct
+//! majority, retain durable state across rejoins, and never script Ω lies
+//! (the sequencer's documented dueling-leader scope).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ec_replication::Consistency;
+use ec_sim::{LinkScope, ProcessId, ProcessSet, RecoveryPolicy};
+
+use crate::scenario::{ClientOp, NemesisOp, Scenario, WorkloadOp};
+
+const KEYS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// A seeded generator of chaos scenarios.
+#[derive(Clone, Debug)]
+pub struct ScenarioGen {
+    rng: StdRng,
+    seed: u64,
+    produced: usize,
+}
+
+impl ScenarioGen {
+    /// Creates a generator; every scenario it will ever produce is a pure
+    /// function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        ScenarioGen {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            produced: 0,
+        }
+    }
+
+    /// Generates the next scenario at the given consistency level.
+    pub fn generate(&mut self, consistency: Consistency) -> Scenario {
+        self.produced += 1;
+        let n = self.rng.gen_range(3usize..=5);
+        let mut scenario = Scenario::quiet(
+            &format!("gen-{}-{}-{}", self.seed, self.produced, consistency),
+            n,
+            consistency,
+        );
+        scenario.seed = self.rng.gen_range(0u64..1_000_000);
+        scenario.sessions = self.rng.gen_range(2usize..=n);
+        scenario.max_delay = self.rng.gen_range(2u64..=4);
+        if consistency == Consistency::Eventual && self.rng.gen_range(0u32..2) == 0 {
+            scenario.recovery = RecoveryPolicy::ClearState;
+        }
+        self.fill_nemesis(&mut scenario);
+        self.fill_workload(&mut scenario);
+        scenario.assert_well_formed();
+        scenario
+    }
+
+    fn window(&mut self, horizon: u64) -> (u64, u64) {
+        let from = self.rng.gen_range(40u64..horizon / 2);
+        let until = self.rng.gen_range(from + 50..=horizon);
+        (from, until)
+    }
+
+    fn subset(&mut self, n: usize, size: usize) -> ProcessSet {
+        let mut members = ProcessSet::new();
+        while members.len() < size {
+            members.insert(ProcessId::new(self.rng.gen_range(0usize..n)));
+        }
+        members
+    }
+
+    fn fill_nemesis(&mut self, scenario: &mut Scenario) {
+        let n = scenario.n;
+        let strong = scenario.consistency == Consistency::Strong;
+        let horizon = scenario.fault_horizon;
+        let fault_count = self.rng.gen_range(1usize..=3);
+        let mut crashed: Vec<ProcessId> = Vec::new();
+        let mut permanent = 0usize;
+        // permanent-crash budget: keep a correct majority at Strong, at
+        // least one correct process at Eventual
+        let crash_budget = if strong { (n - 1) / 2 } else { n - 1 };
+        for _ in 0..fault_count {
+            let kind_bound = if strong { 3 } else { 4 };
+            match self.rng.gen_range(0u32..kind_bound) {
+                0 => {
+                    let (from, until) = self.window(horizon);
+                    let size = self.rng.gen_range(1usize..=(n - 1) / 2);
+                    let minority = self.subset(n, size);
+                    scenario.nemesis.push(NemesisOp::Partition {
+                        from,
+                        until,
+                        minority,
+                    });
+                }
+                1 => {
+                    let (from, until) = self.window(horizon);
+                    let scope = if self.rng.gen_range(0u32..2) == 0 {
+                        LinkScope::All
+                    } else {
+                        LinkScope::Touching(self.subset(n, 1))
+                    };
+                    scenario.nemesis.push(NemesisOp::Lossy {
+                        from,
+                        until,
+                        scope,
+                        drop_permille: self.rng.gen_range(50u16..=400),
+                        dup_permille: self.rng.gen_range(0u16..=300),
+                        jitter: self.rng.gen_range(0u64..=4),
+                    });
+                }
+                2 => {
+                    let process = ProcessId::new(self.rng.gen_range(0usize..n));
+                    if crashed.contains(&process) {
+                        continue; // at most one crash op per process
+                    }
+                    crashed.push(process);
+                    let (at, back_at) = self.window(horizon);
+                    // permanent crashes stay within the budget; beyond it the
+                    // process always rejoins
+                    if permanent < crash_budget && self.rng.gen_range(0u32..3) == 0 {
+                        permanent += 1;
+                        scenario.nemesis.push(NemesisOp::Crash { process, at });
+                    } else {
+                        scenario.nemesis.push(NemesisOp::CrashRecover {
+                            process,
+                            at,
+                            back_at,
+                        });
+                    }
+                }
+                _ => {
+                    let (from, until) = self.window(horizon);
+                    let size = self.rng.gen_range(1usize..=n);
+                    let observers = self.subset(n, size);
+                    let leader = ProcessId::new(self.rng.gen_range(0usize..n));
+                    scenario.nemesis.push(NemesisOp::OmegaLie {
+                        from,
+                        until,
+                        observers,
+                        leader,
+                    });
+                }
+            }
+        }
+    }
+
+    fn fill_workload(&mut self, scenario: &mut Scenario) {
+        let mut ops: Vec<ClientOp> = Vec::new();
+        let writes = self.rng.gen_range(6usize..=12);
+        for i in 0..writes {
+            let key = KEYS[self.rng.gen_range(0usize..KEYS.len())];
+            let padding = "x".repeat(self.rng.gen_range(0usize..=5));
+            ops.push(ClientOp {
+                at: self.rng.gen_range(10u64..scenario.fault_horizon),
+                session: self.rng.gen_range(0usize..scenario.sessions),
+                op: WorkloadOp::Put {
+                    key: key.to_string(),
+                    value: format!("v{i}{padding}"),
+                },
+            });
+        }
+        let reads = self.rng.gen_range(2usize..=4);
+        for i in 0..reads {
+            // half the reads probe during the fault window, half after the
+            // settle period (where they must succeed and agree)
+            let at = if i % 2 == 0 {
+                self.rng
+                    .gen_range(scenario.fault_horizon + scenario.settle / 2..scenario.horizon())
+            } else {
+                self.rng.gen_range(20u64..scenario.fault_horizon)
+            };
+            ops.push(ClientOp {
+                at,
+                session: self.rng.gen_range(0usize..scenario.sessions),
+                op: WorkloadOp::Read {
+                    key: KEYS[self.rng.gen_range(0usize..KEYS.len())].to_string(),
+                },
+            });
+        }
+        ops.sort_by_key(|op| op.at);
+        scenario.workload = ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let scenarios = |seed| {
+            let mut g = ScenarioGen::new(seed);
+            (0..10)
+                .map(|i| {
+                    g.generate(if i % 2 == 0 {
+                        Consistency::Eventual
+                    } else {
+                        Consistency::Strong
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(scenarios(42), scenarios(42));
+        assert_ne!(scenarios(42), scenarios(43));
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed_and_diverse() {
+        let mut g = ScenarioGen::new(7);
+        let mut kinds: Vec<&str> = Vec::new();
+        for i in 0..40 {
+            let consistency = if i % 2 == 0 {
+                Consistency::Eventual
+            } else {
+                Consistency::Strong
+            };
+            let s = g.generate(consistency);
+            s.assert_well_formed(); // also checked inside generate
+            assert!(!s.workload.is_empty());
+            for op in &s.nemesis {
+                kinds.push(match op {
+                    NemesisOp::Partition { .. } => "partition",
+                    NemesisOp::Crash { .. } => "crash",
+                    NemesisOp::CrashRecover { .. } => "crash-recover",
+                    NemesisOp::Lossy { .. } => "lossy",
+                    NemesisOp::OmegaLie { .. } => "omega-lie",
+                });
+            }
+        }
+        for kind in ["partition", "crash", "crash-recover", "lossy", "omega-lie"] {
+            assert!(kinds.contains(&kind), "{kind} never generated");
+        }
+    }
+}

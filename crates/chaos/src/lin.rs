@@ -1,0 +1,266 @@
+//! A Wing–Gong/Lowe-style linearizability checker for bounded register
+//! histories.
+//!
+//! The checker searches for a *linearization*: a total order of the
+//! operations that (1) respects real time — an operation that returned
+//! before another was invoked precedes it — and (2) is legal for a
+//! single-copy register — every read observes the value of the latest
+//! preceding write (or `None` initially). Pending writes (no response
+//! recorded) may take effect at any point after their invocation or never,
+//! unless they are known to have applied (`must_apply`), in which case a
+//! linearization must place them.
+//!
+//! The search is exponential in the worst case, which is fine for the
+//! bounded per-key histories the chaos workload produces (a few dozen
+//! operations); a visited-state memo (`linearized-set × last-write`) keeps
+//! typical runs linear.
+
+use std::collections::HashSet;
+
+/// What an operation did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinKind {
+    /// A write of `value`.
+    Write {
+        /// The written value.
+        value: String,
+        /// Whether the write is known to have taken effect (it appears in
+        /// the delivered total order), so a linearization must include it.
+        must_apply: bool,
+    },
+    /// A read that observed `observed`.
+    Read {
+        /// The observed value (`None` = key absent).
+        observed: Option<String>,
+    },
+}
+
+/// One operation of a single-register history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinOp {
+    /// What the operation did.
+    pub kind: LinKind,
+    /// Invocation time.
+    pub invoked: u64,
+    /// Response time; `None` for a pending write. Reads always have one.
+    pub returned: Option<u64>,
+}
+
+impl LinOp {
+    /// A completed write.
+    pub fn write(value: &str, invoked: u64, acked: Option<u64>, must_apply: bool) -> Self {
+        LinOp {
+            kind: LinKind::Write {
+                value: value.to_string(),
+                must_apply,
+            },
+            invoked,
+            returned: acked,
+        }
+    }
+
+    /// A returned read.
+    pub fn read(observed: Option<&str>, invoked: u64, returned: u64) -> Self {
+        LinOp {
+            kind: LinKind::Read {
+                observed: observed.map(str::to_string),
+            },
+            invoked,
+            returned: Some(returned),
+        }
+    }
+}
+
+/// Returns `true` if the history is linearizable with respect to the
+/// sequential register specification.
+///
+/// # Panics
+///
+/// Panics if the history exceeds 63 operations (the checker is for bounded
+/// histories) or if a read has no response time.
+pub fn linearizable_register(ops: &[LinOp]) -> bool {
+    assert!(
+        ops.len() <= 63,
+        "bounded histories only (got {})",
+        ops.len()
+    );
+    let mut required: u64 = 0;
+    for (i, op) in ops.iter().enumerate() {
+        match &op.kind {
+            LinKind::Write { must_apply, .. } => {
+                // a write that completed (was acknowledged) or took effect
+                // must appear in any linearization; only writes that neither
+                // returned nor applied are free to vanish
+                if *must_apply || op.returned.is_some() {
+                    required |= 1 << i;
+                }
+            }
+            LinKind::Read { .. } => {
+                assert!(op.returned.is_some(), "reads must have a response time");
+                required |= 1 << i;
+            }
+        }
+    }
+    let mut visited: HashSet<(u64, usize)> = HashSet::new();
+    // `last_write` is the 1-based index of the latest linearized write
+    // (0 = initial state, register empty).
+    search(ops, required, 0, 0, &mut visited)
+}
+
+fn register_value(ops: &[LinOp], last_write: usize) -> Option<&str> {
+    if last_write == 0 {
+        return None;
+    }
+    match &ops[last_write - 1].kind {
+        LinKind::Write { value, .. } => Some(value.as_str()),
+        LinKind::Read { .. } => unreachable!("last_write indexes a write"),
+    }
+}
+
+fn search(
+    ops: &[LinOp],
+    required: u64,
+    mask: u64,
+    last_write: usize,
+    visited: &mut HashSet<(u64, usize)>,
+) -> bool {
+    if mask & required == required {
+        // every read and every effective write is placed; the remaining
+        // pending writes linearize nowhere (they never took effect)
+        return true;
+    }
+    if !visited.insert((mask, last_write)) {
+        return false;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            continue;
+        }
+        // `op` may be linearized next iff no other unlinearized operation
+        // returned strictly before `op` was invoked
+        let minimal = ops.iter().enumerate().all(|(j, other)| {
+            j == i || mask & (1 << j) != 0 || other.returned.is_none_or(|r| r >= op.invoked)
+        });
+        if !minimal {
+            continue;
+        }
+        match &op.kind {
+            LinKind::Read { observed } => {
+                if observed.as_deref() != register_value(ops, last_write) {
+                    continue; // illegal here; maybe legal elsewhere
+                }
+                if search(ops, required, mask | (1 << i), last_write, visited) {
+                    return true;
+                }
+            }
+            LinKind::Write { .. } => {
+                if search(ops, required, mask | (1 << i), i + 1, visited) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let ops = vec![
+            LinOp::write("a", 0, Some(10), true),
+            LinOp::read(Some("a"), 20, 25),
+            LinOp::write("b", 30, Some(40), true),
+            LinOp::read(Some("b"), 50, 55),
+        ];
+        assert!(linearizable_register(&ops));
+    }
+
+    #[test]
+    fn stale_read_after_acknowledged_write_is_rejected() {
+        // w(a) acked at 10, then a read that still observes None
+        let ops = vec![
+            LinOp::write("a", 0, Some(10), true),
+            LinOp::read(None, 20, 25),
+        ];
+        assert!(!linearizable_register(&ops));
+    }
+
+    #[test]
+    fn concurrent_writes_may_linearize_either_way() {
+        // both orders of the overlapping writes are acceptable
+        for observed in ["a", "b"] {
+            let ops = vec![
+                LinOp::write("a", 0, Some(50), true),
+                LinOp::write("b", 10, Some(60), true),
+                LinOp::read(Some(observed), 70, 75),
+            ];
+            assert!(linearizable_register(&ops), "observed {observed}");
+        }
+    }
+
+    #[test]
+    fn real_time_separated_writes_fix_the_order() {
+        // w(a) returned before w(b) was invoked: a read after both must see b
+        let ops = vec![
+            LinOp::write("a", 0, Some(10), true),
+            LinOp::write("b", 20, Some(30), true),
+            LinOp::read(Some("a"), 40, 45),
+        ];
+        assert!(!linearizable_register(&ops));
+    }
+
+    #[test]
+    fn pending_writes_are_free_to_apply_or_not() {
+        // a pending (never acked, never delivered) write may explain a read…
+        let may_apply = vec![
+            LinOp::write("a", 0, None, false),
+            LinOp::read(Some("a"), 20, 25),
+        ];
+        assert!(linearizable_register(&may_apply));
+        // …or may be dropped entirely
+        let may_skip = vec![LinOp::write("a", 0, None, false), LinOp::read(None, 20, 25)];
+        assert!(linearizable_register(&may_skip));
+    }
+
+    #[test]
+    fn must_apply_pending_write_constrains_later_reads() {
+        // the write is in the delivered order (must_apply) but unacked; a
+        // read invoked after every other op returned must still be
+        // explainable — here the only order is w(a) then r, so r=None fails
+        let ops = vec![
+            LinOp::write("a", 0, None, true),
+            LinOp::read(None, 100, 105),
+        ];
+        // w(a) is pending, so it may linearize after the read: r=None is fine
+        assert!(linearizable_register(&ops));
+        // but a read observing it and a later read missing it cannot both hold
+        let ops = vec![
+            LinOp::write("a", 0, None, true),
+            LinOp::read(Some("a"), 10, 15),
+            LinOp::read(None, 20, 25),
+        ];
+        assert!(!linearizable_register(&ops));
+    }
+
+    #[test]
+    fn read_read_real_time_order_is_enforced() {
+        let ops = vec![
+            LinOp::write("a", 0, Some(5), true),
+            LinOp::write("b", 50, None, false),
+            // r1 sees b, returns; r2 invoked later sees a again: regression
+            LinOp::read(Some("b"), 60, 65),
+            LinOp::read(Some("a"), 70, 75),
+        ];
+        assert!(!linearizable_register(&ops));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded histories")]
+    fn oversized_histories_are_rejected() {
+        let ops: Vec<LinOp> = (0..64).map(|i| LinOp::write("x", i, None, false)).collect();
+        let _ = linearizable_register(&ops);
+    }
+}

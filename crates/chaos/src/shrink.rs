@@ -1,0 +1,103 @@
+//! Greedy scenario shrinking: minimize a failing schedule to a replayable
+//! counterexample.
+//!
+//! Given a scenario on which a failure predicate holds (typically "the
+//! checker reports a violation"), the shrinker repeatedly tries structural
+//! reductions — dropping a nemesis op, dropping a workload op — and keeps
+//! any reduction under which the predicate still holds, until a fixed point.
+//! Because scenarios are deterministic, the result is a *replayable
+//! artifact*: rerunning the shrunk scenario reproduces the violation
+//! exactly, and its `Display` form can be pasted into a regression test.
+
+use crate::scenario::Scenario;
+
+/// Shrinks `scenario` while `still_fails` keeps holding. Greedy and
+/// deterministic; the returned scenario is `-shrunk`-suffixed, still fails,
+/// and admits no further single-op removal that fails.
+///
+/// # Panics
+///
+/// Panics if `still_fails(scenario)` does not hold to begin with.
+pub fn shrink(scenario: &Scenario, mut still_fails: impl FnMut(&Scenario) -> bool) -> Scenario {
+    assert!(
+        still_fails(scenario),
+        "shrink requires a failing scenario: {} passes",
+        scenario.name
+    );
+    let mut current = scenario.clone();
+    loop {
+        let mut reduced = false;
+        let mut i = current.nemesis.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.nemesis.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+            }
+        }
+        let mut i = current.workload.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.workload.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    current.name = format!("{}-shrunk", scenario.name);
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ClientOp, NemesisOp, WorkloadOp};
+    use ec_replication::Consistency;
+    use ec_sim::ProcessId;
+
+    fn put(at: u64, key: &str) -> ClientOp {
+        ClientOp {
+            at,
+            session: 0,
+            op: WorkloadOp::Put {
+                key: key.into(),
+                value: "v".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn shrinking_removes_everything_irrelevant() {
+        let mut s = Scenario::quiet("shrink-test", 3, Consistency::Eventual);
+        s.nemesis.push(NemesisOp::Crash {
+            process: ProcessId::new(2),
+            at: 100,
+        });
+        s.workload = vec![put(10, "keep"), put(20, "drop"), put(30, "drop2")];
+        // predicate: fails whenever the workload still writes "keep"
+        let fails = |c: &Scenario| {
+            c.workload
+                .iter()
+                .any(|op| matches!(&op.op, WorkloadOp::Put { key, .. } if key == "keep"))
+        };
+        let shrunk = shrink(&s, fails);
+        assert_eq!(shrunk.workload.len(), 1, "{shrunk}");
+        assert!(shrunk.nemesis.is_empty());
+        assert!(fails(&shrunk));
+        assert_eq!(shrunk.name, "shrink-test-shrunk");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a failing scenario")]
+    fn shrinking_a_passing_scenario_panics() {
+        let s = Scenario::quiet("passes", 3, Consistency::Eventual);
+        let _ = shrink(&s, |_| false);
+    }
+}

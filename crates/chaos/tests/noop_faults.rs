@@ -1,0 +1,99 @@
+//! Property: the chaos layer is a strict no-op when disabled.
+//!
+//! A scenario whose every fault probability is zero — zero-probability
+//! lossy windows, an Ω "lie" that tells the truth — must produce replica
+//! snapshots and delivered sequences byte-identical to a control run of the
+//! same workload and seed on the plain facade. This pins down that the
+//! fault-injection hooks consume no randomness and perturb no schedule
+//! unless they actually fire.
+
+use ec_chaos::{run_scenario, ClientOp, NemesisOp, Scenario, WorkloadOp};
+use ec_replication::{Consistency, KvStore};
+use ec_sim::{LinkScope, ProcessId, ProcessSet};
+use proptest::prelude::*;
+
+fn workload(writes: usize, sessions: usize, horizon: u64) -> Vec<ClientOp> {
+    (0..writes)
+        .map(|i| ClientOp {
+            at: 10 + (i as u64 * horizon.saturating_sub(20)) / writes.max(1) as u64,
+            session: i % sessions,
+            op: WorkloadOp::Put {
+                key: ["alpha", "beta"][i % 2].to_string(),
+                value: format!("v{i}"),
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn zero_probability_faults_leave_runs_byte_identical(
+        n in 3usize..6,
+        writes in 1usize..9,
+        seed in proptest::arbitrary::any::<u64>(),
+        consistency_strong in proptest::arbitrary::any::<bool>(),
+    ) {
+        let consistency = if consistency_strong {
+            Consistency::Strong
+        } else {
+            Consistency::Eventual
+        };
+        let mut control = Scenario::quiet("noop-control", n, consistency);
+        control.seed = seed;
+        // identity of the two runs is checked, not convergence, so a short
+        // settle keeps the 48 proptest cases fast
+        control.settle = 600;
+        control.workload = workload(writes, control.sessions, control.fault_horizon);
+
+        let mut disabled = control.clone();
+        disabled.name = "noop-disabled".to_string();
+        disabled.nemesis.push(NemesisOp::Lossy {
+            from: 0,
+            until: control.fault_horizon,
+            scope: LinkScope::All,
+            drop_permille: 0,
+            dup_permille: 0,
+            jitter: 0,
+        });
+        disabled.nemesis.push(NemesisOp::Lossy {
+            from: 5,
+            until: 50,
+            scope: LinkScope::Touching([0].into_iter().collect::<ProcessSet>()),
+            drop_permille: 0,
+            dup_permille: 0,
+            jitter: 0,
+        });
+        if consistency == Consistency::Eventual {
+            // an Ω "lie" that reports the honest leader is also a no-op
+            disabled.nemesis.push(NemesisOp::OmegaLie {
+                from: 10,
+                until: 60,
+                observers: ProcessSet::all(n),
+                leader: ProcessId::new(0),
+            });
+        }
+
+        let control_run = run_scenario::<KvStore>(&control);
+        let disabled_run = run_scenario::<KvStore>(&disabled);
+
+        prop_assert_eq!(&control_run.snapshots, &disabled_run.snapshots);
+        for p in (0..n).map(ProcessId::new) {
+            prop_assert_eq!(
+                control_run.delivered_ids(p),
+                disabled_run.delivered_ids(p),
+                "delivered sequences differ at {}", p
+            );
+        }
+        prop_assert_eq!(&control_run.history, &disabled_run.history);
+        prop_assert_eq!(
+            control_run.report.totals.faults_dropped
+                + control_run.report.totals.faults_duplicated,
+            0
+        );
+        prop_assert_eq!(
+            disabled_run.report.totals.faults_dropped
+                + disabled_run.report.totals.faults_duplicated,
+            0
+        );
+    }
+}

@@ -131,6 +131,19 @@ pub struct EtobConfig {
     /// Experiment E11 quantifies the broadcasts-per-op reduction; the
     /// trade-off is up to `batch` extra ticks of delivery latency.
     pub batch: u64,
+    /// Anti-entropy retransmission: every `resend_period` ticks, a process
+    /// whose causality graph contains messages missing from its delivered
+    /// sequence re-broadcasts `update(CG_i)`. `0` (the default) disables it.
+    ///
+    /// The paper assumes reliable links, under which a single `update`
+    /// broadcast suffices. Over the chaos subsystem's *lossy* links the
+    /// algorithm instead relies on the fairness assumption (each transmission
+    /// attempt succeeds with probability `1 - drop_prob > 0`, see
+    /// `ec_sim::LinkFaults`): enabling retransmission turns that
+    /// infinitely-often delivery guarantee into eventual delivery of every
+    /// payload, restoring convergence. Retransmission stops by itself once
+    /// the local delivered sequence covers the local graph.
+    pub resend_period: u64,
 }
 
 impl Default for EtobConfig {
@@ -139,6 +152,7 @@ impl Default for EtobConfig {
             promote_period: 5,
             eager_promote: false,
             batch: 0,
+            resend_period: 0,
         }
     }
 }
@@ -167,6 +181,14 @@ impl EtobConfig {
     pub fn batching_enabled(&self) -> bool {
         self.batch > 0
     }
+
+    /// Builder-style helper enabling anti-entropy retransmission every
+    /// `period` ticks (used by fault-injecting runs; see
+    /// [`EtobConfig::resend_period`]).
+    pub fn with_resend(mut self, period: u64) -> Self {
+        self.resend_period = period;
+        self
+    }
 }
 
 /// Algorithm 5: ETOB from Ω.
@@ -185,6 +207,8 @@ pub struct EtobOmega {
     next_flush: Option<u64>,
     /// Batching state: absolute deadline of the next periodic promote.
     next_promote: u64,
+    /// Anti-entropy state: absolute deadline of the next resend check.
+    next_resend: u64,
     /// Number of `update` broadcasts sent (one per flush in batch mode, one
     /// per operation otherwise) — reported by the batching experiment E11.
     updates_sent: u64,
@@ -228,6 +252,7 @@ impl EtobOmega {
             graph: CausalGraph::new(),
             next_flush: None,
             next_promote: 0,
+            next_resend: 0,
             updates_sent: 0,
         }
     }
@@ -289,6 +314,27 @@ impl EtobOmega {
         }
         self.promote.len() > before
     }
+
+    /// Anti-entropy step: when enabled and due, re-broadcasts `update(CG_i)`
+    /// if the causality graph holds any message the delivered sequence does
+    /// not — the retransmission that makes infinitely-often delivery (lossy
+    /// links with `drop_prob < 1`) sufficient for eventual delivery.
+    fn maybe_resend(&mut self, ctx: &mut Context<'_, Self>) {
+        if self.config.resend_period == 0 {
+            return;
+        }
+        let now = ctx.now().as_u64();
+        if now < self.next_resend {
+            return;
+        }
+        self.next_resend = now + self.config.resend_period;
+        ctx.set_timer(self.config.resend_period);
+        let delivered: BTreeSet<MsgId> = self.delivered.iter().map(|m| m.id).collect();
+        if self.graph.nodes.keys().any(|id| !delivered.contains(id)) {
+            self.updates_sent += 1;
+            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+        }
+    }
 }
 
 impl fmt::Debug for EtobOmega {
@@ -309,8 +355,13 @@ impl Algorithm for EtobOmega {
     type Fd = ProcessId;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
-        self.next_promote = self.config.promote_period;
+        let now = ctx.now().as_u64();
+        self.next_promote = now + self.config.promote_period;
         ctx.set_timer(self.config.promote_period);
+        if self.config.resend_period > 0 {
+            self.next_resend = now + self.config.resend_period;
+            ctx.set_timer(self.config.resend_period);
+        }
     }
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
@@ -350,31 +401,27 @@ impl Algorithm for EtobOmega {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
-        if self.config.batching_enabled() {
-            // With batching the process juggles two timer chains (flush and
-            // promote) through the single `on_timer` entry point, so each
-            // fire is matched against absolute deadlines: a timer that has
-            // not crossed its deadline does nothing and does not re-arm.
-            let now = ctx.now().as_u64();
-            if self.next_flush.is_some_and(|at| now >= at) {
-                self.next_flush = None;
-                self.updates_sent += 1;
-                ctx.broadcast(EtobMsg::Update(self.graph.clone()));
-            }
-            if now >= self.next_promote {
-                if *ctx.fd() == self.me {
-                    ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
-                }
-                self.next_promote = now + self.config.promote_period;
-                ctx.set_timer(self.config.promote_period);
-            }
-        } else {
+        // The process juggles up to three timer chains (flush, promote,
+        // resend) through the single `on_timer` entry point, so each fire is
+        // matched against absolute deadlines: a timer that has not crossed
+        // its deadline does nothing and does not re-arm. (An unconditional
+        // re-arm would spawn one fresh perpetual chain per foreign fire —
+        // quadratic timer proliferation once a second chain exists.)
+        let now = ctx.now().as_u64();
+        if self.config.batching_enabled() && self.next_flush.is_some_and(|at| now >= at) {
+            self.next_flush = None;
+            self.updates_sent += 1;
+            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+        }
+        if now >= self.next_promote {
             // On local timeout: if Ω_i = p_i then send promote(promote_i) to all.
             if *ctx.fd() == self.me {
                 ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
             }
+            self.next_promote = now + self.config.promote_period;
             ctx.set_timer(self.config.promote_period);
         }
+        self.maybe_resend(ctx);
     }
 }
 
@@ -385,7 +432,8 @@ mod tests {
     use crate::workload::BroadcastWorkload;
     use ec_detectors::omega::{OmegaOracle, PreStabilization};
     use ec_sim::{
-        FailurePattern, NetworkModel, OutputHistory, PartitionSpec, ProcessSet, Time, WorldBuilder,
+        FailurePattern, LinkFaults, LinkScope, NetworkModel, OutputHistory, PartitionSpec,
+        ProcessSet, Time, WorldBuilder,
     };
 
     fn run_etob(
@@ -777,6 +825,49 @@ mod tests {
             .iter()
             .all(|(_, m)| matches!(m, EtobMsg::Update(g) if g.len() == 2)));
         assert_eq!(alg.updates_sent(), 1);
+    }
+
+    #[test]
+    fn resend_restores_eventual_delivery_over_lossy_links() {
+        // Half the remote transmissions in the first 400 ticks are dropped
+        // and a fifth are duplicated; with anti-entropy retransmission every
+        // message still reaches every process, in one agreed order.
+        let n = 4;
+        let failures = FailurePattern::no_failures(n);
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let network = NetworkModel::fixed_delay(2).with_faults(
+            Time::ZERO,
+            Time::new(400),
+            LinkScope::All,
+            LinkFaults::new(0.5, 0.2, 3),
+        );
+        let workload = BroadcastWorkload::uniform(n, 10, 10, 8);
+        let history = run_etob(
+            n,
+            &workload,
+            failures.clone(),
+            omega,
+            network,
+            6_000,
+            EtobConfig::default().with_resend(15),
+        );
+        let reference: Vec<MsgId> = history
+            .last(ProcessId::new(0))
+            .map(|s| s.iter().map(|m| m.id).collect())
+            .expect("p0 delivered");
+        assert_eq!(reference.len(), 10, "every broadcast must survive loss");
+        for p in (0..n).map(ProcessId::new) {
+            let ids: Vec<MsgId> = history
+                .last(p)
+                .map(|s| s.iter().map(|m| m.id).collect())
+                .unwrap_or_default();
+            assert_eq!(ids, reference, "sequences diverged at {p}");
+        }
+        // duplication must not deliver any message twice
+        let mut deduped = reference.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), reference.len());
     }
 
     #[test]

@@ -57,6 +57,33 @@ pub enum TobMsg {
         /// The identifier of the message accepted in that slot.
         id: MsgId,
     },
+    /// Catch-up beacon (leader, [`ConsensusTobConfig::catch_up`] only): the
+    /// leader's slot horizon and delivered length, letting a replica that was
+    /// down detect that it missed decided slots.
+    Heads {
+        /// The leader's next unassigned slot.
+        next_slot: u64,
+        /// The leader's delivered-prefix length.
+        delivered: u64,
+    },
+    /// A lagging replica asks the leader for the decided prefix beyond its
+    /// own `have` delivered entries.
+    SyncRequest {
+        /// The requester's delivered-prefix length.
+        have: u64,
+    },
+    /// The leader's answer: its decided (quorum-acknowledged and delivered)
+    /// suffix starting at index `have`. Safe state transfer: every entry was
+    /// already delivered by the leader, so its position in the total order is
+    /// settled.
+    SyncReply {
+        /// Echo of the request's `have`.
+        have: u64,
+        /// The leader's `next_deliver_slot` after the suffix.
+        next_deliver_slot: u64,
+        /// The decided entries `delivered[have..]` of the leader.
+        suffix: Vec<AppMessage>,
+    },
 }
 
 /// Configuration of [`ConsensusTob`].
@@ -65,11 +92,38 @@ pub struct ConsensusTobConfig {
     /// Ticks between retransmissions of pending messages and undelivered
     /// slots.
     pub resend_period: u64,
+    /// Enables the catch-up protocol (`Heads` / `SyncRequest` / `SyncReply`):
+    /// the leader periodically beacons its delivered length, and a replica
+    /// that detects it missed decided slots (because it was down when they
+    /// were accepted *and* delivered everywhere) pulls the decided prefix
+    /// from the leader. Off by default — the paper's crash-stop model never
+    /// needs it; crash–*recovery* chaos scenarios do, because the leader's
+    /// `resend_period` rebroadcasts only cover slots the leader itself has
+    /// not delivered yet.
+    ///
+    /// Strong consistency additionally requires recovering replicas to rejoin
+    /// with their durable state retained
+    /// (`ec_sim::RecoveryPolicy::RetainState`) if they may ever act as
+    /// leader: a sequencer that forgets its slot assignments could reassign
+    /// an occupied slot — the classical reason Paxos acceptors need stable
+    /// storage.
+    pub catch_up: bool,
 }
 
 impl Default for ConsensusTobConfig {
     fn default() -> Self {
-        ConsensusTobConfig { resend_period: 10 }
+        ConsensusTobConfig {
+            resend_period: 10,
+            catch_up: false,
+        }
+    }
+}
+
+impl ConsensusTobConfig {
+    /// Builder-style helper enabling the catch-up protocol.
+    pub fn with_catch_up(mut self) -> Self {
+        self.catch_up = true;
+        self
     }
 }
 
@@ -266,6 +320,63 @@ impl Algorithm for ConsensusTob {
                 self.acks.entry(slot).or_default().insert(from);
                 self.try_deliver(ctx);
             }
+            TobMsg::Heads {
+                next_slot,
+                delivered,
+            } => {
+                // Trust only the process our own Ω currently outputs.
+                if Self::leader(ctx) == from {
+                    self.next_slot = self.next_slot.max(next_slot);
+                    if (delivered as usize) > self.delivered.len() {
+                        ctx.send(
+                            from,
+                            TobMsg::SyncRequest {
+                                have: self.delivered.len() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+            TobMsg::SyncRequest { have } => {
+                if (have as usize) < self.delivered.len() {
+                    ctx.send(
+                        from,
+                        TobMsg::SyncReply {
+                            have,
+                            next_deliver_slot: self.next_deliver_slot,
+                            suffix: self.delivered[have as usize..].to_vec(),
+                        },
+                    );
+                }
+            }
+            TobMsg::SyncReply {
+                have,
+                next_deliver_slot,
+                suffix,
+            } => {
+                // Delivered prefixes are prefixes of one total order, so the
+                // leader's decided suffix can be appended directly (skipping
+                // whatever arrived through the normal path meanwhile).
+                if Self::leader(ctx) == from {
+                    let have = have as usize;
+                    if have <= self.delivered.len() {
+                        let skip = self.delivered.len() - have;
+                        let mut changed = false;
+                        for message in suffix.into_iter().skip(skip) {
+                            self.pending_own.remove(&message.id);
+                            self.sequenced.insert(message.id);
+                            if self.delivered_ids.insert(message.id) {
+                                self.delivered.push(message);
+                                changed = true;
+                            }
+                        }
+                        self.next_deliver_slot = self.next_deliver_slot.max(next_deliver_slot);
+                        if changed {
+                            ctx.output(self.delivered.clone());
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -296,6 +407,12 @@ impl Algorithm for ConsensusTob {
                 ctx.broadcast(TobMsg::Accept { slot, message });
             }
             self.drain_waiting(ctx);
+            if self.config.catch_up {
+                ctx.broadcast(TobMsg::Heads {
+                    next_slot: self.next_slot,
+                    delivered: self.delivered.len() as u64,
+                });
+            }
         }
         self.try_deliver(ctx);
         ctx.set_timer(self.config.resend_period);
@@ -579,6 +696,68 @@ mod tests {
             latency < 4 * delay + delay,
             "latency {latency} should be about 3 hops"
         );
+    }
+
+    #[test]
+    fn catch_up_lets_a_recovered_replica_learn_decided_slots() {
+        // p3 is down while every op is accepted, quorum-acknowledged and
+        // delivered by the others; after its rejoin nothing is retransmitted
+        // through the normal path (the leader has delivered everything), so
+        // only the catch-up protocol can close p3's gap.
+        let n = 5;
+        let failures = FailurePattern::no_failures(n).with_crash_recovery(
+            ProcessId::new(3),
+            Time::new(50),
+            Time::new(1_000),
+        );
+        let mut workload = BroadcastWorkload::new();
+        for k in 0..6u64 {
+            workload.push(
+                ProcessId::new(1),
+                100 + 20 * k,
+                format!("decided-{k}").into_bytes(),
+                vec![],
+            );
+        }
+        let run_with = |config: ConsensusTobConfig| {
+            let fd = PairFd::new(
+                OmegaOracle::stable_from_start(failures.clone()),
+                SigmaOracle::majority(failures.clone()),
+            );
+            let mut world = WorldBuilder::new(n)
+                .network(NetworkModel::fixed_delay(2))
+                .failures(failures.clone())
+                .seed(3)
+                .build_with(|p| ConsensusTob::new(p, config), fd);
+            workload.submit_to(&mut world);
+            world.run_until(4_000);
+            world.trace().output_history()
+        };
+
+        let without = run_with(ConsensusTobConfig::default());
+        assert_eq!(
+            without.last(ProcessId::new(3)).map(|s| s.len()),
+            None,
+            "without catch-up the rejoined replica must be stuck (motivates the protocol)"
+        );
+
+        let with = run_with(ConsensusTobConfig::default().with_catch_up());
+        for p in (0..n).map(ProcessId::new) {
+            assert_eq!(
+                with.last(p).map(|s| s.len()),
+                Some(6),
+                "{p} must hold the full decided prefix"
+            );
+        }
+        let reference: Vec<MsgId> = with
+            .last(ProcessId::new(0))
+            .map(|s| s.iter().map(|m| m.id).collect())
+            .unwrap();
+        let synced: Vec<MsgId> = with
+            .last(ProcessId::new(3))
+            .map(|s| s.iter().map(|m| m.id).collect())
+            .unwrap();
+        assert_eq!(reference, synced, "state transfer must preserve the order");
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`scripted::ScriptedFd`] — an arbitrary failure detector defined by an
 //!   explicit history, used by the CHT reduction tests to realize the
 //!   adversarial histories the proofs quantify over.
+//! * [`scripted::OverlayFd`] — scripted *lies* layered over any honest
+//!   detector: chosen observers see a chosen wrong value during finite
+//!   windows. The chaos nemesis routes its Ω-lie fault through this wrapper.
 //! * [`checks`] — executable property checkers that verify a recorded
 //!   [`ec_sim::FdHistory`] against the defining properties of Ω and Σ.
 
@@ -42,6 +45,6 @@ pub use checks::{check_omega_history, check_sigma_history, OmegaViolation, Sigma
 pub use combined::PairFd;
 pub use heartbeat::{HeartbeatConfig, HeartbeatMsg, HeartbeatOmega};
 pub use omega::{OmegaOracle, PreStabilization};
-pub use scripted::ScriptedFd;
+pub use scripted::{LieWindow, OverlayFd, ScriptedFd};
 pub use sigma::SigmaOracle;
 pub use suspects::{EventuallyPerfectOracle, PerfectOracle};

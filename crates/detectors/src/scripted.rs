@@ -1,14 +1,24 @@
-//! Arbitrary failure detectors defined by explicit histories.
+//! Arbitrary failure detectors defined by explicit histories, and scripted
+//! lie overlays on top of honest detectors.
 //!
 //! The CHT reduction (Section 4 / Appendix B) quantifies over *any* failure
 //! detector `D` that implements eventual consensus. To test it we therefore
 //! need detectors whose histories are chosen adversarially rather than
 //! derived from Ω; [`ScriptedFd`] realizes any finite description of a
 //! history `H : Π × N → R`.
+//!
+//! The chaos nemesis needs a milder adversary: a detector that is honest
+//! except during scripted finite *lie windows*. [`OverlayFd`] wraps any
+//! detector and overrides its output for chosen observers during chosen
+//! windows — e.g. making some processes trust a wrong Ω leader for a while.
+//! As long as every lie window closes, the wrapped Ω still satisfies its
+//! eventual-agreement property, so the algorithms must (and do) absorb the
+//! lies — exactly the freedom the paper grants detector histories before
+//! stabilization.
 
 use std::fmt;
 
-use ec_sim::{FailureDetector, ProcessId, Time};
+use ec_sim::{FailureDetector, ProcessId, ProcessSet, Time};
 
 /// A failure detector whose output is given by an explicit per-process
 /// schedule of `(from_time, value)` entries: at time `t`, process `p`
@@ -92,6 +102,118 @@ impl<R: fmt::Debug> fmt::Debug for ScriptedFd<R> {
     }
 }
 
+/// A scripted detector lie: during `[from, until)`, the processes in
+/// `observers` see `value` instead of the wrapped detector's honest output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LieWindow<R> {
+    /// First tick at which the lie is told.
+    pub from: Time,
+    /// First tick at which the lie is no longer told.
+    pub until: Time,
+    /// The processes the lie is told to.
+    pub observers: ProcessSet,
+    /// The lying output.
+    pub value: R,
+}
+
+impl<R> LieWindow<R> {
+    fn applies(&self, p: ProcessId, t: Time) -> bool {
+        t >= self.from && t < self.until && self.observers.contains(p)
+    }
+}
+
+/// A failure detector that answers like its wrapped inner detector except
+/// during scripted [`LieWindow`]s. Later-added windows take precedence where
+/// windows overlap.
+///
+/// # Example
+///
+/// Ω lying to one process for a finite window:
+///
+/// ```
+/// use ec_detectors::omega::OmegaOracle;
+/// use ec_detectors::scripted::OverlayFd;
+/// use ec_sim::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+///
+/// let pattern = FailurePattern::no_failures(3);
+/// let observers: ProcessSet = [2].into_iter().collect();
+/// let mut fd = OverlayFd::new(OmegaOracle::stable_from_start(pattern))
+///     .with_lie(Time::new(10), Time::new(20), observers, ProcessId::new(1));
+/// assert_eq!(fd.query(ProcessId::new(2), Time::new(15)), ProcessId::new(1));
+/// assert_eq!(fd.query(ProcessId::new(2), Time::new(20)), ProcessId::new(0));
+/// assert_eq!(fd.query(ProcessId::new(0), Time::new(15)), ProcessId::new(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OverlayFd<D: FailureDetector> {
+    inner: D,
+    lies: Vec<LieWindow<D::Output>>,
+}
+
+impl<D: FailureDetector> OverlayFd<D> {
+    /// Wraps a detector with no lies scripted (a transparent overlay).
+    pub fn new(inner: D) -> Self {
+        OverlayFd {
+            inner,
+            lies: Vec::new(),
+        }
+    }
+
+    /// Adds a lie window: during `[from, until)` the `observers` see `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until` or if `until` is `Time::MAX` — a lie must
+    /// end for the wrapped detector's eventual properties to survive the
+    /// overlay.
+    pub fn with_lie(
+        mut self,
+        from: Time,
+        until: Time,
+        observers: ProcessSet,
+        value: D::Output,
+    ) -> Self {
+        assert!(from < until, "lie window must be non-empty");
+        assert!(
+            until != Time::MAX,
+            "lie window must be finite: a lie that never ends destroys the \
+             wrapped detector's eventual properties"
+        );
+        self.lies.push(LieWindow {
+            from,
+            until,
+            observers,
+            value,
+        });
+        self
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The scripted lie windows.
+    pub fn lies(&self) -> &[LieWindow<D::Output>] {
+        &self.lies
+    }
+}
+
+impl<D: FailureDetector> FailureDetector for OverlayFd<D> {
+    type Output = D::Output;
+
+    fn query(&mut self, p: ProcessId, t: Time) -> D::Output {
+        // The honest value is always computed so that stateful inner
+        // detectors observe every query, lied-about or not.
+        let honest = self.inner.query(p, t);
+        self.lies
+            .iter()
+            .rev()
+            .find(|w| w.applies(p, t))
+            .map(|w| w.value.clone())
+            .unwrap_or(honest)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +250,52 @@ mod tests {
         let mut fd = ScriptedFd::constant(1, 0u8).with_entry(ProcessId::new(4), Time::ZERO, 9);
         assert_eq!(fd.n(), 5);
         assert_eq!(fd.query(ProcessId::new(4), Time::new(1)), 9);
+    }
+
+    #[test]
+    fn overlay_lies_only_inside_the_window_and_to_its_observers() {
+        let inner = ScriptedFd::constant(3, 0u32);
+        let observers: ProcessSet = [0, 1].into_iter().collect();
+        let mut fd = OverlayFd::new(inner).with_lie(Time::new(10), Time::new(20), observers, 7);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(9)), 0);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(10)), 7);
+        assert_eq!(fd.query(ProcessId::new(1), Time::new(19)), 7);
+        assert_eq!(fd.query(ProcessId::new(2), Time::new(15)), 0, "not lied to");
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(20)), 0, "lie over");
+        assert_eq!(fd.lies().len(), 1);
+        assert_eq!(fd.inner().n(), 3);
+    }
+
+    #[test]
+    fn later_lies_take_precedence_where_windows_overlap() {
+        let all: ProcessSet = ProcessSet::all(2);
+        let mut fd = OverlayFd::new(ScriptedFd::constant(2, 0u32))
+            .with_lie(Time::new(0), Time::new(100), all.clone(), 1)
+            .with_lie(Time::new(40), Time::new(60), all, 2);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(30)), 1);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(50)), 2);
+        assert_eq!(fd.query(ProcessId::new(0), Time::new(70)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_lie_window_panics() {
+        let _ = OverlayFd::new(ScriptedFd::constant(1, 0u8)).with_lie(
+            Time::new(5),
+            Time::new(5),
+            ProcessSet::all(1),
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn unending_lie_window_panics() {
+        let _ = OverlayFd::new(ScriptedFd::constant(1, 0u8)).with_lie(
+            Time::new(5),
+            Time::MAX,
+            ProcessSet::all(1),
+            1,
+        );
     }
 }

@@ -332,6 +332,12 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             .collect()
     }
 
+    /// The timed replica-output history so far, in facade ticks — what the
+    /// history-based chaos checkers reconstruct acknowledgement times from.
+    pub fn output_history(&self) -> ec_sim::OutputHistory<crate::replica::ReplicaOutput> {
+        self.deployment.output_history()
+    }
+
     /// The canonical snapshot of replica `p`'s state machine.
     pub fn snapshot(&self, p: ProcessId) -> Vec<u8> {
         self.deployment.snapshot(p)
@@ -395,6 +401,8 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             divergences: convergence.divergence_count(),
             messages_sent: metrics.messages_sent,
             updates_sent: self.deployment.updates_sent(),
+            faults_dropped: metrics.faults_dropped,
+            faults_duplicated: metrics.faults_duplicated,
         };
         ClusterReport {
             engine: self.engine(),
@@ -423,6 +431,8 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             divergences: convergence.divergence_count(),
             messages_sent: fin.metrics.messages_sent,
             updates_sent: fin.updates_sent,
+            faults_dropped: fin.metrics.faults_dropped,
+            faults_duplicated: fin.metrics.faults_duplicated,
         };
         ClusterReport {
             engine,
@@ -456,6 +466,12 @@ pub struct ShardReport {
     /// the batching amortization the E11 experiment reports; 0 for strong
     /// groups).
     pub updates_sent: u64,
+    /// Messages lost to injected link faults inside the group (chaos runs;
+    /// 0 when no faults are scripted).
+    pub faults_dropped: u64,
+    /// Extra message copies injected by link-fault duplication inside the
+    /// group.
+    pub faults_duplicated: u64,
 }
 
 impl ShardReport {
@@ -474,7 +490,8 @@ impl fmt::Display for ShardReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {}: {} ops, applied {:?}, converged at {}, {} divergence(s), {} msgs, {} updates",
+            "shard {}: {} ops, applied {:?}, converged at {}, {} divergence(s), {} msgs, \
+             {} updates, {} lost, {} duped",
             self.shard,
             self.ops_routed,
             self.applied,
@@ -484,6 +501,8 @@ impl fmt::Display for ShardReport {
             self.divergences,
             self.messages_sent,
             self.updates_sent,
+            self.faults_dropped,
+            self.faults_duplicated,
         )
     }
 }
@@ -563,8 +582,15 @@ impl fmt::Display for ClusterReport {
         }
         write!(
             f,
-            "  totals: {} msgs sent, {} delivered, {} outputs",
-            self.totals.messages_sent, self.totals.messages_delivered, self.totals.outputs
+            "  totals: {} msgs sent, {} delivered, {} outputs; faults: {} lost, {} duped, \
+             {} crash(es), {} recovery(ies)",
+            self.totals.messages_sent,
+            self.totals.messages_delivered,
+            self.totals.outputs,
+            self.totals.faults_dropped,
+            self.totals.faults_duplicated,
+            self.totals.crashes,
+            self.totals.recoveries,
         )
     }
 }
@@ -665,6 +691,64 @@ mod tests {
         assert!(rendered.contains("shard 0"));
         let line = format!("{}", report.shards[0]);
         assert!(line.contains("1 ops"));
+    }
+
+    #[test]
+    fn recovering_replicas_converge_at_both_consistency_levels() {
+        use ec_sim::FailurePattern;
+        for consistency in [Consistency::Eventual, Consistency::Strong] {
+            let failures = FailurePattern::no_failures(3).with_crash_recovery(
+                ProcessId::new(2),
+                Time::new(60),
+                Time::new(700),
+            );
+            let mut cluster = ClusterBuilder::<KvStore>::new(3)
+                .consistency(consistency)
+                .etob(EtobConfig::default().with_resend(12))
+                .tob(ConsensusTobConfig::default().with_catch_up())
+                .deploy(&SimEngine::new().failures(failures));
+            let mut session = cluster.session_at(ProcessId::new(0));
+            for k in 0..5u64 {
+                cluster.submit(
+                    &mut session,
+                    KvStore::put(&format!("k{k}"), &format!("v{k}")),
+                    30 + 40 * k,
+                );
+            }
+            cluster.run_until(4_000);
+            let report = cluster.report();
+            assert!(
+                report.shards[0].snapshots_agree(),
+                "rejoined replica diverged at {consistency}"
+            );
+            assert_eq!(
+                cluster.state(ProcessId::new(2)).unwrap().get("k4"),
+                Some("v4"),
+                "{consistency}"
+            );
+            assert_eq!(report.totals.crashes, 1);
+            assert_eq!(report.totals.recoveries, 1);
+        }
+    }
+
+    #[test]
+    fn scripted_omega_lies_are_absorbed_after_the_window() {
+        // p2 trusts the wrong leader for a finite window at Eventual; after
+        // the lie ends it re-adopts the real leader's promotions and the
+        // cluster converges as if nothing happened.
+        let observers: ProcessSet = [2].into_iter().collect();
+        let engine = SimEngine::new().omega_lie(40, 300, observers, ProcessId::new(2));
+        let mut cluster = ClusterBuilder::<KvStore>::new(3).deploy(&engine);
+        let mut session = cluster.session_at(ProcessId::new(0));
+        cluster.submit(&mut session, KvStore::put("a", "1"), 50);
+        cluster.submit(&mut session, KvStore::put("b", "2"), 120);
+        cluster.run_until(2_000);
+        let report = cluster.report();
+        assert!(report.shards[0].snapshots_agree(), "lie must be absorbed");
+        assert_eq!(
+            cluster.state(ProcessId::new(2)).unwrap().get("b"),
+            Some("2")
+        );
     }
 
     #[test]

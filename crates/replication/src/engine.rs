@@ -30,12 +30,13 @@ use ec_core::etob_omega::{EtobConfig, EtobOmega};
 use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
 use ec_core::types::{AppMessage, EventualTotalOrderBroadcast};
 use ec_detectors::omega::OmegaOracle;
+use ec_detectors::scripted::{LieWindow, OverlayFd};
 use ec_detectors::sigma::SigmaOracle;
 use ec_detectors::PairFd;
 use ec_runtime::{Runtime, RuntimeConfig};
 use ec_sim::{
     FailureDetector, FailurePattern, Metrics, NetworkModel, OutputHistory, ProcessId, ProcessSet,
-    Time, World, WorldBuilder,
+    RecoveryPolicy, Time, World, WorldBuilder,
 };
 
 use crate::cluster::Consistency;
@@ -96,14 +97,18 @@ impl fmt::Display for EngineKind {
 /// scripted oracles over the configured [`FailurePattern`].
 ///
 /// Everything scenario-shaped lives here: the network model (including
-/// scripted partitions), the crash pattern, the seed, and when Ω
-/// stabilizes. Runs are bit-reproducible for a fixed configuration.
+/// scripted partitions and link-fault windows), the crash pattern (including
+/// crash–recovery windows and the rejoin [`RecoveryPolicy`]), the seed,
+/// when Ω stabilizes, and scripted Ω lie windows. Runs are bit-reproducible
+/// for a fixed configuration.
 #[derive(Clone, Debug)]
 pub struct SimEngine {
     network: NetworkModel,
     failures: Option<FailurePattern>,
     seed: u64,
     omega_stabilizes_at: Option<u64>,
+    omega_lies: Vec<LieWindow<ProcessId>>,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for SimEngine {
@@ -113,6 +118,8 @@ impl Default for SimEngine {
             failures: None,
             seed: 7,
             omega_stabilizes_at: None,
+            omega_lies: Vec::new(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -150,6 +157,38 @@ impl SimEngine {
         self
     }
 
+    /// Scripts an Ω lie: during `[from, until)`, the `observers` trust
+    /// `leader` instead of the oracle's honest output. The window must be
+    /// finite, so the lied-at Ω still stabilizes — Algorithm 5 then absorbs
+    /// the lie (delivered sequences may diverge during the window and
+    /// reconverge after it). Note the quorum sequencer's documented scope:
+    /// it handles leader *changes*, not ballot-based dueling-leader
+    /// recovery, so chaos scenarios script Ω lies only at
+    /// [`Consistency::Eventual`].
+    pub fn omega_lie(
+        mut self,
+        from: u64,
+        until: u64,
+        observers: ProcessSet,
+        leader: ProcessId,
+    ) -> Self {
+        assert!(from < until, "lie window must be non-empty and finite");
+        self.omega_lies.push(LieWindow {
+            from: Time::new(from),
+            until: Time::new(until),
+            observers,
+            value: leader,
+        });
+        self
+    }
+
+    /// Sets what a replica rejoining after a scripted crash–recovery window
+    /// resumes with (defaults to [`RecoveryPolicy::RetainState`]).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     fn pattern(&self, n: usize) -> FailurePattern {
         let failures = self
             .failures
@@ -163,11 +202,16 @@ impl SimEngine {
         failures
     }
 
-    fn omega(&self, failures: &FailurePattern) -> OmegaOracle {
-        match self.omega_stabilizes_at {
+    fn omega(&self, failures: &FailurePattern) -> OverlayFd<OmegaOracle> {
+        let oracle = match self.omega_stabilizes_at {
             Some(t) => OmegaOracle::stabilizing_at(failures.clone(), Time::new(t)),
             None => OmegaOracle::stable_from_start(failures.clone()),
+        };
+        let mut fd = OverlayFd::new(oracle);
+        for lie in &self.omega_lies {
+            fd = fd.with_lie(lie.from, lie.until, lie.observers.clone(), lie.value);
         }
+        fd
     }
 }
 
@@ -186,6 +230,7 @@ impl Engine for SimEngine {
                     .network(self.network.clone())
                     .failures(failures)
                     .seed(self.seed)
+                    .recovery_policy(self.recovery)
                     .build_with(|p| Replica::new(EtobOmega::new(p, etob)), omega);
                 EngineDeployment::SimEventual(Box::new(world))
             }
@@ -196,6 +241,7 @@ impl Engine for SimEngine {
                     .network(self.network.clone())
                     .failures(failures)
                     .seed(self.seed)
+                    .recovery_policy(self.recovery)
                     .build_with(|p| Replica::new(ConsensusTob::new(p, tob)), fd);
                 EngineDeployment::SimStrong(Box::new(world))
             }
@@ -359,6 +405,10 @@ where
 // The uniform deployment handle
 // ---------------------------------------------------------------------------
 
+/// The failure detector of simulated strong deployments: Ω behind a
+/// scripted lie overlay, paired with the quorum oracle Σ.
+pub type SimStrongFd = PairFd<OverlayFd<OmegaOracle>, SigmaOracle>;
+
 /// A running replica group behind the uniform driving interface the
 /// [`crate::cluster::Cluster`] facade uses. One variant per (engine,
 /// consistency) combination; the variant is selected by
@@ -368,10 +418,11 @@ pub enum EngineDeployment<S>
 where
     S: StateMachine + Send + 'static,
 {
-    /// Simulated Algorithm 5 group (Ω oracle).
-    SimEventual(Box<World<Replica<S, EtobOmega>, OmegaOracle>>),
-    /// Simulated quorum-sequencer group (Ω + Σ oracles).
-    SimStrong(Box<World<Replica<S, ConsensusTob>, PairFd<OmegaOracle, SigmaOracle>>>),
+    /// Simulated Algorithm 5 group (Ω oracle behind a lie overlay).
+    SimEventual(Box<World<Replica<S, EtobOmega>, OverlayFd<OmegaOracle>>>),
+    /// Simulated quorum-sequencer group (Ω + Σ oracles; Ω behind a lie
+    /// overlay).
+    SimStrong(Box<World<Replica<S, ConsensusTob>, SimStrongFd>>),
     /// Threaded Algorithm 5 group (heartbeat Ω).
     ThreadEventual(ThreadDeployment<S, EtobOmega>),
     /// Threaded quorum-sequencer group (heartbeat Ω + static quorum Σ).

@@ -1,42 +1,74 @@
-//! Failure patterns: which processes crash, and when.
+//! Failure patterns: which processes crash, when — and when they recover.
 
 use crate::{ProcessId, ProcessSet, Time};
 
-/// A failure pattern `F : N → 2^Π` (Section 2 of the paper), represented by
-/// the crash time of every process (processes never recover, so `F` is fully
-/// described by one time per process).
+/// A half-open interval `[from, until)` during which a process is down.
+/// `until == Time::MAX` means the process never recovers (a classical crash).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DownWindow {
+    /// First tick at which the process is down (the crash time).
+    pub from: Time,
+    /// First tick at which the process is up again (`Time::MAX` = never).
+    pub until: Time,
+}
+
+impl DownWindow {
+    fn covers(&self, t: Time) -> bool {
+        // A window that never closes also covers `Time::MAX` itself, matching
+        // the classical `is_alive(p, t) = t < crash_time(p)` semantics.
+        t >= self.from && (self.until == Time::MAX || t < self.until)
+    }
+}
+
+/// A failure pattern `F : N → 2^Π` (Section 2 of the paper), extended with
+/// crash–*recovery* windows for the adversarial-testing subsystem.
 ///
-/// `F(t)` is the set of processes whose crash time is `≤ t`; `faulty(F)` is
-/// the set of processes with a finite crash time and `correct(F) = Π \
-/// faulty(F)`.
+/// In the paper processes never recover, so `F` is fully described by one
+/// crash time per process; that remains the default reading of
+/// [`FailurePattern::with_crash`]. The chaos nemesis additionally scripts
+/// finite down windows via [`FailurePattern::with_crash_recovery`]: the
+/// process takes no steps and receives no messages during `[from, until)` and
+/// rejoins at `until` (with its volatile state retained or cleared — a
+/// [`crate::RecoveryPolicy`] of the world, not of the pattern).
+///
+/// `F(t)` ([`FailurePattern::crashed_at`]) is the set of processes down at
+/// `t`. Without recovery windows it is monotone (`F(t) ⊆ F(t + 1)`) as in the
+/// paper; a recovery removes the process from `F` again. `correct(F)` is the
+/// set of processes that are *eventually always up* — a process whose every
+/// down window closes is correct, exactly like a process that never crashes.
 ///
 /// # Example
 ///
 /// ```
 /// use ec_sim::{FailurePattern, ProcessId, Time};
-/// let f = FailurePattern::no_failures(3).with_crash(ProcessId::new(2), Time::new(50));
+/// let f = FailurePattern::no_failures(3)
+///     .with_crash(ProcessId::new(2), Time::new(50))
+///     .with_crash_recovery(ProcessId::new(1), Time::new(10), Time::new(20));
 /// assert!(f.is_correct(ProcessId::new(0)));
 /// assert!(!f.is_correct(ProcessId::new(2)));
-/// assert!(f.is_alive(ProcessId::new(2), Time::new(49)));
-/// assert!(!f.is_alive(ProcessId::new(2), Time::new(50)));
+/// // a recovering process is down only inside its window — and is correct
+/// assert!(f.is_correct(ProcessId::new(1)));
+/// assert!(!f.is_alive(ProcessId::new(1), Time::new(15)));
+/// assert!(f.is_alive(ProcessId::new(1), Time::new(20)));
 /// assert_eq!(f.correct().len(), 2);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FailurePattern {
-    /// `crash[i]` is the time at which `p_i` crashes; `Time::MAX` means never.
-    crash: Vec<Time>,
+    /// `down[i]` is the list of down windows of `p_i`, sorted by `from` and
+    /// non-overlapping. Empty = never crashes.
+    down: Vec<Vec<DownWindow>>,
 }
 
 impl FailurePattern {
     /// The failure-free pattern over `n` processes.
     pub fn no_failures(n: usize) -> Self {
         FailurePattern {
-            crash: vec![Time::MAX; n],
+            down: vec![Vec::new(); n],
         }
     }
 
     /// A pattern over `n` processes in which the listed processes crash at the
-    /// given times.
+    /// given times (and never recover).
     pub fn with_crashes(n: usize, crashes: &[(ProcessId, Time)]) -> Self {
         let mut f = Self::no_failures(n);
         for (p, t) in crashes {
@@ -51,35 +83,97 @@ impl FailurePattern {
         self
     }
 
-    /// Marks `p` as crashing at time `t`.
+    /// Marks `p` as crashing at time `t` and never recovering, replacing any
+    /// previously scripted windows of `p`.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not a process of this pattern.
     pub fn set_crash(&mut self, p: ProcessId, t: Time) {
         let slot = self
-            .crash
+            .down
             .get_mut(p.index())
             .expect("process id out of range for failure pattern");
-        *slot = t;
+        *slot = vec![DownWindow {
+            from: t,
+            until: Time::MAX,
+        }];
+    }
+
+    /// Builder-style variant of [`FailurePattern::add_crash_recovery`].
+    pub fn with_crash_recovery(mut self, p: ProcessId, from: Time, until: Time) -> Self {
+        self.add_crash_recovery(p, from, until);
+        self
+    }
+
+    /// Scripts a crash–recovery window: `p` crashes at `from`, takes no steps
+    /// and receives nothing during `[from, until)`, and rejoins at `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range, if `from >= until`, if `until` is
+    /// `Time::MAX` (use [`FailurePattern::set_crash`] for a permanent crash),
+    /// or if the window overlaps a previously scripted window of `p`.
+    pub fn add_crash_recovery(&mut self, p: ProcessId, from: Time, until: Time) {
+        assert!(from < until, "crash–recovery window must be non-empty");
+        assert!(
+            until != Time::MAX,
+            "a window that never closes is a permanent crash; use set_crash"
+        );
+        let slot = self
+            .down
+            .get_mut(p.index())
+            .expect("process id out of range for failure pattern");
+        assert!(
+            slot.iter().all(|w| until <= w.from || w.until <= from),
+            "crash–recovery windows of one process must not overlap"
+        );
+        slot.push(DownWindow { from, until });
+        slot.sort_by_key(|w| w.from);
     }
 
     /// Number of processes `n = |Π|`.
     pub fn n(&self) -> usize {
-        self.crash.len()
+        self.down.len()
     }
 
-    /// Crash time of `p`, or `Time::MAX` if `p` never crashes.
+    /// First crash time of `p`, or `Time::MAX` if `p` never crashes.
     pub fn crash_time(&self, p: ProcessId) -> Time {
-        self.crash[p.index()]
+        self.down[p.index()]
+            .first()
+            .map(|w| w.from)
+            .unwrap_or(Time::MAX)
     }
 
-    /// Returns `true` if `p` has not crashed by time `t` (i.e. `p ∉ F(t)`).
+    /// The scripted down windows of `p`, sorted by crash time.
+    pub fn down_windows(&self, p: ProcessId) -> &[DownWindow] {
+        &self.down[p.index()]
+    }
+
+    /// Every `(process, recovery_time)` pair of the pattern, in time order —
+    /// the rejoin events the simulation runner schedules.
+    pub fn recoveries(&self) -> Vec<(ProcessId, Time)> {
+        let mut out: Vec<(ProcessId, Time)> = self
+            .down
+            .iter()
+            .enumerate()
+            .flat_map(|(i, windows)| {
+                windows
+                    .iter()
+                    .filter(|w| w.until != Time::MAX)
+                    .map(move |w| (ProcessId::new(i), w.until))
+            })
+            .collect();
+        out.sort_by_key(|(p, t)| (*t, p.index()));
+        out
+    }
+
+    /// Returns `true` if `p` is up at time `t` (i.e. `p ∉ F(t)`).
     pub fn is_alive(&self, p: ProcessId, t: Time) -> bool {
-        t < self.crash[p.index()]
+        !self.down[p.index()].iter().any(|w| w.covers(t))
     }
 
-    /// The set `F(t)` of processes crashed by time `t`.
+    /// The set `F(t)` of processes down at time `t`.
     pub fn crashed_at(&self, t: Time) -> ProcessSet {
         (0..self.n())
             .map(ProcessId::new)
@@ -87,12 +181,14 @@ impl FailurePattern {
             .collect()
     }
 
-    /// Returns `true` if `p ∈ correct(F)`, i.e. `p` never crashes.
+    /// Returns `true` if `p ∈ correct(F)`: `p` is eventually always up. A
+    /// process that never crashes is correct; so is one whose every down
+    /// window closes (it recovers and stays up).
     pub fn is_correct(&self, p: ProcessId) -> bool {
-        self.crash[p.index()] == Time::MAX
+        self.down[p.index()].iter().all(|w| w.until != Time::MAX)
     }
 
-    /// The set `correct(F)` of processes that never crash.
+    /// The set `correct(F)` of eventually-always-up processes.
     pub fn correct(&self) -> ProcessSet {
         (0..self.n())
             .map(ProcessId::new)
@@ -100,7 +196,7 @@ impl FailurePattern {
             .collect()
     }
 
-    /// The set `faulty(F)` of processes that eventually crash.
+    /// The set `faulty(F)` of processes that eventually crash for good.
     pub fn faulty(&self) -> ProcessSet {
         (0..self.n())
             .map(ProcessId::new)
@@ -133,6 +229,7 @@ mod tests {
         assert!(f.faulty().is_empty());
         assert!(f.has_correct_majority());
         assert_eq!(f.first_correct(), Some(ProcessId::new(0)));
+        assert!(f.recoveries().is_empty());
     }
 
     #[test]
@@ -141,6 +238,7 @@ mod tests {
         assert!(f.is_alive(ProcessId::new(1), Time::new(9)));
         assert!(!f.is_alive(ProcessId::new(1), Time::new(10)));
         assert!(!f.is_alive(ProcessId::new(1), Time::new(11)));
+        assert!(!f.is_alive(ProcessId::new(1), Time::MAX));
         assert_eq!(f.crash_time(ProcessId::new(1)), Time::new(10));
     }
 
@@ -156,12 +254,34 @@ mod tests {
         assert_eq!(f.crashed_at(Time::new(0)).len(), 0);
         assert_eq!(f.crashed_at(Time::new(5)).len(), 1);
         assert_eq!(f.crashed_at(Time::new(20)).len(), 2);
-        // monotonicity F(t) ⊆ F(t+1)
+        // monotonicity F(t) ⊆ F(t+1) — holds because nothing recovers
         for t in 0..30u64 {
             let a = f.crashed_at(Time::new(t));
             let b = f.crashed_at(Time::new(t + 1));
             assert!(a.is_subset(&b));
         }
+    }
+
+    #[test]
+    fn recovery_windows_close_and_keep_the_process_correct() {
+        let f = FailurePattern::no_failures(3)
+            .with_crash_recovery(ProcessId::new(1), Time::new(10), Time::new(30))
+            .with_crash_recovery(ProcessId::new(1), Time::new(50), Time::new(60));
+        let p = ProcessId::new(1);
+        assert!(f.is_alive(p, Time::new(9)));
+        assert!(!f.is_alive(p, Time::new(10)));
+        assert!(!f.is_alive(p, Time::new(29)));
+        assert!(f.is_alive(p, Time::new(30)));
+        assert!(!f.is_alive(p, Time::new(55)));
+        assert!(f.is_alive(p, Time::new(60)));
+        assert!(f.is_correct(p), "a recovering process is correct");
+        assert_eq!(f.correct().len(), 3);
+        assert_eq!(f.crash_time(p), Time::new(10));
+        assert_eq!(f.recoveries(), vec![(p, Time::new(30)), (p, Time::new(60))]);
+        assert_eq!(f.down_windows(p).len(), 2);
+        // F(t) is no longer monotone once windows close
+        assert!(f.crashed_at(Time::new(15)).contains(p));
+        assert!(!f.crashed_at(Time::new(40)).contains(p));
     }
 
     #[test]
@@ -184,5 +304,23 @@ mod tests {
     fn set_crash_out_of_range_panics() {
         let mut f = FailurePattern::no_failures(2);
         f.set_crash(ProcessId::new(5), Time::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_windows_panic() {
+        let _ = FailurePattern::no_failures(2)
+            .with_crash_recovery(ProcessId::new(0), Time::new(10), Time::new(30))
+            .with_crash_recovery(ProcessId::new(0), Time::new(20), Time::new(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_recovery_window_panics() {
+        let _ = FailurePattern::no_failures(2).with_crash_recovery(
+            ProcessId::new(0),
+            Time::new(10),
+            Time::new(10),
+        );
     }
 }

@@ -25,7 +25,11 @@
 //! between groups of processes delay all traffic until the partition heals),
 //! which is how the experiments exercise the paper's claim that eventual
 //! consistency — unlike strong consistency — does not require the quorum
-//! detector Σ.
+//! detector Σ. For adversarial (chaos) testing it additionally supports
+//! scripted *link faults* — seeded probabilistic loss, duplication and
+//! reordering jitter inside [`FaultWindow`]s — and *crash–recovery* windows
+//! in the [`FailurePattern`], with a [`RecoveryPolicy`] choosing whether a
+//! rejoining process retains or clears its pre-crash state.
 //!
 //! # Example
 //!
@@ -80,12 +84,14 @@ mod trace;
 mod world;
 
 pub use algorithm::{Actions, Algorithm, Context};
-pub use failure::FailurePattern;
+pub use failure::{DownWindow, FailurePattern};
 pub use fd::{FailureDetector, FdHistory, FdSample, NullFd, RecordingFd};
 pub use history::{OutputHistory, OutputSnapshot};
 pub use metrics::Metrics;
-pub use network::{DelayModel, NetworkModel, PartitionSpec, PartitionWindow};
+pub use network::{
+    DelayModel, FaultWindow, LinkFaults, LinkScope, NetworkModel, PartitionSpec, PartitionWindow,
+};
 pub use process::{ProcessId, ProcessSet};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};
-pub use world::{World, WorldBuilder};
+pub use world::{RecoveryPolicy, World, WorldBuilder};

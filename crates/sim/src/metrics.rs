@@ -23,6 +23,16 @@ pub struct Metrics {
     pub inputs: u64,
     /// Total steps executed (message, timer and input steps).
     pub steps: u64,
+    /// Messages lost to an injected link fault (chaos testing), as opposed to
+    /// `messages_dropped`, which counts deliveries to crashed destinations.
+    pub faults_dropped: u64,
+    /// Extra message copies injected by link-fault duplication.
+    pub faults_duplicated: u64,
+    /// Process crashes that occurred during the run (every down window that
+    /// opened, including permanent crashes).
+    pub crashes: u64,
+    /// Crash–recovery rejoins that occurred during the run.
+    pub recoveries: u64,
     /// Messages sent, per sending process.
     pub sends_per_process: Vec<u64>,
 }
@@ -66,6 +76,10 @@ impl Metrics {
         self.timer_fires += other.timer_fires;
         self.inputs += other.inputs;
         self.steps += other.steps;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
         self.sends_per_process
             .extend(other.sends_per_process.iter().copied());
     }
@@ -97,11 +111,19 @@ mod tests {
         b.record_send(ProcessId::new(1));
         b.record_send(ProcessId::new(1));
         b.outputs = 5;
+        b.faults_dropped = 4;
+        b.faults_duplicated = 2;
+        b.crashes = 1;
+        b.recoveries = 1;
         a.merge(&b);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.messages_delivered, 1);
         assert_eq!(a.outputs, 5);
         assert_eq!(a.steps, 3);
+        assert_eq!(a.faults_dropped, 4);
+        assert_eq!(a.faults_duplicated, 2);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.recoveries, 1);
         assert_eq!(a.sends_per_process, vec![1, 0, 0, 2]);
     }
 

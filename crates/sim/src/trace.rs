@@ -42,11 +42,31 @@ pub enum TraceEvent<O> {
         /// Unique message identifier (per run).
         id: u64,
     },
+    /// A message was lost to an injected link fault at send time (chaos
+    /// testing; distinct from [`TraceEvent::MessageDropped`], which records a
+    /// delivery to a crashed destination).
+    MessageLost {
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Send time (the fault applies at the sending side).
+        at: Time,
+        /// Unique message identifier (per run).
+        id: u64,
+    },
     /// A process crashed.
     Crashed {
         /// The crashed process.
         process: ProcessId,
         /// Crash time.
+        at: Time,
+    },
+    /// A process rejoined after a scripted crash–recovery window.
+    Recovered {
+        /// The recovered process.
+        process: ProcessId,
+        /// Rejoin time.
         at: Time,
     },
     /// An input (operation invocation) was handed to a process.
@@ -82,7 +102,9 @@ impl<O> TraceEvent<O> {
             TraceEvent::MessageSent { at, .. }
             | TraceEvent::MessageDelivered { at, .. }
             | TraceEvent::MessageDropped { at, .. }
+            | TraceEvent::MessageLost { at, .. }
             | TraceEvent::Crashed { at, .. }
+            | TraceEvent::Recovered { at, .. }
             | TraceEvent::Input { at, .. }
             | TraceEvent::TimerFired { at, .. }
             | TraceEvent::Output { at, .. } => *at,

@@ -13,6 +13,22 @@ use crate::{
     Time, Trace, TraceEvent,
 };
 
+/// What a process rejoining after a crash–recovery window resumes with.
+///
+/// [`RecoveryPolicy::RetainState`] models a process whose full state survived
+/// the crash on durable storage; [`RecoveryPolicy::ClearState`] models a
+/// rejoin from a blank slate (only messages received after the rejoin shape
+/// its state). Either way the process's `on_start` handler runs again at the
+/// rejoin time, re-arming its timer chains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// The automaton state from just before the crash is retained.
+    #[default]
+    RetainState,
+    /// The automaton is replaced by a freshly constructed one.
+    ClearState,
+}
+
 /// Builder for a [`World`].
 ///
 /// # Example
@@ -42,6 +58,7 @@ pub struct WorldBuilder {
     failures: FailurePattern,
     seed: u64,
     quiescence_idle_window: u64,
+    recovery: RecoveryPolicy,
 }
 
 impl WorldBuilder {
@@ -59,6 +76,7 @@ impl WorldBuilder {
             failures: FailurePattern::no_failures(n),
             seed: 0,
             quiescence_idle_window: 50,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -96,6 +114,18 @@ impl WorldBuilder {
         self
     }
 
+    /// Sets what a process rejoining after a crash–recovery window resumes
+    /// with (durable state retained, or cleared). Defaults to
+    /// [`RecoveryPolicy::RetainState`]. With
+    /// [`RecoveryPolicy::ClearState`], the factory passed to
+    /// [`WorldBuilder::build_with`] is invoked once more per scripted
+    /// recovery of a process to pre-build its replacement automata, so the
+    /// factory should be a pure function of the process identifier.
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
     /// Builds the world: instantiates one automaton per process via `factory`
     /// and takes the initial `on_start` step of every initially-alive process
     /// at time 0.
@@ -106,9 +136,29 @@ impl WorldBuilder {
         F: FnMut(ProcessId) -> A,
     {
         let procs: Vec<A> = (0..self.n).map(|i| factory(ProcessId::new(i))).collect();
+        // Pre-build the replacement automata clear-state recoveries swap in,
+        // so the builder does not have to store the factory.
+        let spares: Vec<Vec<A>> = (0..self.n)
+            .map(|i| {
+                let p = ProcessId::new(i);
+                let rejoins = match self.recovery {
+                    RecoveryPolicy::RetainState => 0,
+                    RecoveryPolicy::ClearState => self
+                        .failures
+                        .down_windows(p)
+                        .iter()
+                        .filter(|w| w.until != Time::MAX)
+                        .count(),
+                };
+                (0..rejoins).map(|_| factory(p)).collect()
+            })
+            .collect();
+        let recoveries = self.failures.recoveries();
         let mut world = World {
             n: self.n,
             procs,
+            spares,
+            recovery: self.recovery,
             fd,
             network: self.network,
             failures: self.failures,
@@ -120,10 +170,13 @@ impl WorldBuilder {
             pending_non_timer: 0,
             trace: Trace::new(self.n),
             metrics: Metrics::new(self.n),
-            crash_recorded: vec![false; self.n],
+            crash_recorded: vec![0; self.n],
             last_activity: Time::ZERO,
             idle_window: self.quiescence_idle_window,
         };
+        for (p, at) in recoveries {
+            world.push_event(at, EventKind::Recover { process: p });
+        }
         world.start();
         world
     }
@@ -142,6 +195,9 @@ enum EventKind<A: Algorithm> {
     Input {
         process: ProcessId,
         input: A::Input,
+    },
+    Recover {
+        process: ProcessId,
     },
 }
 
@@ -180,6 +236,10 @@ impl<A: Algorithm> Ord for Event<A> {
 pub struct World<A: Algorithm, D: FailureDetector<Output = A::Fd>> {
     n: usize,
     procs: Vec<A>,
+    /// Replacement automata for clear-state recoveries, per process, one
+    /// consumed per rejoin.
+    spares: Vec<Vec<A>>,
+    recovery: RecoveryPolicy,
     fd: D,
     network: NetworkModel,
     failures: FailurePattern,
@@ -191,7 +251,8 @@ pub struct World<A: Algorithm, D: FailureDetector<Output = A::Fd>> {
     pending_non_timer: usize,
     trace: Trace<A::Output>,
     metrics: Metrics,
-    crash_recorded: Vec<bool>,
+    /// Number of down windows per process already recorded in the trace.
+    crash_recorded: Vec<usize>,
     last_activity: Time,
     idle_window: u64,
 }
@@ -359,6 +420,26 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                     self.execute(process, |alg, ctx| alg.on_input(input, ctx));
                 }
             }
+            EventKind::Recover { process } => {
+                self.pending_non_timer = self.pending_non_timer.saturating_sub(1);
+                if self.failures.is_alive(process, self.now) {
+                    if self.recovery == RecoveryPolicy::ClearState {
+                        if let Some(fresh) = self.spares[process.index()].pop() {
+                            self.procs[process.index()] = fresh;
+                        }
+                    }
+                    self.trace.push(TraceEvent::Recovered {
+                        process,
+                        at: self.now,
+                    });
+                    self.metrics.recoveries += 1;
+                    self.last_activity = self.now;
+                    // rejoining runs the start handler again, re-arming the
+                    // process's timer chains (its pending timers fired while
+                    // it was down and were skipped)
+                    self.execute(process, |alg, ctx| alg.on_start(ctx));
+                }
+            }
         }
         true
     }
@@ -399,16 +480,36 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
             });
             self.metrics.record_send(p);
             self.last_activity = self.now;
-            let deliver_at = self.network.delivery_time(p, to, self.now, &mut self.rng);
-            self.push_event(
-                deliver_at,
-                EventKind::Deliver {
+            let deliveries = self.network.transmit(p, to, self.now, &mut self.rng);
+            if deliveries.is_empty() {
+                self.trace.push(TraceEvent::MessageLost {
                     from: p,
                     to,
-                    msg,
+                    at: self.now,
                     id,
-                },
-            );
+                });
+                self.metrics.faults_dropped += 1;
+                continue;
+            }
+            self.metrics.faults_duplicated += deliveries.len() as u64 - 1;
+            let last = deliveries.len() - 1;
+            let mut msg = Some(msg);
+            for (copy, deliver_at) in deliveries.into_iter().enumerate() {
+                let msg = if copy == last {
+                    msg.take().expect("one payload per copy")
+                } else {
+                    msg.as_ref().expect("one payload per copy").clone()
+                };
+                self.push_event(
+                    deliver_at,
+                    EventKind::Deliver {
+                        from: p,
+                        to,
+                        msg,
+                        id,
+                    },
+                );
+            }
         }
         for out in actions.outputs {
             self.trace.push(TraceEvent::Output {
@@ -436,11 +537,16 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
     fn record_crashes_up_to(&mut self, t: Time) {
         for i in 0..self.n {
             let p = ProcessId::new(i);
-            if !self.crash_recorded[i] && !self.failures.is_alive(p, t) {
-                self.crash_recorded[i] = true;
+            let windows = self.failures.down_windows(p);
+            while let Some(w) = windows.get(self.crash_recorded[i]) {
+                if w.from > t {
+                    break;
+                }
+                self.crash_recorded[i] += 1;
+                self.metrics.crashes += 1;
                 self.trace.push(TraceEvent::Crashed {
                     process: p,
-                    at: self.failures.crash_time(p),
+                    at: w.from,
                 });
             }
         }
@@ -606,6 +712,117 @@ mod tests {
         let mut w = WorldBuilder::new(2).build_with(|_p| Relay::default(), NullFd);
         // Relay's on_start does nothing, so there are no events at all.
         assert!(!w.step());
+    }
+
+    #[test]
+    fn lossy_links_drop_messages_and_count_them() {
+        let net = NetworkModel::fixed_delay(2).with_faults(
+            Time::ZERO,
+            Time::new(1_000),
+            crate::LinkScope::All,
+            crate::LinkFaults::new(0.999, 0.0, 0),
+        );
+        let mut w = WorldBuilder::new(3)
+            .network(net)
+            .build_with(|_p| Relay::default(), NullFd);
+        w.submit(ProcessId::new(0), 7);
+        w.run_until(100);
+        // the self-copy always arrives; the two remote copies are (almost
+        // surely, and deterministically for this seed) lost
+        assert_eq!(w.metrics().messages_sent, 3);
+        assert_eq!(w.metrics().faults_dropped, 2);
+        assert!(w
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MessageLost { .. })));
+        assert_eq!(w.trace().last_output_of(ProcessId::new(1)), None);
+        assert_eq!(w.trace().last_output_of(ProcessId::new(0)), Some(&vec![7]));
+    }
+
+    #[test]
+    fn duplicated_messages_are_delivered_twice_and_counted() {
+        let net = NetworkModel::fixed_delay(2).with_faults(
+            Time::ZERO,
+            Time::new(1_000),
+            crate::LinkScope::All,
+            crate::LinkFaults::new(0.0, 1.0, 0),
+        );
+        let mut w = WorldBuilder::new(2)
+            .network(net)
+            .build_with(|_p| Relay::default(), NullFd);
+        w.submit(ProcessId::new(0), 5);
+        w.run_until(100);
+        // p1's copy is duplicated (the self-link is exempt), so p1 sees the
+        // value twice — at-least-once delivery is now observable
+        assert_eq!(w.metrics().faults_duplicated, 1);
+        assert_eq!(
+            w.trace().last_output_of(ProcessId::new(1)),
+            Some(&vec![5, 5])
+        );
+    }
+
+    #[test]
+    fn recovered_processes_take_steps_again() {
+        let failures = FailurePattern::no_failures(2).with_crash_recovery(
+            ProcessId::new(1),
+            Time::new(5),
+            Time::new(50),
+        );
+        let mut w = WorldBuilder::new(2)
+            .network(NetworkModel::fixed_delay(2))
+            .failures(failures)
+            .build_with(|_p| Relay::default(), NullFd);
+        // sent while p1 is down: the delivery is dropped
+        w.schedule_input(ProcessId::new(0), 1, 10);
+        // sent after p1 rejoined: delivered
+        w.schedule_input(ProcessId::new(0), 2, 60);
+        w.run_until(200);
+        assert_eq!(w.metrics().crashes, 1);
+        assert_eq!(w.metrics().recoveries, 1);
+        assert_eq!(w.metrics().messages_dropped, 1);
+        assert_eq!(w.trace().last_output_of(ProcessId::new(1)), Some(&vec![2]));
+        assert!(w.trace().events().iter().any(
+            |e| matches!(e, TraceEvent::Recovered { process, at } if *process == ProcessId::new(1) && *at == Time::new(50))
+        ));
+    }
+
+    /// An algorithm that outputs its lifetime step count — distinguishes
+    /// retained from cleared state across a recovery.
+    #[derive(Default)]
+    struct StepCounter {
+        steps: u32,
+    }
+    impl Algorithm for StepCounter {
+        type Msg = ();
+        type Input = ();
+        type Output = u32;
+        type Fd = ();
+        fn on_input(&mut self, _input: (), ctx: &mut Context<'_, Self>) {
+            self.steps += 1;
+            ctx.output(self.steps);
+        }
+    }
+
+    #[test]
+    fn recovery_policy_selects_retained_or_cleared_state() {
+        let run = |policy: RecoveryPolicy| {
+            let failures = FailurePattern::no_failures(2).with_crash_recovery(
+                ProcessId::new(0),
+                Time::new(20),
+                Time::new(30),
+            );
+            let mut w = WorldBuilder::new(2)
+                .failures(failures)
+                .recovery_policy(policy)
+                .build_with(|_p| StepCounter::default(), NullFd);
+            w.schedule_input(ProcessId::new(0), (), 10);
+            w.schedule_input(ProcessId::new(0), (), 50);
+            w.run_until(100);
+            *w.trace().last_output_of(ProcessId::new(0)).expect("output")
+        };
+        assert_eq!(run(RecoveryPolicy::RetainState), 2, "state survives");
+        assert_eq!(run(RecoveryPolicy::ClearState), 1, "state is wiped");
     }
 
     #[test]

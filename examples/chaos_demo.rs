@@ -1,0 +1,69 @@
+//! Chaos testing in one file: a seeded nemesis run, its verdict, and a
+//! caught-and-shrunk bug.
+//!
+//! The explorer generates adversarial scenarios — partitions, lossy and
+//! duplicating links, crash–recovery, Ω lies — and the history checker
+//! validates what each consistency level promises once faults cease:
+//! convergence and session order for `Consistency::Eventual`, plus a
+//! WGL-style linearizability search for `Consistency::Strong`. A key–value
+//! store with an injected non-commutativity bug ("largest value wins"
+//! instead of last-delivered-wins) converges fine, but cannot be
+//! linearized — the checker flags it and the shrinker reduces the failing
+//! schedule to a minimal replayable counterexample.
+//!
+//! Everything is seeded and deterministic: run it twice, get identical
+//! output (the CI chaos job does exactly that and diffs).
+//!
+//! Run with: `cargo run --example chaos_demo`
+
+use ec_chaos::shrink::shrink;
+use ec_chaos::{
+    check_outcome, run_scenario, ClientOp, MergingKv, Scenario, ScenarioGen, WorkloadOp,
+};
+use ec_replication::{Consistency, KvStore};
+
+fn main() {
+    // -- 1. the seeded explorer: adversarial scenarios, honest store --------
+    let mut explorer = ScenarioGen::new(7);
+    for consistency in [Consistency::Eventual, Consistency::Strong] {
+        let scenario = explorer.generate(consistency);
+        print!("{scenario}");
+        let outcome = run_scenario::<KvStore>(&scenario);
+        let verdict = check_outcome(&outcome);
+        let totals = &outcome.report.totals;
+        println!(
+            "  injected: {} lost, {} duplicated, {} crash(es), {} recovery(ies)",
+            totals.faults_dropped, totals.faults_duplicated, totals.crashes, totals.recoveries
+        );
+        println!("  verdict: {verdict}\n");
+        assert!(verdict.ok(), "{verdict}");
+    }
+
+    // -- 2. the same machinery catches an injected bug ----------------------
+    let mut buggy = Scenario::quiet("injected-bug", 3, Consistency::Strong);
+    let put = |at, key: &str, value: &str| ClientOp {
+        at,
+        session: 0,
+        op: WorkloadOp::Put {
+            key: key.into(),
+            value: value.into(),
+        },
+    };
+    buggy.workload = vec![
+        put(10, "k", "long-initial-value"),
+        put(600, "k", "v2"), // acknowledged strictly after the first write
+        ClientOp {
+            at: 2_800,
+            session: 1,
+            op: WorkloadOp::Read { key: "k".into() },
+        },
+    ];
+    let verdict = check_outcome(&run_scenario::<MergingKv>(&buggy));
+    println!("MergingKv (writes treated as commutative): {verdict}");
+    assert!(!verdict.ok(), "the bug must be caught");
+
+    let shrunk = shrink(&buggy, |s| {
+        !check_outcome(&run_scenario::<MergingKv>(s)).ok()
+    });
+    println!("minimal replayable counterexample:\n{shrunk}");
+}

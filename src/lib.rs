@@ -20,6 +20,11 @@
 //!   chosen execution engine, plus sharding for horizontal scale.
 //! * [`runtime`] — a thread-per-process real-time runtime running the same
 //!   algorithms over OS channels (the `ThreadEngine` of the facade).
+//! * [`chaos`] — the adversarial-testing subsystem: a fault-injection
+//!   nemesis (partitions, lossy/duplicating links, crash–recovery, Ω lies),
+//!   a seeded randomized scenario explorer with a greedy shrinker, and
+//!   history-based consistency checkers (convergence, session order, and a
+//!   WGL-style linearizability search for strong runs).
 //!
 //! # Quickstart
 //!
@@ -82,6 +87,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub use ec_chaos as chaos;
 pub use ec_cht as cht;
 pub use ec_core as core;
 pub use ec_detectors as detectors;

@@ -6,12 +6,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "leader_extraction",
     "partitioned_kv",
     "sharded_kv",
     "runtime_demo",
+    "chaos_demo",
 ];
 
 /// Runs all examples sequentially in one test so concurrent `cargo run`
