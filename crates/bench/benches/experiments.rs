@@ -952,6 +952,28 @@ fn e11_batching(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// E12: delta-state wire format — bytes and wall clock vs history length
+// ---------------------------------------------------------------------------
+
+fn e12_delta_wire(c: &mut Criterion) {
+    println!("\n[E12] delta vs full-graph wire format: 5 processes, loss-free fixed-delay 2");
+    ec_bench::delta::print_table(&ec_bench::delta::run_grid());
+    println!("  (full-graph update/promote payloads grow with history; deltas carry the suffix)");
+    let mut group = configure(c).benchmark_group("e12_delta_wire");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for delta in [false, true] {
+        let label = if delta { "delta" } else { "full" };
+        group.bench_with_input(BenchmarkId::new(label, 500usize), &delta, |b, &d| {
+            b.iter(|| ec_bench::delta::delta_run(500, d))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     e1_delivery_latency,
@@ -965,6 +987,7 @@ criterion_group!(
     e9_eic,
     e10_shard_scaling,
     e11_batching,
+    e12_delta_wire,
     a1_omega_implementations,
     a2_promote_period
 );

@@ -2,7 +2,11 @@
 //!
 //! Each Criterion bench target in this crate regenerates one experiment from
 //! `EXPERIMENTS.md`; this library holds the workload generators and reporting
-//! helpers they share.
+//! helpers they share. The [`delta`] module is the driver of experiment E12
+//! (delta-state wire bytes vs history length), shared between the Criterion
+//! bench and the `e12_delta` binary that writes `BENCH_delta.json`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod delta;

@@ -110,6 +110,11 @@ pub struct RunOutcome {
     /// strong barrier read time out, which would otherwise silently leave
     /// the linearizability check with nothing to constrain it.
     pub reads_dropped: usize,
+    /// Digest pulls performed by the delta-sync wire layer — update gaps
+    /// (lost, reordered or rejoin-missed deltas) that were detected from a
+    /// received digest and repaired. A lossy scenario with zero pulls did
+    /// not actually exercise the resync machinery.
+    pub sync_pulls: u64,
     /// The facade's cluster report (convergence, fault counters).
     pub report: ClusterReport,
 }
@@ -253,6 +258,7 @@ pub fn run_scenario<S: KvInterface>(scenario: &Scenario) -> RunOutcome {
         snapshots,
         delivered,
         reads_dropped,
+        sync_pulls: cluster.sync_pulls(),
         report: cluster.report(),
     }
 }

@@ -24,6 +24,39 @@
 //! * **P3 — causal order always.** Promotion sequences linearize the causal
 //!   graph, so causal order holds even while processes trust different
 //!   leaders.
+//!
+//! # Wire format: delta state vs the paper's full-graph broadcasts
+//!
+//! Algorithm 5 as written broadcasts the *entire* causality graph in every
+//! `update` and the *entire* promotion sequence in every `promote`, so wire
+//! traffic per broadcast grows linearly with history length (and total
+//! traffic quadratically). This module keeps that literal protocol available
+//! ([`EtobConfig::full_graph`], messages [`EtobMsg::Update`] /
+//! [`EtobMsg::Promote`]) as the reference specification, and by default
+//! ([`EtobConfig::delta_sync`]) runs a correctness-preserving refinement:
+//!
+//! * `update` becomes [`EtobMsg::Delta`]: the nodes added since the sender's
+//!   last broadcast, plus an exact digest ([`VersionVector`]) of the
+//!   sender's whole graph. Each sender also tracks a per-peer *acked*
+//!   frontier — everything a peer has provably confirmed knowing through the
+//!   digests it sent — and excludes acked nodes from the per-peer copies.
+//! * A receiver whose merged graph does not cover the incoming digest has
+//!   detected a gap (a lost or not-yet-delivered earlier delta) and pulls
+//!   with [`EtobMsg::SyncRequest`], carrying its own digest; the repairer
+//!   answers with exactly the missing nodes. Anti-entropy retransmission
+//!   ([`EtobConfig::resend_period`]) pushes per-peer unacked nodes, so the
+//!   two mechanisms together restore eventual delivery over lossy links.
+//! * `promote` becomes [`EtobMsg::PromoteDelta`]: the suffix appended since
+//!   the leader's previous promote broadcast, keyed by the prefix length and
+//!   a rolling FNV-1a hash of the prefix identifiers. A receiver whose
+//!   delivered sequence does not match the keyed prefix falls back to a full
+//!   resend via [`EtobMsg::PromoteRequest`].
+//!
+//! Both refinements only change *how* graph and sequence state move between
+//! processes, never what the states converge to — the delta-equivalence
+//! property tests (`crates/core/tests/batching_equivalence.rs`) and
+//! experiment E12 pin delivered-sequence equality against the full-graph
+//! reference, including under message loss and duplication.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -31,6 +64,7 @@ use std::fmt;
 use ec_sim::{Algorithm, Context, ProcessId};
 
 use crate::types::{AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
+use crate::version::VersionVector;
 
 /// The causality graph `CG_i`: all messages known to a process together with
 /// the causal edges `(m′, m)` for every declared dependency `m′ ∈ C(m)`.
@@ -39,6 +73,8 @@ pub struct CausalGraph {
     nodes: BTreeMap<MsgId, AppMessage>,
     /// Edges `(before, after)`.
     edges: BTreeSet<(MsgId, MsgId)>,
+    /// Exact digest of `nodes.keys()`, maintained incrementally.
+    digest: VersionVector,
 }
 
 impl CausalGraph {
@@ -48,20 +84,52 @@ impl CausalGraph {
     }
 
     /// `UpdateCG(m, C(m))`: adds the node `m` and the edges
-    /// `{(m′, m) | m′ ∈ C(m)}`.
-    pub fn update(&mut self, message: AppMessage) {
+    /// `{(m′, m) | m′ ∈ C(m)}`. Returns `true` if the node was new.
+    pub fn update(&mut self, message: AppMessage) -> bool {
         for dep in &message.deps {
             self.edges.insert((*dep, message.id));
         }
-        self.nodes.insert(message.id, message);
+        self.digest.insert(message.id);
+        self.nodes.insert(message.id, message).is_none()
     }
 
     /// `UnionCG(CG_j)`: merges another causality graph into this one.
     pub fn union(&mut self, other: &CausalGraph) {
         for (id, msg) in &other.nodes {
-            self.nodes.entry(*id).or_insert_with(|| msg.clone());
+            if !self.nodes.contains_key(id) {
+                self.digest.insert(*id);
+                self.nodes.insert(*id, msg.clone());
+            }
         }
         self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// The exact digest of the graph's node identifiers.
+    pub fn digest(&self) -> &VersionVector {
+        &self.digest
+    }
+
+    /// The nodes of the graph not contained in `known`, in identifier order
+    /// — the repair payload answering a [`EtobMsg::SyncRequest`].
+    pub fn missing_from(&self, known: &VersionVector) -> Vec<AppMessage> {
+        self.nodes
+            .iter()
+            .filter(|(id, _)| !known.contains(**id))
+            .map(|(_, m)| m.clone())
+            .collect()
+    }
+
+    /// The node with identifier `id`, if known.
+    pub fn get(&self, id: MsgId) -> Option<&AppMessage> {
+        self.nodes.get(&id)
+    }
+
+    /// The modeled wire size of the full graph in bytes (nodes plus 32 bytes
+    /// per explicit edge) — what a paper-literal `update(CG_i)` costs.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + self.nodes.values().map(AppMessage::wire_bytes).sum::<u64>()
+            + 8
+            + 32 * self.edges.len() as u64
     }
 
     /// Number of known messages.
@@ -99,12 +167,74 @@ impl CausalGraph {
 }
 
 /// Messages of [`EtobOmega`].
+///
+/// [`EtobMsg::Update`] and [`EtobMsg::Promote`] are the paper-literal
+/// full-state messages (sent in [`EtobConfig::full_graph`] mode, and
+/// `Promote` additionally as the fallback full resend of the delta mode);
+/// the other variants carry the delta-state wire format (see the module
+/// docs).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EtobMsg {
-    /// `update(CG_i)`: the sender's causality graph.
+    /// `update(CG_i)`: the sender's *entire* causality graph (paper mode).
     Update(CausalGraph),
-    /// `promote(promote_i)`: the sender's promotion sequence.
+    /// Delta update: the nodes the receiver is believed to be missing, plus
+    /// an exact digest of the sender's whole graph for gap detection.
+    Delta {
+        /// Graph nodes new to the receiver (possibly empty — a pure digest
+        /// beacon).
+        nodes: Vec<AppMessage>,
+        /// Digest of the sender's full graph *after* the nodes.
+        frontier: VersionVector,
+    },
+    /// Digest pull: the receiver detected that the sender knows messages it
+    /// does not, and asks for everything not covered by `digest`.
+    SyncRequest {
+        /// The requester's full graph digest.
+        digest: VersionVector,
+    },
+    /// `promote(promote_i)`: the sender's *entire* promotion sequence
+    /// (paper mode, and the delta mode's full-resend fallback).
     Promote(Vec<AppMessage>),
+    /// Delta promote: the suffix of the leader's promotion sequence since
+    /// its previous promote broadcast, keyed by the prefix length and a
+    /// rolling FNV-1a hash of the prefix identifiers.
+    PromoteDelta {
+        /// Length of the unsent prefix (the leader's sequence length at the
+        /// previous broadcast).
+        base: usize,
+        /// Rolling hash of the first `base` identifiers of the leader's
+        /// sequence; a receiver reconstructs `prefix ++ suffix` only if its
+        /// own delivered prefix matches.
+        prefix_hash: u64,
+        /// The appended entries `promote_i[base..]`.
+        suffix: Vec<AppMessage>,
+    },
+    /// A receiver could not verify a [`EtobMsg::PromoteDelta`] prefix (it
+    /// followed a different leader, missed a promote, or the leader
+    /// restarted) and asks for a full [`EtobMsg::Promote`] resend.
+    PromoteRequest,
+}
+
+impl EtobMsg {
+    /// The modeled wire size of the message in bytes (1 tag byte plus the
+    /// variant contents; see [`AppMessage::wire_bytes`] for the model).
+    pub fn wire_bytes(&self) -> u64 {
+        let body = match self {
+            EtobMsg::Update(graph) => graph.wire_bytes(),
+            EtobMsg::Delta { nodes, frontier } => {
+                8 + nodes.iter().map(AppMessage::wire_bytes).sum::<u64>() + frontier.wire_bytes()
+            }
+            EtobMsg::SyncRequest { digest } => digest.wire_bytes(),
+            EtobMsg::Promote(sequence) => {
+                8 + sequence.iter().map(AppMessage::wire_bytes).sum::<u64>()
+            }
+            EtobMsg::PromoteDelta { suffix, .. } => {
+                8 + 8 + 8 + suffix.iter().map(AppMessage::wire_bytes).sum::<u64>()
+            }
+            EtobMsg::PromoteRequest => 0,
+        };
+        1 + body
+    }
 }
 
 /// Configuration of [`EtobOmega`].
@@ -126,8 +256,9 @@ pub struct EtobConfig {
     /// instead coalesces all operations submitted within a `batch`-tick
     /// window into a *single* `update(CG_i)` broadcast, so the hot path
     /// scales with operations per flush rather than per message. This is
-    /// correct as-is because `update` messages carry the whole causality
-    /// graph: the flushed broadcast covers every pending message at once.
+    /// correct because the flushed broadcast covers every pending message at
+    /// once: the whole causality graph in full-graph mode, and everything
+    /// since the previous broadcast in delta mode.
     /// Experiment E11 quantifies the broadcasts-per-op reduction; the
     /// trade-off is up to `batch` extra ticks of delivery latency.
     pub batch: u64,
@@ -143,7 +274,20 @@ pub struct EtobConfig {
     /// infinitely-often delivery guarantee into eventual delivery of every
     /// payload, restoring convergence. Retransmission stops by itself once
     /// the local delivered sequence covers the local graph.
+    ///
+    /// In delta mode the retransmission is *targeted*: each peer is sent
+    /// only the nodes it has not acked (via the digests it sent back), so a
+    /// caught-up peer receives a constant-size digest beacon instead of the
+    /// whole graph.
     pub resend_period: u64,
+    /// Delta-state wire format (the default). When `true`, `update`
+    /// broadcasts carry only the suffix since the sender's last broadcast
+    /// (per-peer, minus acked nodes) plus an exact digest, gaps are healed
+    /// by digest-triggered pulls, and `promote` broadcasts carry hash-keyed
+    /// suffixes. When `false`, every message carries the full state — the
+    /// literal Algorithm 5 wire format of the paper, kept as the reference
+    /// the equivalence tests and experiment E12 compare against.
+    pub delta_sync: bool,
 }
 
 impl Default for EtobConfig {
@@ -153,6 +297,7 @@ impl Default for EtobConfig {
             eager_promote: false,
             batch: 0,
             resend_period: 0,
+            delta_sync: true,
         }
     }
 }
@@ -165,6 +310,23 @@ impl EtobConfig {
             eager_promote: true,
             ..Default::default()
         }
+    }
+
+    /// The paper-literal wire format: full-graph `update(CG_i)` and
+    /// full-sequence `promote(promote_i)` broadcasts (the reference mode the
+    /// delta-equivalence tests and experiment E12 compare against).
+    pub fn full_graph() -> Self {
+        EtobConfig {
+            delta_sync: false,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style helper selecting the wire format (see
+    /// [`EtobConfig::delta_sync`]).
+    pub fn with_delta_sync(mut self, delta_sync: bool) -> Self {
+        self.delta_sync = delta_sync;
+        self
     }
 
     /// Configuration that coalesces operations submitted within a
@@ -191,18 +353,62 @@ impl EtobConfig {
     }
 }
 
+/// FNV-1a offset basis: the rolling prefix hash of the empty sequence.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Extends a rolling FNV-1a prefix hash with one message identifier.
+fn hash_step(mut h: u64, id: MsgId) -> u64 {
+    let bytes = (id.origin.index() as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain(id.seq.to_le_bytes());
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The rolling prefix hashes of a sequence: `out[k]` hashes the identifiers
+/// of the first `k` entries (`out.len() == sequence.len() + 1`).
+fn prefix_hashes(sequence: &[AppMessage]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(sequence.len() + 1);
+    out.push(FNV_OFFSET);
+    for m in sequence {
+        out.push(hash_step(*out.last().expect("non-empty"), m.id));
+    }
+    out
+}
+
 /// Algorithm 5: ETOB from Ω.
 pub struct EtobOmega {
     me: ProcessId,
     config: EtobConfig,
     /// `d_i`: the delivered sequence output by this process.
     delivered: Vec<AppMessage>,
+    /// Rolling prefix hashes of `delivered` (`delivered.len() + 1` entries),
+    /// verifying [`EtobMsg::PromoteDelta`] prefixes in O(1).
+    delivered_hashes: Vec<u64>,
     /// `promote_i`: the sequence this process promotes while it trusts itself.
     promote: Vec<AppMessage>,
+    /// Rolling prefix hashes of `promote` (`promote.len() + 1` entries).
+    promote_hashes: Vec<u64>,
     /// identifiers already in `promote`, for O(log n) membership checks.
     promoted_ids: BTreeSet<MsgId>,
     /// `CG_i`: the causality graph.
     graph: CausalGraph,
+    /// Delta state: identifiers of graph nodes added since this process's
+    /// last `update` broadcast — the broadcast suffix, maintained
+    /// incrementally so a broadcast never rescans the graph.
+    unsent: Vec<MsgId>,
+    /// Delta state: per-peer *acked* frontiers — everything a peer has
+    /// provably confirmed knowing, through the digests it sent (deltas,
+    /// beacons and sync requests). Only ever advanced by evidence from the
+    /// peer itself, so targeted resends never skip a lost node.
+    peer_acked: BTreeMap<ProcessId, VersionVector>,
+    /// Delta state: length of `promote` at the previous promote broadcast.
+    last_promote_broadcast: usize,
     /// Batching state: absolute deadline of the pending flush, if any.
     next_flush: Option<u64>,
     /// Batching state: absolute deadline of the next periodic promote.
@@ -212,6 +418,12 @@ pub struct EtobOmega {
     /// Number of `update` broadcasts sent (one per flush in batch mode, one
     /// per operation otherwise) — reported by the batching experiment E11.
     updates_sent: u64,
+    /// Number of digest pulls ([`EtobMsg::SyncRequest`]) this process sent —
+    /// each one is a detected update gap (loss, reorder or rejoin).
+    sync_pulls: u64,
+    /// Number of full-promote pulls ([`EtobMsg::PromoteRequest`]) this
+    /// process sent — each one is a promote prefix it could not verify.
+    promote_pulls: u64,
 }
 
 impl EtobOmega {
@@ -247,13 +459,20 @@ impl EtobOmega {
             me,
             config,
             delivered: Vec::new(),
+            delivered_hashes: vec![FNV_OFFSET],
             promote: Vec::new(),
+            promote_hashes: vec![FNV_OFFSET],
             promoted_ids: BTreeSet::new(),
             graph: CausalGraph::new(),
+            unsent: Vec::new(),
+            peer_acked: BTreeMap::new(),
+            last_promote_broadcast: 0,
             next_flush: None,
             next_promote: 0,
             next_resend: 0,
             updates_sent: 0,
+            sync_pulls: 0,
+            promote_pulls: 0,
         }
     }
 
@@ -262,6 +481,20 @@ impl EtobOmega {
     /// the batching experiment (E11) compares against delivered operations.
     pub fn updates_sent(&self) -> u64 {
         self.updates_sent
+    }
+
+    /// Number of digest pulls ([`EtobMsg::SyncRequest`]) this process sent:
+    /// each one is an update gap it detected (from loss, reordering or a
+    /// rejoin) and healed through the repair path.
+    pub fn sync_pulls(&self) -> u64 {
+        self.sync_pulls
+    }
+
+    /// Number of full-promote pulls ([`EtobMsg::PromoteRequest`]) this
+    /// process sent: promote prefixes it could not verify and re-fetched in
+    /// full.
+    pub fn promote_pulls(&self) -> u64 {
+        self.promote_pulls
     }
 
     /// The current delivered sequence `d_i`.
@@ -303,6 +536,8 @@ impl EtobOmega {
                     .all(|dep| self.promoted_ids.contains(&dep));
                 if deps_satisfied {
                     let msg = self.graph.nodes[&id].clone();
+                    self.promote_hashes
+                        .push(hash_step(*self.promote_hashes.last().expect("seeded"), id));
                     self.promote.push(msg);
                     self.promoted_ids.insert(id);
                     appended = true;
@@ -315,10 +550,92 @@ impl EtobOmega {
         self.promote.len() > before
     }
 
-    /// Anti-entropy step: when enabled and due, re-broadcasts `update(CG_i)`
-    /// if the causality graph holds any message the delivered sequence does
-    /// not — the retransmission that makes infinitely-often delivery (lossy
-    /// links with `drop_prob < 1`) sufficient for eventual delivery.
+    /// Records evidence that `from` knows every identifier in `digest`
+    /// (it sent us a delta frontier, a beacon or a sync request).
+    fn note_peer_knows(&mut self, from: ProcessId, digest: &VersionVector) {
+        if from != self.me {
+            self.peer_acked.entry(from).or_default().merge(digest);
+        }
+    }
+
+    /// Broadcasts the current graph state: the literal `update(CG_i)` in
+    /// full-graph mode, or per-peer suffix deltas (everything neither
+    /// broadcast before nor acked by the peer) plus the digest in delta
+    /// mode. The suffix is the incrementally maintained `unsent` list, so
+    /// broadcast cost is O(new nodes), never a graph rescan. The self-copy
+    /// carries no nodes — delivering it only triggers the paper's
+    /// `UpdatePromote()` step, exactly like receiving one's own full update.
+    fn broadcast_update(&mut self, ctx: &mut Context<'_, Self>) {
+        self.updates_sent += 1;
+        if !self.config.delta_sync {
+            self.unsent.clear();
+            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+            return;
+        }
+        let frontier = self.graph.digest().clone();
+        let fresh: Vec<AppMessage> = self
+            .unsent
+            .iter()
+            .filter_map(|id| self.graph.get(*id).cloned())
+            .collect();
+        self.unsent.clear();
+        for i in 0..ctx.n() {
+            let to = ProcessId::new(i);
+            let nodes = if to == self.me {
+                Vec::new()
+            } else {
+                match self.peer_acked.get(&to) {
+                    Some(acked) => fresh
+                        .iter()
+                        .filter(|m| !acked.contains(m.id))
+                        .cloned()
+                        .collect(),
+                    None => fresh.clone(),
+                }
+            };
+            ctx.send(
+                to,
+                EtobMsg::Delta {
+                    nodes,
+                    frontier: frontier.clone(),
+                },
+            );
+        }
+    }
+
+    /// Broadcasts the promotion sequence: the full sequence in full-graph
+    /// mode, or the suffix since the previous promote broadcast keyed by the
+    /// prefix length and hash in delta mode.
+    fn broadcast_promote(&mut self, ctx: &mut Context<'_, Self>) {
+        if !self.config.delta_sync {
+            ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+            return;
+        }
+        let base = self.last_promote_broadcast.min(self.promote.len());
+        ctx.broadcast(EtobMsg::PromoteDelta {
+            base,
+            prefix_hash: self.promote_hashes[base],
+            suffix: self.promote[base..].to_vec(),
+        });
+        self.last_promote_broadcast = self.promote.len();
+    }
+
+    /// Adopts `sequence` wholesale as the delivered sequence (full-promote
+    /// reception), rebuilding the prefix hashes.
+    fn adopt_delivered(&mut self, sequence: Vec<AppMessage>, ctx: &mut Context<'_, Self>) {
+        self.delivered = sequence;
+        self.delivered_hashes = prefix_hashes(&self.delivered);
+        ctx.output(self.delivered.clone());
+    }
+
+    /// Anti-entropy step: when enabled and due, retransmits graph state if
+    /// the causality graph holds any message the delivered sequence does not
+    /// — the retransmission that makes infinitely-often delivery (lossy
+    /// links with `drop_prob < 1`) sufficient for eventual delivery. In
+    /// full-graph mode this re-broadcasts `update(CG_i)`; in delta mode each
+    /// peer is sent exactly its unacked nodes plus the digest (a pure
+    /// beacon, ~constant size, once the peer has acked everything), and the
+    /// digest lets the peer detect and pull anything still missing.
     fn maybe_resend(&mut self, ctx: &mut Context<'_, Self>) {
         if self.config.resend_period == 0 {
             return;
@@ -330,9 +647,35 @@ impl EtobOmega {
         self.next_resend = now + self.config.resend_period;
         ctx.set_timer(self.config.resend_period);
         let delivered: BTreeSet<MsgId> = self.delivered.iter().map(|m| m.id).collect();
-        if self.graph.nodes.keys().any(|id| !delivered.contains(id)) {
-            self.updates_sent += 1;
+        if !self.graph.nodes.keys().any(|id| !delivered.contains(id)) {
+            return;
+        }
+        self.updates_sent += 1;
+        if !self.config.delta_sync {
             ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+            return;
+        }
+        let frontier = self.graph.digest().clone();
+        for i in 0..ctx.n() {
+            let to = ProcessId::new(i);
+            if to == self.me {
+                continue;
+            }
+            // suspected loss: ignore what was already broadcast and resend
+            // everything the peer has not itself acked. The graph scan in
+            // missing_from is confined to this period-gated repair path,
+            // which stops firing once the delivered sequence covers the
+            // graph — the steady-state broadcast path never rescans.
+            let empty = VersionVector::new();
+            let acked = self.peer_acked.get(&to).unwrap_or(&empty);
+            let nodes = self.graph.missing_from(acked);
+            ctx.send(
+                to,
+                EtobMsg::Delta {
+                    nodes,
+                    frontier: frontier.clone(),
+                },
+            );
         }
     }
 }
@@ -366,7 +709,10 @@ impl Algorithm for EtobOmega {
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
         // On broadcastETOB(m, C(m)): UpdateCG(m, C(m)); send update(CG_i) to all.
-        self.graph.update(input.message);
+        let id = input.message.id;
+        if self.graph.update(input.message) {
+            self.unsent.push(id);
+        }
         if self.config.batching_enabled() {
             // Coalesce: the update goes out at the next flush deadline and
             // covers every message recorded in the graph by then.
@@ -375,8 +721,7 @@ impl Algorithm for EtobOmega {
                 ctx.set_timer(self.config.batch);
             }
         } else {
-            self.updates_sent += 1;
-            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+            self.broadcast_update(ctx);
         }
     }
 
@@ -384,17 +729,106 @@ impl Algorithm for EtobOmega {
         match msg {
             EtobMsg::Update(graph) => {
                 // On reception of update(CG_j): UnionCG(CG_j); UpdatePromote().
-                self.graph.union(&graph);
+                self.note_peer_knows(from, graph.digest());
+                for msg in graph.messages() {
+                    if !self.graph.contains(msg.id) {
+                        self.graph.update(msg.clone());
+                        self.unsent.push(msg.id);
+                    }
+                }
                 let grew = self.update_promote();
                 if grew && self.config.eager_promote && *ctx.fd() == self.me {
-                    ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+                    self.broadcast_promote(ctx);
+                }
+            }
+            EtobMsg::Delta { nodes, frontier } => {
+                // Delta reception = UnionCG over the carried nodes, plus gap
+                // detection: the frontier is an exact digest of the sender's
+                // graph, so "my graph does not cover it" means the sender
+                // knows a message I am missing — pull it.
+                for node in nodes {
+                    let id = node.id;
+                    if self.graph.update(node) {
+                        self.unsent.push(id);
+                    }
+                }
+                self.note_peer_knows(from, &frontier);
+                let grew = self.update_promote();
+                if grew && self.config.eager_promote && *ctx.fd() == self.me {
+                    self.broadcast_promote(ctx);
+                }
+                if from != self.me && !self.graph.digest().covers(&frontier) {
+                    self.sync_pulls += 1;
+                    ctx.send(
+                        from,
+                        EtobMsg::SyncRequest {
+                            digest: self.graph.digest().clone(),
+                        },
+                    );
+                }
+            }
+            EtobMsg::SyncRequest { digest } => {
+                // Repair: answer with exactly the nodes the requester's
+                // digest proves it is missing.
+                self.note_peer_knows(from, &digest);
+                let missing = self.graph.missing_from(&digest);
+                if !missing.is_empty() {
+                    ctx.send(
+                        from,
+                        EtobMsg::Delta {
+                            nodes: missing,
+                            frontier: self.graph.digest().clone(),
+                        },
+                    );
                 }
             }
             EtobMsg::Promote(sequence) => {
                 // On reception of promote(promote_j): adopt it iff Ω_i = p_j.
                 if *ctx.fd() == from && self.delivered != sequence {
-                    self.delivered = sequence;
-                    ctx.output(self.delivered.clone());
+                    self.adopt_delivered(sequence, ctx);
+                }
+            }
+            EtobMsg::PromoteDelta {
+                base,
+                prefix_hash,
+                suffix,
+            } => {
+                if *ctx.fd() != from {
+                    return;
+                }
+                if base <= self.delivered.len() && self.delivered_hashes[base] == prefix_hash {
+                    // My delivered prefix is the leader's unsent prefix:
+                    // reconstruct exactly the full sequence the leader would
+                    // have sent, and adopt it iff it differs (the same
+                    // condition as the full-promote path).
+                    let same = self.delivered.len() == base + suffix.len()
+                        && self.delivered[base..] == suffix[..];
+                    if !same {
+                        self.delivered.truncate(base);
+                        self.delivered_hashes.truncate(base + 1);
+                        for m in suffix {
+                            self.delivered_hashes.push(hash_step(
+                                *self.delivered_hashes.last().expect("seeded"),
+                                m.id,
+                            ));
+                            self.delivered.push(m);
+                        }
+                        ctx.output(self.delivered.clone());
+                    }
+                } else {
+                    // Unverifiable prefix (followed a different leader,
+                    // missed a promote, or the leader restarted): fall back
+                    // to a full resend.
+                    self.promote_pulls += 1;
+                    ctx.send(from, EtobMsg::PromoteRequest);
+                }
+            }
+            EtobMsg::PromoteRequest => {
+                // Full-resend fallback: only a process that currently
+                // considers itself the leader answers (mirroring the gate on
+                // periodic promotes).
+                if *ctx.fd() == self.me {
+                    ctx.send(from, EtobMsg::Promote(self.promote.clone()));
                 }
             }
         }
@@ -410,18 +844,21 @@ impl Algorithm for EtobOmega {
         let now = ctx.now().as_u64();
         if self.config.batching_enabled() && self.next_flush.is_some_and(|at| now >= at) {
             self.next_flush = None;
-            self.updates_sent += 1;
-            ctx.broadcast(EtobMsg::Update(self.graph.clone()));
+            self.broadcast_update(ctx);
         }
         if now >= self.next_promote {
             // On local timeout: if Ω_i = p_i then send promote(promote_i) to all.
             if *ctx.fd() == self.me {
-                ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
+                self.broadcast_promote(ctx);
             }
             self.next_promote = now + self.config.promote_period;
             ctx.set_timer(self.config.promote_period);
         }
         self.maybe_resend(ctx);
+    }
+
+    fn wire_size(msg: &EtobMsg) -> u64 {
+        msg.wire_bytes()
     }
 }
 
@@ -820,11 +1257,252 @@ mod tests {
             alg.on_timer(&mut ctx);
         }
         assert_eq!(flush.sends.len(), 3, "one broadcast to the 3 processes");
-        assert!(flush
+        for (to, m) in &flush.sends {
+            let EtobMsg::Delta { nodes, frontier } = m else {
+                panic!("expected a delta, got {m:?}");
+            };
+            assert_eq!(frontier.len(), 2, "digest covers both buffered ops");
+            if *to == ProcessId::new(0) {
+                assert!(nodes.is_empty(), "the self-copy is a pure trigger");
+            } else {
+                assert_eq!(nodes.len(), 2, "one delta carrying both messages");
+            }
+        }
+        assert_eq!(alg.updates_sent(), 1);
+    }
+
+    #[test]
+    fn full_graph_mode_still_sends_the_papers_wire_format() {
+        let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::full_graph());
+        let mut actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(10),
+                3,
+                ProcessId::new(0),
+                &mut actions,
+            );
+            alg.on_input(
+                EtobBroadcast::new(ProcessId::new(0), 1, b"a".to_vec()),
+                &mut ctx,
+            );
+        }
+        assert_eq!(actions.sends.len(), 3);
+        assert!(actions
             .sends
             .iter()
-            .all(|(_, m)| matches!(m, EtobMsg::Update(g) if g.len() == 2)));
-        assert_eq!(alg.updates_sent(), 1);
+            .all(|(_, m)| matches!(m, EtobMsg::Update(g) if g.len() == 1)));
+    }
+
+    #[test]
+    fn a_detected_update_gap_triggers_a_digest_pull_and_the_repair_heals_it() {
+        // p1 broadcast m1 then m2; p0 receives only the m2 delta (the m1
+        // delta was "lost"), detects the gap from the frontier, pulls, and
+        // the repair delta carries exactly m1.
+        let m1 = AppMessage::new(MsgId::new(ProcessId::new(1), 1), b"one".to_vec());
+        let m2 = AppMessage::new(MsgId::new(ProcessId::new(1), 2), b"two".to_vec());
+        let mut sender = EtobOmega::new(ProcessId::new(1), EtobConfig::default());
+        sender.graph.update(m1.clone());
+        sender.graph.update(m2.clone());
+        let frontier = sender.graph.digest().clone();
+
+        let mut receiver = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
+        let mut actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(5),
+                3,
+                ProcessId::new(1),
+                &mut actions,
+            );
+            receiver.on_message(
+                ProcessId::new(1),
+                EtobMsg::Delta {
+                    nodes: vec![m2.clone()],
+                    frontier: frontier.clone(),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(receiver.sync_pulls(), 1);
+        let (to, pull) = &actions.sends[0];
+        assert_eq!(*to, ProcessId::new(1));
+        let EtobMsg::SyncRequest { digest } = pull else {
+            panic!("expected a digest pull, got {pull:?}");
+        };
+        assert!(digest.contains(m2.id) && !digest.contains(m1.id));
+
+        // the sender answers with exactly the missing node …
+        let mut reply = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(1),
+                Time::new(7),
+                3,
+                ProcessId::new(1),
+                &mut reply,
+            );
+            sender.on_message(ProcessId::new(0), pull.clone(), &mut ctx);
+        }
+        assert_eq!(reply.sends.len(), 1);
+        let (_, repair) = &reply.sends[0];
+        let EtobMsg::Delta { nodes, .. } = repair else {
+            panic!("expected a repair delta, got {repair:?}");
+        };
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].id, m1.id);
+        // … and the sender now knows what p0 has acked
+        assert!(sender.peer_acked[&ProcessId::new(0)].contains(m2.id));
+
+        // … which closes the receiver's gap (no further pull)
+        let mut heal = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(9),
+                3,
+                ProcessId::new(1),
+                &mut heal,
+            );
+            receiver.on_message(ProcessId::new(1), repair.clone(), &mut ctx);
+        }
+        assert!(heal.sends.is_empty());
+        assert!(receiver.causal_graph().contains(m1.id));
+        assert_eq!(receiver.sync_pulls(), 1);
+    }
+
+    #[test]
+    fn unverifiable_promote_prefixes_fall_back_to_a_full_resend() {
+        // The leader appends and broadcasts a suffix with base 2, but the
+        // receiver has an empty delivered sequence: the prefix cannot be
+        // verified, so it pulls, and the leader answers with the full
+        // promote — which the receiver adopts wholesale.
+        let mk = |seq| AppMessage::new(MsgId::new(ProcessId::new(1), seq), b"x".to_vec());
+        let mut leader = EtobOmega::new(ProcessId::new(1), EtobConfig::default());
+        for seq in 1..=3u64 {
+            leader.graph.update(mk(seq));
+        }
+        leader.update_promote();
+        leader.last_promote_broadcast = 2; // as if promote[..2] was broadcast
+
+        let mut suffix_actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(1),
+                Time::new(20),
+                2,
+                ProcessId::new(1),
+                &mut suffix_actions,
+            );
+            leader.broadcast_promote(&mut ctx);
+        }
+        let (_, promote_delta) = &suffix_actions.sends[0];
+        assert!(
+            matches!(promote_delta, EtobMsg::PromoteDelta { base: 2, suffix, .. } if suffix.len() == 1)
+        );
+
+        let mut receiver = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
+        let mut pull = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(22),
+                2,
+                ProcessId::new(1),
+                &mut pull,
+            );
+            receiver.on_message(ProcessId::new(1), promote_delta.clone(), &mut ctx);
+        }
+        assert!(receiver.delivered().is_empty(), "nothing adoptable yet");
+        assert_eq!(receiver.promote_pulls(), 1);
+        assert_eq!(
+            pull.sends,
+            vec![(ProcessId::new(1), EtobMsg::PromoteRequest)]
+        );
+
+        let mut full = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(1),
+                Time::new(24),
+                2,
+                ProcessId::new(1),
+                &mut full,
+            );
+            leader.on_message(ProcessId::new(0), EtobMsg::PromoteRequest, &mut ctx);
+        }
+        let (_, full_promote) = &full.sends[0];
+        assert!(matches!(full_promote, EtobMsg::Promote(seq) if seq.len() == 3));
+
+        let mut adopt = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(26),
+                2,
+                ProcessId::new(1),
+                &mut adopt,
+            );
+            receiver.on_message(ProcessId::new(1), full_promote.clone(), &mut ctx);
+        }
+        assert_eq!(receiver.delivered().len(), 3);
+
+        // a follow-up suffix from the same lineage is now verifiable in O(1)
+        for seq in 4..=5u64 {
+            leader.graph.update(mk(seq));
+        }
+        leader.update_promote();
+        let mut next = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(1),
+                Time::new(28),
+                2,
+                ProcessId::new(1),
+                &mut next,
+            );
+            leader.broadcast_promote(&mut ctx);
+        }
+        let (_, next_delta) = &next.sends[0];
+        assert!(matches!(next_delta, EtobMsg::PromoteDelta { base: 3, .. }));
+        let mut extend = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(30),
+                2,
+                ProcessId::new(1),
+                &mut extend,
+            );
+            receiver.on_message(ProcessId::new(1), next_delta.clone(), &mut ctx);
+        }
+        assert_eq!(receiver.delivered().len(), 5);
+        assert_eq!(receiver.promote_pulls(), 1, "no further fallback needed");
+        let ids: Vec<MsgId> = receiver.delivered().iter().map(|m| m.id).collect();
+        let expected: Vec<MsgId> = leader.promotion_sequence().iter().map(|m| m.id).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content_not_history() {
+        let m = AppMessage::new(MsgId::new(ProcessId::new(0), 1), vec![0u8; 100]);
+        assert_eq!(m.wire_bytes(), 16 + 8 + 100 + 8);
+        let mut graph = CausalGraph::new();
+        graph.update(m.clone());
+        let beacon = EtobMsg::Delta {
+            nodes: Vec::new(),
+            frontier: graph.digest().clone(),
+        };
+        let full = EtobMsg::Update(graph.clone());
+        assert!(beacon.wire_bytes() < full.wire_bytes());
+        assert_eq!(EtobMsg::PromoteRequest.wire_bytes(), 1);
+        assert_eq!(
+            EtobMsg::Promote(vec![m.clone()]).wire_bytes(),
+            1 + 8 + m.wire_bytes()
+        );
+        assert_eq!(EtobOmega::wire_size(&full), full.wire_bytes());
     }
 
     #[test]

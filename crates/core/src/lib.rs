@@ -3,7 +3,10 @@
 //! This crate contains the paper's contribution as executable Rust:
 //!
 //! * [`types`] — the EC / ETOB / EIC interfaces and application message
-//!   types.
+//!   types (payloads are shared `Arc<[u8]>` buffers — fan-out never deep-
+//!   copies bytes).
+//! * [`version`] — exact per-origin range-set digests ([`VersionVector`]),
+//!   the gap-detection backbone of the delta-state wire format.
 //! * [`spec`] — executable property checkers for the TOB/ETOB properties of
 //!   Section 3 and the EC/EIC properties of Section 3 / Appendix A.
 //! * [`ec_omega`] — **Algorithm 4**: eventual consensus from Ω, in any
@@ -11,7 +14,9 @@
 //! * [`etob_omega`] — **Algorithm 5**: eventual total order broadcast
 //!   directly from Ω, with two-communication-step delivery under a stable
 //!   leader, full TOB when Ω is stable from the start, and causal order
-//!   throughout.
+//!   throughout. Runs a delta-state wire format by default (suffix updates,
+//!   digest-triggered reconciliation, hash-keyed promote suffixes) with the
+//!   paper-literal full-graph mode kept as the reference spec.
 //! * [`transforms`] — the black-box equivalence transformations:
 //!   **Algorithm 1** (EC → ETOB), **Algorithm 2** (ETOB → EC) proving
 //!   Theorem 1, and **Algorithms 6 & 7** (EC ↔ EIC) proving Theorem 3.
@@ -34,6 +39,7 @@ pub mod spec;
 pub mod tob_consensus;
 pub mod transforms;
 pub mod types;
+pub mod version;
 pub mod workload;
 
 mod wrapper;
@@ -49,6 +55,7 @@ pub use tob_consensus::{ConsensusTob, ConsensusTobConfig, TobMsg};
 pub use transforms::{EcToEic, EcToEtob, EicToEc, EtobToEc};
 pub use types::{
     AppMessage, DeliveredSequence, EcInput, EcOutput, EicInput, EicOutput, Either, EtobBroadcast,
-    EventualConsensus, EventualIrrevocableConsensus, EventualTotalOrderBroadcast, MsgId,
+    EventualConsensus, EventualIrrevocableConsensus, EventualTotalOrderBroadcast, MsgId, Payload,
 };
+pub use version::{SeqRanges, VersionVector};
 pub use workload::{BroadcastWorkload, KvOp, KvWorkload, ZipfMix};

@@ -86,6 +86,24 @@ pub enum TobMsg {
     },
 }
 
+impl TobMsg {
+    /// The modeled wire size of the message in bytes (1 tag byte plus the
+    /// variant contents; see [`AppMessage::wire_bytes`] for the model).
+    pub fn wire_bytes(&self) -> u64 {
+        let body = match self {
+            TobMsg::Forward(message) => message.wire_bytes(),
+            TobMsg::Accept { message, .. } => 8 + message.wire_bytes(),
+            TobMsg::Ack { .. } => 8 + 16,
+            TobMsg::Heads { .. } => 16,
+            TobMsg::SyncRequest { .. } => 8,
+            TobMsg::SyncReply { suffix, .. } => {
+                16 + 8 + suffix.iter().map(AppMessage::wire_bytes).sum::<u64>()
+            }
+        };
+        1 + body
+    }
+}
+
 /// Configuration of [`ConsensusTob`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConsensusTobConfig {
@@ -416,6 +434,10 @@ impl Algorithm for ConsensusTob {
         }
         self.try_deliver(ctx);
         ctx.set_timer(self.config.resend_period);
+    }
+
+    fn wire_size(msg: &TobMsg) -> u64 {
+        msg.wire_bytes()
     }
 }
 

@@ -3,6 +3,7 @@
 //! eventual-irrevocable-consensus (EIC) interfaces.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ec_sim::{Algorithm, ProcessId};
 
@@ -44,6 +45,15 @@ impl fmt::Display for MsgId {
     }
 }
 
+/// The reference-counted payload of an [`AppMessage`].
+///
+/// Payload bytes are shared, not owned: cloning a message — which the wire
+/// layer does once per recipient on every broadcast fan-out, and the thread
+/// runtime once per channel send — bumps a reference count instead of deep-
+/// copying the byte buffer. The one copy happens at creation, when the
+/// client's `Vec<u8>` is moved behind the `Arc`.
+pub type Payload = Arc<[u8]>;
+
 /// An application message broadcast through (E)TOB: an identifier, an opaque
 /// payload, and the identifiers of the messages it causally depends on (the
 /// paper's `C(m)` passed to `broadcastETOB(m, C(m))`).
@@ -51,25 +61,38 @@ impl fmt::Display for MsgId {
 pub struct AppMessage {
     /// Unique identifier.
     pub id: MsgId,
-    /// Opaque application payload.
-    pub payload: Vec<u8>,
+    /// Opaque application payload (shared zero-copy across fan-outs).
+    pub payload: Payload,
     /// Identifiers of causal predecessors declared at broadcast time.
     pub deps: Vec<MsgId>,
 }
 
 impl AppMessage {
     /// Creates a message with no declared causal dependencies.
-    pub fn new(id: MsgId, payload: Vec<u8>) -> Self {
+    pub fn new(id: MsgId, payload: impl Into<Payload>) -> Self {
         AppMessage {
             id,
-            payload,
+            payload: payload.into(),
             deps: Vec::new(),
         }
     }
 
     /// Creates a message with declared causal dependencies `C(m)`.
-    pub fn with_deps(id: MsgId, payload: Vec<u8>, deps: Vec<MsgId>) -> Self {
-        AppMessage { id, payload, deps }
+    pub fn with_deps(id: MsgId, payload: impl Into<Payload>, deps: Vec<MsgId>) -> Self {
+        AppMessage {
+            id,
+            payload: payload.into(),
+            deps,
+        }
+    }
+
+    /// The modeled wire size of the message in bytes: the identifier, a
+    /// length-prefixed payload, and the length-prefixed dependency list.
+    /// Messages are never actually serialized in this reproduction (both
+    /// engines pass them in memory), so this is the accounting model the
+    /// byte metrics and experiment E12 use.
+    pub fn wire_bytes(&self) -> u64 {
+        16 + 8 + self.payload.len() as u64 + 8 + 16 * self.deps.len() as u64
     }
 }
 
@@ -95,14 +118,19 @@ pub struct EtobBroadcast {
 
 impl EtobBroadcast {
     /// Broadcast of a fresh message with no causal dependencies.
-    pub fn new(origin: ProcessId, seq: u64, payload: Vec<u8>) -> Self {
+    pub fn new(origin: ProcessId, seq: u64, payload: impl Into<Payload>) -> Self {
         EtobBroadcast {
             message: AppMessage::new(MsgId::new(origin, seq), payload),
         }
     }
 
     /// Broadcast of a fresh message with declared causal dependencies.
-    pub fn with_deps(origin: ProcessId, seq: u64, payload: Vec<u8>, deps: Vec<MsgId>) -> Self {
+    pub fn with_deps(
+        origin: ProcessId,
+        seq: u64,
+        payload: impl Into<Payload>,
+        deps: Vec<MsgId>,
+    ) -> Self {
         EtobBroadcast {
             message: AppMessage::with_deps(MsgId::new(origin, seq), payload, deps),
         }

@@ -384,6 +384,14 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
         self.deployment.metrics()
     }
 
+    /// Total digest pulls of the Algorithm 5 layers so far — wire-level
+    /// update gaps (lost, reordered or rejoin-missed deltas) that the
+    /// delta-sync machinery detected and repaired. Simulator-side eventual
+    /// deployments only (0 otherwise).
+    pub fn sync_pulls(&self) -> u64 {
+        self.deployment.sync_pulls()
+    }
+
     /// The uniform cluster report, computed live: per-replica applied
     /// counts and snapshots, convergence of the replica outputs, and
     /// message costs.
@@ -400,6 +408,7 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             converged_at: convergence.converged_at,
             divergences: convergence.divergence_count(),
             messages_sent: metrics.messages_sent,
+            bytes_sent: metrics.bytes_sent,
             updates_sent: self.deployment.updates_sent(),
             faults_dropped: metrics.faults_dropped,
             faults_duplicated: metrics.faults_duplicated,
@@ -430,6 +439,7 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             converged_at: convergence.converged_at,
             divergences: convergence.divergence_count(),
             messages_sent: fin.metrics.messages_sent,
+            bytes_sent: fin.metrics.bytes_sent,
             updates_sent: fin.updates_sent,
             faults_dropped: fin.metrics.faults_dropped,
             faults_duplicated: fin.metrics.faults_duplicated,
@@ -462,6 +472,10 @@ pub struct ShardReport {
     pub divergences: usize,
     /// Messages sent inside the group.
     pub messages_sent: u64,
+    /// Modeled wire bytes sent inside the group (see
+    /// `ec_sim::Metrics::bytes_sent`) — the quantity the delta wire format
+    /// (experiment E12) shrinks.
+    pub bytes_sent: u64,
     /// `update` broadcasts performed inside the group (ops ÷ this ratio is
     /// the batching amortization the E11 experiment reports; 0 for strong
     /// groups).
@@ -491,7 +505,7 @@ impl fmt::Display for ShardReport {
         write!(
             f,
             "shard {}: {} ops, applied {:?}, converged at {}, {} divergence(s), {} msgs, \
-             {} updates, {} lost, {} duped",
+             {} B, {} updates, {} lost, {} duped",
             self.shard,
             self.ops_routed,
             self.applied,
@@ -500,6 +514,7 @@ impl fmt::Display for ShardReport {
                 .unwrap_or_else(|| "-".into()),
             self.divergences,
             self.messages_sent,
+            self.bytes_sent,
             self.updates_sent,
             self.faults_dropped,
             self.faults_duplicated,
@@ -582,10 +597,12 @@ impl fmt::Display for ClusterReport {
         }
         write!(
             f,
-            "  totals: {} msgs sent, {} delivered, {} outputs; faults: {} lost, {} duped, \
-             {} crash(es), {} recovery(ies)",
+            "  totals: {} msgs sent ({} B), {} delivered ({} B), {} outputs; faults: {} lost, \
+             {} duped, {} crash(es), {} recovery(ies)",
             self.totals.messages_sent,
+            self.totals.bytes_sent,
             self.totals.messages_delivered,
+            self.totals.bytes_delivered,
             self.totals.outputs,
             self.totals.faults_dropped,
             self.totals.faults_duplicated,

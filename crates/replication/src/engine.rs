@@ -607,6 +607,20 @@ where
         }
     }
 
+    /// Total digest pulls (delta-sync update-gap repairs, see
+    /// `EtobOmega::sync_pulls`) of the Algorithm 5 layers so far — each one
+    /// is a wire-level gap that was detected and healed. 0 for strong
+    /// deployments and live thread deployments.
+    pub fn sync_pulls(&self) -> u64 {
+        match self {
+            EngineDeployment::SimEventual(w) => w
+                .process_ids()
+                .map(|p| w.algorithm(p).broadcast_layer().sync_pulls())
+                .sum(),
+            _ => 0,
+        }
+    }
+
     /// Stops the deployment and harvests its final state. On the thread
     /// engine this joins every replica thread and reads the exact final
     /// automata; on the simulator it reads the live state.

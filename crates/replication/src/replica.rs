@@ -4,7 +4,7 @@
 use std::fmt;
 
 use ec_core::types::{
-    AppMessage, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId,
+    AppMessage, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId, Payload,
 };
 use ec_sim::{Algorithm, Context, ProcessId};
 
@@ -13,8 +13,10 @@ use crate::state_machine::StateMachine;
 /// A client command submitted to a replica.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicaCommand {
-    /// The state-machine command.
-    pub command: Vec<u8>,
+    /// The state-machine command. Stored behind an [`Payload`] `Arc` so the
+    /// broadcast layer's per-recipient fan-out and the thread runtime's
+    /// channel sends share one buffer instead of deep-copying it.
+    pub command: Payload,
     /// Identifiers of commands this one causally depends on (passed through
     /// to the broadcast layer as `C(m)`).
     pub deps: Vec<MsgId>,
@@ -32,18 +34,18 @@ pub struct ReplicaCommand {
 
 impl ReplicaCommand {
     /// A command with no declared causal dependencies.
-    pub fn new(command: Vec<u8>) -> Self {
+    pub fn new(command: impl Into<Payload>) -> Self {
         ReplicaCommand {
-            command,
+            command: command.into(),
             deps: Vec::new(),
             id: None,
         }
     }
 
     /// A command with declared causal dependencies.
-    pub fn with_deps(command: Vec<u8>, deps: Vec<MsgId>) -> Self {
+    pub fn with_deps(command: impl Into<Payload>, deps: Vec<MsgId>) -> Self {
         ReplicaCommand {
-            command,
+            command: command.into(),
             deps,
             id: None,
         }
@@ -64,13 +66,13 @@ impl From<Vec<u8>> for ReplicaCommand {
 
 impl From<&[u8]> for ReplicaCommand {
     fn from(command: &[u8]) -> Self {
-        ReplicaCommand::new(command.to_vec())
+        ReplicaCommand::new(command)
     }
 }
 
 impl From<&str> for ReplicaCommand {
     fn from(command: &str) -> Self {
-        ReplicaCommand::new(command.as_bytes().to_vec())
+        ReplicaCommand::new(command.as_bytes())
     }
 }
 
@@ -165,7 +167,7 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
     }
 
     fn rebuild(&mut self, sequence: &[AppMessage], ctx: &mut Context<'_, Self>) {
-        let state = S::replay(sequence.iter().map(|m| m.payload.as_slice()));
+        let state = S::replay(sequence.iter().map(|m| &m.payload[..]));
         self.state = state;
         self.applied = sequence.len();
         let output = ReplicaOutput {
@@ -241,6 +243,10 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Algorithm for Replica<S, B
     fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
         self.drive(ctx, |b, ictx| b.on_timer(ictx));
         ctx.set_timer(3);
+    }
+
+    fn wire_size(msg: &B::Msg) -> u64 {
+        B::wire_size(msg)
     }
 }
 

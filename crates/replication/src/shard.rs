@@ -329,7 +329,7 @@ where
     pub fn submit_keyed(
         &mut self,
         key: &str,
-        command: Vec<u8>,
+        command: impl Into<crate::replica::ReplicaCommand>,
         at: u64,
         client: Option<usize>,
     ) -> usize {

@@ -336,7 +336,11 @@ where
                 dispatch_hb(me, actions, &senders, &shared);
             }
             Ok(Envelope::App { from, msg }) => {
-                shared.metrics.lock().messages_delivered += 1;
+                {
+                    let mut metrics = shared.metrics.lock();
+                    metrics.messages_delivered += 1;
+                    metrics.bytes_delivered += A::wire_size(&msg);
+                }
                 let fd = derive(omega.leader(), n);
                 let actions = run_handler(&mut algorithm, me, n, fd, tick, |a, ctx| {
                     a.on_message(from, msg, ctx)
@@ -395,8 +399,9 @@ fn dispatch_app<A: Algorithm>(
     let elapsed = shared.started.elapsed().as_millis() as u64;
     {
         let mut metrics = shared.metrics.lock();
-        for _ in &actions.sends {
+        for (_, msg) in &actions.sends {
             metrics.record_send(me);
+            metrics.bytes_sent += A::wire_size(msg);
         }
         metrics.outputs += actions.outputs.len() as u64;
     }
@@ -529,7 +534,7 @@ mod tests {
             assert_eq!(report.last_leader_of(p), Some(ProcessId::new(1)), "{p}");
             let delivered = report.last_output_of(p).expect("delivered something");
             assert!(
-                delivered.iter().any(|m| m.payload == b"after".to_vec()),
+                delivered.iter().any(|m| &m.payload[..] == b"after"),
                 "{p} did not deliver the post-crash broadcast"
             );
         }

@@ -59,6 +59,17 @@ pub trait Algorithm {
     fn on_input(&mut self, input: Self::Input, ctx: &mut Context<'_, Self>) {
         let _ = (input, ctx);
     }
+
+    /// The modeled wire size of a message in bytes, used by the runners for
+    /// the `bytes_sent` / `bytes_delivered` counters of
+    /// [`crate::Metrics`]. Messages are never actually serialized (both
+    /// execution engines pass them in memory), so this is an accounting
+    /// model; the default of `0` means "unmeasured" and leaves the byte
+    /// counters at zero for algorithms that do not override it.
+    fn wire_size(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        0
+    }
 }
 
 /// The actions produced by one step of an algorithm: messages to send,

@@ -33,6 +33,13 @@ pub struct Metrics {
     pub crashes: u64,
     /// Crash–recovery rejoins that occurred during the run.
     pub recoveries: u64,
+    /// Modeled wire bytes handed to the network (one count per send
+    /// attempt; see `Algorithm::wire_size` — 0 for algorithms that do not
+    /// model message sizes).
+    pub bytes_sent: u64,
+    /// Modeled wire bytes delivered to live destinations (duplicated copies
+    /// each count; lost and crash-dropped copies do not).
+    pub bytes_delivered: u64,
     /// Messages sent, per sending process.
     pub sends_per_process: Vec<u64>,
 }
@@ -80,6 +87,8 @@ impl Metrics {
         self.faults_duplicated += other.faults_duplicated;
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_delivered += other.bytes_delivered;
         self.sends_per_process
             .extend(other.sends_per_process.iter().copied());
     }
@@ -115,6 +124,9 @@ mod tests {
         b.faults_duplicated = 2;
         b.crashes = 1;
         b.recoveries = 1;
+        a.bytes_sent = 100;
+        b.bytes_sent = 20;
+        b.bytes_delivered = 15;
         a.merge(&b);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.messages_delivered, 1);
@@ -124,6 +136,8 @@ mod tests {
         assert_eq!(a.faults_duplicated, 2);
         assert_eq!(a.crashes, 1);
         assert_eq!(a.recoveries, 1);
+        assert_eq!(a.bytes_sent, 120);
+        assert_eq!(a.bytes_delivered, 15);
         assert_eq!(a.sends_per_process, vec![1, 0, 0, 2]);
     }
 

@@ -188,6 +188,8 @@ enum EventKind<A: Algorithm> {
         to: ProcessId,
         msg: A::Msg,
         id: u64,
+        /// Modeled wire size of the message, captured at send time.
+        bytes: u64,
     },
     Timer {
         process: ProcessId,
@@ -377,7 +379,13 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
         self.record_crashes_up_to(ev.time);
         self.now = ev.time;
         match ev.kind {
-            EventKind::Deliver { from, to, msg, id } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                id,
+                bytes,
+            } => {
                 self.pending_non_timer = self.pending_non_timer.saturating_sub(1);
                 if !self.failures.is_alive(to, self.now) {
                     self.trace.push(TraceEvent::MessageDropped {
@@ -394,6 +402,7 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                         id,
                     });
                     self.metrics.messages_delivered += 1;
+                    self.metrics.bytes_delivered += bytes;
                     self.last_activity = self.now;
                     self.execute(to, |alg, ctx| alg.on_message(from, msg, ctx));
                 }
@@ -478,7 +487,9 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                 at: self.now,
                 id,
             });
+            let bytes = A::wire_size(&msg);
             self.metrics.record_send(p);
+            self.metrics.bytes_sent += bytes;
             self.last_activity = self.now;
             let deliveries = self.network.transmit(p, to, self.now, &mut self.rng);
             if deliveries.is_empty() {
@@ -507,6 +518,7 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                         to,
                         msg,
                         id,
+                        bytes,
                     },
                 );
             }
@@ -578,6 +590,10 @@ mod tests {
             self.seen.push(msg);
             ctx.output(self.seen.clone());
         }
+
+        fn wire_size(_msg: &u32) -> u64 {
+            4
+        }
     }
 
     fn relay_world(n: usize) -> World<Relay, NullFd> {
@@ -596,6 +612,22 @@ mod tests {
         }
         assert_eq!(w.metrics().messages_sent, 3);
         assert_eq!(w.metrics().messages_delivered, 3);
+        // wire-byte accounting uses the algorithm's modeled message size
+        assert_eq!(w.metrics().bytes_sent, 12);
+        assert_eq!(w.metrics().bytes_delivered, 12);
+    }
+
+    #[test]
+    fn bytes_to_crashed_destinations_are_sent_but_not_delivered() {
+        let failures = FailurePattern::no_failures(3).with_crash(ProcessId::new(2), Time::new(5));
+        let mut w = WorldBuilder::new(3)
+            .network(NetworkModel::fixed_delay(2))
+            .failures(failures)
+            .build_with(|_p| Relay::default(), NullFd);
+        w.schedule_input(ProcessId::new(0), 9, 10);
+        w.run_until(100);
+        assert_eq!(w.metrics().bytes_sent, 12);
+        assert_eq!(w.metrics().bytes_delivered, 8, "p2's copy was dropped");
     }
 
     #[test]

@@ -203,6 +203,58 @@ fn thread_engine_smoke_subset_converges() {
 }
 
 #[test]
+fn lossy_links_trigger_digest_resync_and_still_converge() {
+    // The delta wire format is the default, so a heavily lossy window drops
+    // suffix deltas; receivers must then *detect* the gaps from the exact
+    // digests carried by later deltas and anti-entropy beacons, pull the
+    // missing nodes, and converge. The scenario asserts both that the run
+    // passes every checker and that the digest-triggered resync machinery
+    // actually fired — a lossy run with zero pulls would mean the window
+    // never exercised the repair path.
+    let mut s = Scenario::quiet("delta-resync-lossy", 4, Consistency::Eventual);
+    s.nemesis.push(NemesisOp::Lossy {
+        from: 5,
+        until: 550,
+        scope: LinkScope::All,
+        drop_permille: 500,
+        dup_permille: 100,
+        jitter: 3,
+    });
+    s.workload = (0..10)
+        .map(|i| ClientOp {
+            at: 20 + 45 * i as u64,
+            session: i % 2,
+            op: WorkloadOp::Put {
+                key: format!("k{}", i % 3),
+                value: format!("v{i}"),
+            },
+        })
+        .chain([ClientOp {
+            at: 3_200,
+            session: 0,
+            op: WorkloadOp::Read { key: "k0".into() },
+        }])
+        .collect();
+    let outcome = run_scenario::<KvStore>(&s);
+    let verdict = check_outcome(&outcome);
+    assert!(verdict.ok(), "{s}\n{verdict}");
+    assert!(
+        outcome.report.totals.faults_dropped > 0,
+        "the window must actually drop messages"
+    );
+    assert!(
+        outcome.sync_pulls > 0,
+        "heavy loss must exercise digest-triggered resync (0 pulls recorded)"
+    );
+    // every write reached every replica despite the loss
+    let reference = outcome.delivered_ids(ProcessId::new(0));
+    assert_eq!(reference.len(), 10);
+    for p in 1..4 {
+        assert_eq!(outcome.delivered_ids(ProcessId::new(p)), reference);
+    }
+}
+
+#[test]
 fn clear_state_recovery_converges_at_eventual() {
     // a replica rejoins from a blank slate mid-run and must still end up
     // byte-identical to the always-up replicas

@@ -132,7 +132,7 @@ fn sharded_reads_reflect_the_zipf_client_mix() {
             .delivered(eventual_consistency::sim::ProcessId::new(0))
             .expect("simulated shards expose their stable sequence");
         for m in &delivered {
-            let text = String::from_utf8(m.payload.clone()).unwrap();
+            let text = String::from_utf8(m.payload.to_vec()).unwrap();
             let mut parts = text.splitn(3, ' ');
             let (Some("put"), Some(key), Some(value)) = (parts.next(), parts.next(), parts.next())
             else {
