@@ -1,0 +1,392 @@
+//! A hand-rolled Rust lexer, just deep enough for token-level analysis.
+//!
+//! The rules in [`crate::rules`] never need a full parse tree: every property
+//! they check is visible in the token stream (identifier/punctuation
+//! sequences, brace nesting, comment text). The lexer therefore produces a
+//! flat list of [`Tok`]s with line numbers, plus the comments (where the
+//! inline allow-directives of [`crate::policy`] live) as a separate list.
+//! String literals, character literals, raw strings, doc comments and nested
+//! block comments are all consumed correctly so that braces or rule trigger
+//! words inside them can never confuse a rule.
+
+/// The coarse kind of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `on_message`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so it is never mistaken for a
+    /// character literal.
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string, byte-string, raw-string or character literal (content
+    /// dropped; rules must never match inside literals).
+    Literal,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// One token: kind, text and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for [`TokKind::Literal`]).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Returns `true` if the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Returns `true` if the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), with the 1-based line it starts on and
+/// whether any non-whitespace token precedes it on that line.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text, without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// `true` if the comment trails code on its line (so an allow-directive
+    /// in it targets that same line rather than the next one).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+    let mut last_token_line: u32 = 0;
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                    trailing: last_token_line == line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..j.saturating_sub(2).max(start)]
+                        .iter()
+                        .collect(),
+                    line: start_line,
+                    trailing: last_token_line == start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                i = consume_string(&bytes, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&bytes, i) => {
+                let tok_line = line;
+                i = consume_prefixed_literal(&bytes, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                last_token_line = line;
+            }
+            '\'' => {
+                // lifetime or char literal
+                if is_char_literal(&bytes, i) {
+                    i = consume_char_literal(&bytes, i);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: bytes[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                last_token_line = line;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                last_token_line = line;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                    // `0..10` range syntax: stop a number before `..`
+                    if bytes[j] == '.' && j + 1 < n && bytes[j + 1] == '.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Number,
+                    text: bytes[i..j].iter().collect(),
+                    line,
+                });
+                last_token_line = line;
+                i = j;
+            }
+            c => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: c.to_string(),
+                    line,
+                });
+                last_token_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` if position `i` starts `r"`, `r#"`, `b"`, `br"`, `b'` or
+/// `br#"` (a prefixed string/char literal rather than an identifier).
+fn starts_raw_or_byte_literal(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == '\'' {
+            return true;
+        }
+    }
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+        while j < n && bytes[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && bytes[j] == '"' && j > i
+}
+
+/// Consumes a string literal starting at the opening quote; returns the index
+/// one past the closing quote.
+fn consume_string(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` literal starting
+/// at the prefix; returns the index one past the closing delimiter.
+fn consume_prefixed_literal(bytes: &[char], i: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == '\'' {
+            return consume_char_literal(bytes, j);
+        }
+    }
+    let mut hashes = 0usize;
+    if j < n && bytes[j] == 'r' {
+        j += 1;
+        while j < n && bytes[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        // raw string: no escapes; closed by `"` followed by `hashes` hashes
+        debug_assert!(j < n && bytes[j] == '"');
+        j += 1;
+        while j < n {
+            if bytes[j] == '\n' {
+                *line += 1;
+                j += 1;
+            } else if bytes[j] == '"' && bytes[j + 1..].iter().take(hashes).all(|&c| c == '#') {
+                return j + 1 + hashes;
+            } else {
+                j += 1;
+            }
+        }
+        return j;
+    }
+    // plain byte string b"…": escapes allowed
+    consume_string(bytes, j, line)
+}
+
+/// Returns `true` if the `'` at position `i` opens a character literal (as
+/// opposed to a lifetime).
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return false;
+    }
+    match bytes[i + 1] {
+        '\\' => true,
+        '\'' => false, // `''` never occurs; treat as not-a-char
+        _ => i + 2 < n && bytes[i + 2] == '\'',
+    }
+}
+
+/// Consumes a character literal starting at the opening quote; returns the
+/// index one past the closing quote.
+fn consume_char_literal(bytes: &[char], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "unwrap() inside a string { brace";
+            let r = r#"raw "string" with HashMap"#;
+            let b = b"bytes";
+            let c = '{';
+            let esc = '\'';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+        // braces inside literals must not unbalance the stream
+        let opens = lexed.tokens.iter().filter(|t| t.is_punct('{')).count();
+        let closes = lexed.tokens.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            3
+        );
+        assert!(toks.iter().all(|t| t.kind != TokKind::Literal));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let lexed = lex("let x = 1; // trailing\n// own line\n");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let toks = lex("\"line\none\"\nident").tokens;
+        assert_eq!(toks.last().map(|t| t.line), Some(3));
+    }
+}

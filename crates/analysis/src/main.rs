@@ -1,0 +1,73 @@
+//! CLI entry point: `cargo run -p ec-analysis [-- --root <dir>] [--json
+//! <path>] [--deny-all]`.
+//!
+//! Exit codes: `0` clean (or allowed-only), `1` findings denied, `2` usage or
+//! I/O error.
+
+use ec_analysis::analyze_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny_all: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        deny_all: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--deny-all" => args.deny_all = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ec-analysis [--root <dir>] [--json <path>] [--deny-all]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ec-analysis: failed to read workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("ec-analysis: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", report.render_text());
+    let denied = report.denied().count();
+    let meta = report.meta().count();
+    if denied > 0 || (args.deny_all && meta > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

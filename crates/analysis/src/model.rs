@@ -1,0 +1,315 @@
+//! A lightweight structural model of one source file, built from the token
+//! stream: `#[cfg(test)]` spans, function definitions with body extents, and
+//! the declarations of wire-message enums (`*Msg`).
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// A function definition: its name, starting line, and the token-index range
+/// of its body (exclusive of the braces).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices `[start, end)` of the body contents.
+    pub body: (usize, usize),
+}
+
+/// An enum declaration whose name ends in `Msg` (a wire-message enum).
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names with their lines.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// The structural model of one lexed file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The token stream.
+    pub tokens: Vec<Tok>,
+    /// The comments (allow-directives live here).
+    pub comments: Vec<Comment>,
+    /// Per-token flag: `true` inside a `#[cfg(test)]` module.
+    pub test_mask: Vec<bool>,
+    /// Non-test function definitions.
+    pub functions: Vec<FnDef>,
+    /// Non-test `*Msg` enum declarations.
+    pub enums: Vec<EnumDef>,
+}
+
+impl FileModel {
+    /// Builds the model for `source`.
+    pub fn build(source: &str) -> FileModel {
+        let lexed = lex(source);
+        let tokens = lexed.tokens;
+        let test_mask = test_mask(&tokens);
+        let functions = functions(&tokens, &test_mask);
+        let enums = msg_enums(&tokens, &test_mask);
+        FileModel {
+            tokens,
+            comments: lexed.comments,
+            test_mask,
+            functions,
+            enums,
+        }
+    }
+
+    /// The non-test functions named `name`.
+    pub fn fns_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FnDef> + 'a {
+        self.functions.iter().filter(move |f| f.name == name)
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)] mod … { … }` block.
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // skip this attribute and any further attributes
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            // optional visibility, then `mod name {`
+            if j < tokens.len() && tokens[j].is_ident("pub") {
+                j += 1;
+                if j < tokens.len() && tokens[j].is_punct('(') {
+                    j = skip_balanced(tokens, j, '(', ')');
+                }
+            }
+            if j + 1 < tokens.len() && tokens[j].is_ident("mod") {
+                // find the opening brace (or `;` for an out-of-line mod)
+                let mut k = j + 1;
+                while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct('{') {
+                    let end = skip_balanced(tokens, k, '{', '}');
+                    for m in mask.iter_mut().take(end).skip(i) {
+                        *m = true;
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Returns `true` if `#[cfg(test)]` starts at token `i`.
+fn is_cfg_test_attr(tokens: &[Tok], i: usize) -> bool {
+    tokens.len() > i + 5
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(')')
+}
+
+/// Skips an attribute `#[…]` starting at the `#`; returns the index one past
+/// its closing bracket.
+fn skip_attr(tokens: &[Tok], i: usize) -> usize {
+    if i + 1 < tokens.len() && tokens[i].is_punct('#') && tokens[i + 1].is_punct('[') {
+        skip_balanced(tokens, i + 1, '[', ']')
+    } else {
+        i + 1
+    }
+}
+
+/// Given `tokens[open_idx] == open`, returns the index one past the matching
+/// `close`.
+fn skip_balanced(tokens: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open) {
+            depth += 1;
+        } else if tokens[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extracts every non-test function definition with a body.
+fn functions(tokens: &[Tok], test_mask: &[bool]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && !test_mask[i] {
+            // `fn` in a function-pointer type is followed by `(`, not a name
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    // the body is the first `{` before a `;` ends the item
+                    // (trait-method declarations have no body)
+                    let mut j = i + 2;
+                    let mut paren = 0isize;
+                    let mut body = None;
+                    while j < tokens.len() {
+                        match tokens[j].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') => paren += 1,
+                            TokKind::Punct(')') | TokKind::Punct(']') => paren -= 1,
+                            TokKind::Punct('{') if paren == 0 => {
+                                body = Some(j);
+                                break;
+                            }
+                            TokKind::Punct(';') if paren == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let end = skip_balanced(tokens, open, '{', '}');
+                        out.push(FnDef {
+                            name: name_tok.text.clone(),
+                            line: tokens[i].line,
+                            body: (open + 1, end.saturating_sub(1)),
+                        });
+                        // continue scanning *inside* the body too (nested fns)
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts every non-test enum whose name ends in `Msg`.
+fn msg_enums(tokens: &[Tok], test_mask: &[bool]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("enum") && !test_mask[i] {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident && name_tok.text.ends_with("Msg") {
+                    // skip generics to the opening brace
+                    let mut j = i + 2;
+                    while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < tokens.len() && tokens[j].is_punct('{') {
+                        let end = skip_balanced(tokens, j, '{', '}');
+                        out.push(EnumDef {
+                            name: name_tok.text.clone(),
+                            line: tokens[i].line,
+                            variants: variants(&tokens[j + 1..end.saturating_sub(1)]),
+                        });
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the variant names out of an enum body token slice.
+fn variants(body: &[Tok]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // skip attributes on the variant
+        while i < body.len() && body[i].is_punct('#') {
+            i = skip_attr(body, i);
+        }
+        if i >= body.len() {
+            break;
+        }
+        if body[i].kind == TokKind::Ident {
+            out.push((body[i].text.clone(), body[i].line));
+            i += 1;
+            // skip the payload / discriminant up to the separating comma
+            let mut depth = 0isize;
+            while i < body.len() {
+                match body[i].kind {
+                    TokKind::Punct('(') | TokKind::Punct('{') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct('}') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Punct(',') if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_test_mods_are_separated() {
+        let src = r#"
+            fn outer(x: usize) -> usize { x + 1 }
+            impl Foo {
+                fn method(&self) { self.x = 1; }
+            }
+            trait T { fn decl(&self); fn with_default(&self) { } }
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn a_test() { helper(); }
+            }
+        "#;
+        let model = FileModel::build(src);
+        let names: Vec<&str> = model.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "method", "with_default"]);
+    }
+
+    #[test]
+    fn msg_enums_and_variants_are_extracted() {
+        let src = r#"
+            /// Docs.
+            pub enum FooMsg {
+                /// A unit variant.
+                Ping,
+                /// A tuple variant.
+                Data(Vec<u8>),
+                /// A struct variant.
+                Range { lo: u64, hi: u64 },
+            }
+            pub enum NotAMessage { A, B }
+        "#;
+        let model = FileModel::build(src);
+        assert_eq!(model.enums.len(), 1);
+        assert_eq!(model.enums[0].name, "FooMsg");
+        let names: Vec<&str> = model.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["Ping", "Data", "Range"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_functions() {
+        let model = FileModel::build("struct S { f: fn(usize) -> usize } fn real() {}");
+        let names: Vec<&str> = model.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Findings, the aggregate report, and its machine-readable JSON form.
+//!
+//! JSON serialization is hand-rolled (the crate is dependency-free); the
+//! format is stable and tested so CI tooling can consume it.
+
+/// One analysis finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule id, e.g. `determinism::wall-clock`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `Some(reason)` if an `analysis:allow` directive covers this finding.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// Returns `true` for the advisory meta rules about the allow-directives
+    /// themselves (these only fail the run under `--deny-all`).
+    pub fn is_meta(&self) -> bool {
+        self.rule.starts_with("meta::")
+    }
+}
+
+/// The aggregate result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// The root the analysis ran over (as given on the command line).
+    pub root: String,
+    /// All findings, allowed or not, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Sorts findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Unallowed, non-meta findings — these always fail the run.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.allowed.is_none() && !f.is_meta())
+    }
+
+    /// Unallowed meta findings — these fail the run only under `--deny-all`.
+    pub fn meta(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_meta())
+    }
+
+    /// Findings suppressed by an `analysis:allow` directive.
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_some())
+    }
+
+    /// Renders the stable JSON form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"root\": \"{}\",\n", escape(&self.root)));
+        s.push_str(&format!(
+            "  \"counts\": {{ \"total\": {}, \"denied\": {}, \"allowed\": {}, \"meta\": {} }},\n",
+            self.findings.len(),
+            self.denied().count(),
+            self.allowed().count(),
+            self.meta().count()
+        ));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    { ");
+            s.push_str(&format!(
+                "\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"",
+                escape(&f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            ));
+            match &f.allowed {
+                Some(reason) => s.push_str(&format!(
+                    ", \"allowed\": true, \"reason\": \"{}\"",
+                    escape(reason)
+                )),
+                None => s.push_str(", \"allowed\": false"),
+            }
+            s.push_str(" }");
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Renders the human-readable form, one finding per line, plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                Some(reason) => s.push_str(&format!(
+                    "{}:{}: {} [allowed: {}]\n",
+                    f.file, f.line, f.rule, reason
+                )),
+                None => s.push_str(&format!(
+                    "{}:{}: {}: {}\n",
+                    f.file, f.line, f.rule, f.message
+                )),
+            }
+        }
+        s.push_str(&format!(
+            "{} finding(s): {} denied, {} allowed, {} advisory\n",
+            self.findings.len(),
+            self.denied().count(),
+            self.allowed().count(),
+            self.meta().count()
+        ));
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            root: ".".to_string(),
+            findings: vec![
+                Finding {
+                    rule: "determinism::wall-clock".to_string(),
+                    file: "b.rs".to_string(),
+                    line: 3,
+                    message: "calls Instant::now()".to_string(),
+                    allowed: None,
+                },
+                Finding {
+                    rule: "meta::unused-allow".to_string(),
+                    file: "a.rs".to_string(),
+                    line: 9,
+                    message: "matched no finding".to_string(),
+                    allowed: None,
+                },
+                Finding {
+                    rule: "panic-safety::index".to_string(),
+                    file: "a.rs".to_string(),
+                    line: 7,
+                    message: "indexes \"peer\" data".to_string(),
+                    allowed: Some("bounds checked".to_string()),
+                },
+            ],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn counts_split_denied_allowed_meta() {
+        let r = sample();
+        assert_eq!(r.denied().count(), 1);
+        assert_eq!(r.allowed().count(), 1);
+        assert_eq!(r.meta().count(), 1);
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line_then_rule() {
+        let r = sample();
+        let order: Vec<(&str, u32)> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 7), ("a.rs", 9), ("b.rs", 3)]);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json
+            .contains("\"counts\": { \"total\": 3, \"denied\": 1, \"allowed\": 1, \"meta\": 1 }"));
+        assert!(json.contains("indexes \\\"peer\\\" data"));
+        assert!(json.contains("\"allowed\": true, \"reason\": \"bounds checked\""));
+        // crude balance check on the structure
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,24 @@
+//! Determinism fixture: wall-clock, ambient randomness, hash collections.
+
+use std::collections::HashMap;
+
+pub fn now_ms() -> u64 {
+    let _boot = std::time::SystemTime::now();
+    0
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn stamp() -> u64 {
+    // analysis:allow(determinism::wall-clock, reason = "fixture: trace timestamps are cosmetic, never fed back into the protocol")
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn scratch() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new(); // analysis:allow(determinism::hash-collections, reason = "fixture: single-statement scratch map, iteration order never observed")
+    m.len()
+}

@@ -1,0 +1,26 @@
+//! Lock-discipline fixture: nested guards, send-under-lock, and allows.
+
+pub fn two_locks(state: &Shared) {
+    let a = state.inbox.lock();
+    let b = state.outbox.lock();
+    drop((a, b));
+}
+
+pub fn send_while_held(state: &Shared) {
+    let guard = state.inbox.lock();
+    state.tx.send(1);
+    drop(guard);
+}
+
+pub fn disciplined(state: &Shared) {
+    let guard = state.inbox.lock();
+    drop(guard);
+    state.tx.send(2);
+}
+
+pub fn deliberate(state: &Shared) {
+    let a = state.inbox.lock();
+    // analysis:allow(lock-discipline::nested-lock, reason = "fixture: fixed inbox-then-outbox order is documented on Shared")
+    let b = state.outbox.lock();
+    drop((a, b));
+}

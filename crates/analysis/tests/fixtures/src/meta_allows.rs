@@ -1,0 +1,7 @@
+//! Meta fixture: malformed and unused allow-directives.
+
+// analysis:allow(determinism::wall-clock)
+pub fn missing_reason() {}
+
+// analysis:allow(panic-safety::unwrap, reason = "fixture: nothing on the next line to allow")
+pub fn spotless() {}

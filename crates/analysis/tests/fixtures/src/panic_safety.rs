@@ -1,0 +1,21 @@
+//! Panic-safety fixture: seeds, call-graph closure, and allows.
+
+pub fn on_message(buf: &[u8]) {
+    let first = buf.first().unwrap();
+    helper(*first);
+}
+
+fn helper(b: u8) {
+    if b == 0 {
+        panic!("zero byte");
+    }
+}
+
+pub fn decode_frame(buf: &[u8]) -> u8 {
+    // analysis:allow(panic-safety::index, reason = "fixture: framing layer guarantees a non-empty buffer")
+    buf[0]
+}
+
+pub fn not_on_a_message_path(buf: &[u8]) -> u8 {
+    buf[0]
+}

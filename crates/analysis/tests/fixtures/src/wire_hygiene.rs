@@ -1,0 +1,22 @@
+//! Wire-hygiene fixture: every `*Msg` variant handled and wire-accounted.
+
+pub enum GossipMsg {
+    Ping,
+    Summary(u64),
+    Orphan,
+}
+
+pub fn on_message(msg: GossipMsg) {
+    match msg {
+        GossipMsg::Ping => {}
+        GossipMsg::Summary(_) => {}
+        GossipMsg::Orphan => {}
+    }
+}
+
+pub fn wire_bytes(msg: &GossipMsg) -> usize {
+    match msg {
+        GossipMsg::Ping => 1,
+        GossipMsg::Summary(_) => 9,
+    }
+}

@@ -1,0 +1,12 @@
+//! Wire-hygiene fixture: a payload-free enum with a family-level allow.
+
+// analysis:allow(wire-hygiene, reason = "fixture: control messages carry no payload, so there is nothing to account")
+pub enum ControlMsg {
+    Halt,
+}
+
+pub fn on_message(msg: ControlMsg) {
+    match msg {
+        ControlMsg::Halt => {}
+    }
+}

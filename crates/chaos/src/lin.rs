@@ -15,7 +15,7 @@
 //! operations); a visited-state memo (`linearized-set × last-write`) keeps
 //! typical runs linear.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What an operation did.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -101,7 +101,7 @@ pub fn linearizable_register(ops: &[LinOp]) -> bool {
             }
         }
     }
-    let mut visited: HashSet<(u64, usize)> = HashSet::new();
+    let mut visited: BTreeSet<(u64, usize)> = BTreeSet::new();
     // `last_write` is the 1-based index of the latest linearized write
     // (0 = initial state, register empty).
     search(ops, required, 0, 0, &mut visited)
@@ -122,7 +122,7 @@ fn search(
     required: u64,
     mask: u64,
     last_write: usize,
-    visited: &mut HashSet<(u64, usize)>,
+    visited: &mut BTreeSet<(u64, usize)>,
 ) -> bool {
     if mask & required == required {
         // every read and every effective write is placed; the remaining

@@ -63,7 +63,9 @@ use std::fmt;
 
 use ec_sim::{Algorithm, Context, ProcessId};
 
-use crate::types::{AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
+use crate::types::{
+    decode_node, decode_sequence, AppMessage, DeliveredSequence, EtobBroadcast, MsgId,
+};
 use crate::version::VersionVector;
 
 /// The causality graph `CG_i`: all messages known to a process together with
@@ -374,9 +376,11 @@ fn hash_step(mut h: u64, id: MsgId) -> u64 {
 /// of the first `k` entries (`out.len() == sequence.len() + 1`).
 fn prefix_hashes(sequence: &[AppMessage]) -> Vec<u64> {
     let mut out = Vec::with_capacity(sequence.len() + 1);
-    out.push(FNV_OFFSET);
+    let mut h = FNV_OFFSET;
+    out.push(h);
     for m in sequence {
-        out.push(hash_step(*out.last().expect("non-empty"), m.id));
+        h = hash_step(h, m.id);
+        out.push(h);
     }
     out
 }
@@ -424,6 +428,10 @@ pub struct EtobOmega {
     /// Number of full-promote pulls ([`EtobMsg::PromoteRequest`]) this
     /// process sent — each one is a promote prefix it could not verify.
     promote_pulls: u64,
+    /// Number of incoming messages dropped as malformed
+    /// ([`crate::types::DecodeError`]): duplicate-id sequences,
+    /// self-dependent nodes. Dropped input never touches protocol state.
+    malformed: u64,
 }
 
 impl EtobOmega {
@@ -473,6 +481,7 @@ impl EtobOmega {
             updates_sent: 0,
             sync_pulls: 0,
             promote_pulls: 0,
+            malformed: 0,
         }
     }
 
@@ -495,6 +504,13 @@ impl EtobOmega {
     /// full.
     pub fn promote_pulls(&self) -> u64 {
         self.promote_pulls
+    }
+
+    /// Number of incoming messages this process dropped as malformed
+    /// (failed [`crate::types::decode_sequence`]/[`crate::types::decode_node`]
+    /// validation). A non-zero count under a byzantine-free nemesis is a bug.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
     }
 
     /// The current delivered sequence `d_i`.
@@ -535,9 +551,11 @@ impl EtobOmega {
                     .predecessors(id)
                     .all(|dep| self.promoted_ids.contains(&dep));
                 if deps_satisfied {
-                    let msg = self.graph.nodes[&id].clone();
-                    self.promote_hashes
-                        .push(hash_step(*self.promote_hashes.last().expect("seeded"), id));
+                    let Some(msg) = self.graph.get(id).cloned() else {
+                        continue;
+                    };
+                    let tail = self.promote_hashes.last().copied().unwrap_or(FNV_OFFSET);
+                    self.promote_hashes.push(hash_step(tail, id));
                     self.promote.push(msg);
                     self.promoted_ids.insert(id);
                     appended = true;
@@ -611,11 +629,14 @@ impl EtobOmega {
             ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
             return;
         }
+        // `promote_hashes` always has `promote.len() + 1` entries, so the
+        // clamped base is always in range; the fallbacks keep this path
+        // panic-free even if that invariant is ever broken.
         let base = self.last_promote_broadcast.min(self.promote.len());
         ctx.broadcast(EtobMsg::PromoteDelta {
             base,
-            prefix_hash: self.promote_hashes[base],
-            suffix: self.promote[base..].to_vec(),
+            prefix_hash: self.promote_hashes.get(base).copied().unwrap_or(FNV_OFFSET),
+            suffix: self.promote.get(base..).unwrap_or_default().to_vec(),
         });
         self.last_promote_broadcast = self.promote.len();
     }
@@ -731,6 +752,10 @@ impl Algorithm for EtobOmega {
                 // On reception of update(CG_j): UnionCG(CG_j); UpdatePromote().
                 self.note_peer_knows(from, graph.digest());
                 for msg in graph.messages() {
+                    if decode_node(msg).is_err() {
+                        self.malformed += 1;
+                        continue;
+                    }
                     if !self.graph.contains(msg.id) {
                         self.graph.update(msg.clone());
                         self.unsent.push(msg.id);
@@ -747,6 +772,10 @@ impl Algorithm for EtobOmega {
                 // graph, so "my graph does not cover it" means the sender
                 // knows a message I am missing — pull it.
                 for node in nodes {
+                    if decode_node(&node).is_err() {
+                        self.malformed += 1;
+                        continue;
+                    }
                     let id = node.id;
                     if self.graph.update(node) {
                         self.unsent.push(id);
@@ -784,6 +813,10 @@ impl Algorithm for EtobOmega {
             }
             EtobMsg::Promote(sequence) => {
                 // On reception of promote(promote_j): adopt it iff Ω_i = p_j.
+                if decode_sequence(&sequence).is_err() {
+                    self.malformed += 1;
+                    return;
+                }
                 if *ctx.fd() == from && self.delivered != sequence {
                     self.adopt_delivered(sequence, ctx);
                 }
@@ -796,21 +829,36 @@ impl Algorithm for EtobOmega {
                 if *ctx.fd() != from {
                     return;
                 }
-                if base <= self.delivered.len() && self.delivered_hashes[base] == prefix_hash {
+                if decode_sequence(&suffix).is_err() {
+                    self.malformed += 1;
+                    return;
+                }
+                // `base` comes off the wire: every access below goes through
+                // `.get()` so a hostile value falls into the resync branch
+                // instead of panicking. (`delivered_hashes` has
+                // `delivered.len() + 1` entries, so `get(base)` succeeding
+                // also proves `base <= delivered.len()`.)
+                let verified_prefix = self
+                    .delivered_hashes
+                    .get(base)
+                    .is_some_and(|h| *h == prefix_hash);
+                if verified_prefix {
                     // My delivered prefix is the leader's unsent prefix:
                     // reconstruct exactly the full sequence the leader would
                     // have sent, and adopt it iff it differs (the same
                     // condition as the full-promote path).
                     let same = self.delivered.len() == base + suffix.len()
-                        && self.delivered[base..] == suffix[..];
+                        && self
+                            .delivered
+                            .get(base..)
+                            .is_some_and(|tail| tail == suffix.as_slice());
                     if !same {
                         self.delivered.truncate(base);
-                        self.delivered_hashes.truncate(base + 1);
+                        self.delivered_hashes.truncate(base.saturating_add(1));
+                        let mut h = self.delivered_hashes.last().copied().unwrap_or(FNV_OFFSET);
                         for m in suffix {
-                            self.delivered_hashes.push(hash_step(
-                                *self.delivered_hashes.last().expect("seeded"),
-                                m.id,
-                            ));
+                            h = hash_step(h, m.id);
+                            self.delivered_hashes.push(h);
                             self.delivered.push(m);
                         }
                         ctx.output(self.delivered.clone());

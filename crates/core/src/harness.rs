@@ -59,11 +59,10 @@ impl<E: EventualConsensus> MultiInstanceProposer<E> {
         ctx: &mut Context<'_, Self>,
         pending: &mut VecDeque<EcOutput<E::Value>>,
     ) {
-        if (self.proposed as usize) >= self.values.len() {
+        let Some(value) = self.values.get(self.proposed as usize).cloned() else {
             return;
-        }
+        };
         self.proposed += 1;
-        let value = self.values[self.proposed as usize - 1].clone();
         let instance = self.proposed;
         let actions = run_inner(
             &mut self.inner,

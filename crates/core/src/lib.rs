@@ -30,6 +30,8 @@
 //! map from paper claims to modules and experiments.
 
 #![warn(missing_docs)]
+// Unit tests may unwrap freely; the lint guards protocol paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_debug_implementations)]
 
 pub mod ec_omega;

@@ -347,7 +347,7 @@ impl EtobChecker {
             .filter(|t| *t >= self.tau)
             .collect();
         if let Some(end) = self.history.output_times().last().copied() {
-            if times.is_empty() || *times.last().unwrap() < end {
+            if times.last().is_none_or(|t| *t < end) {
                 times.push(end);
             }
         }

@@ -36,7 +36,7 @@ use std::fmt;
 
 use ec_sim::{Algorithm, Context, ProcessId, ProcessSet};
 
-use crate::types::{AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
+use crate::types::{decode_sequence, AppMessage, DeliveredSequence, EtobBroadcast, MsgId};
 
 /// Messages of [`ConsensusTob`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -172,6 +172,9 @@ pub struct ConsensusTob {
     delivered_ids: BTreeSet<MsgId>,
     /// Next slot to deliver.
     next_deliver_slot: u64,
+    /// Number of incoming messages dropped as malformed
+    /// ([`crate::types::DecodeError`]). Dropped input never touches state.
+    malformed: u64,
 }
 
 impl ConsensusTob {
@@ -190,7 +193,14 @@ impl ConsensusTob {
             delivered: Vec::new(),
             delivered_ids: BTreeSet::new(),
             next_deliver_slot: 0,
+            malformed: 0,
         }
+    }
+
+    /// Number of incoming messages this process dropped as malformed. A
+    /// non-zero count under a byzantine-free nemesis is a bug.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
     }
 
     /// The delivered sequence so far.
@@ -356,15 +366,19 @@ impl Algorithm for ConsensusTob {
                 }
             }
             TobMsg::SyncRequest { have } => {
-                if (have as usize) < self.delivered.len() {
-                    ctx.send(
-                        from,
-                        TobMsg::SyncReply {
-                            have,
-                            next_deliver_slot: self.next_deliver_slot,
-                            suffix: self.delivered[have as usize..].to_vec(),
-                        },
-                    );
+                // `have` comes off the wire: slice via .get() so an absurd
+                // value yields no reply instead of a panic.
+                if let Some(suffix) = self.delivered.get(have as usize..) {
+                    if !suffix.is_empty() {
+                        ctx.send(
+                            from,
+                            TobMsg::SyncReply {
+                                have,
+                                next_deliver_slot: self.next_deliver_slot,
+                                suffix: suffix.to_vec(),
+                            },
+                        );
+                    }
                 }
             }
             TobMsg::SyncReply {
@@ -375,6 +389,10 @@ impl Algorithm for ConsensusTob {
                 // Delivered prefixes are prefixes of one total order, so the
                 // leader's decided suffix can be appended directly (skipping
                 // whatever arrived through the normal path meanwhile).
+                if decode_sequence(&suffix).is_err() {
+                    self.malformed += 1;
+                    return;
+                }
                 if Self::leader(ctx) == from {
                     let have = have as usize;
                     if have <= self.delivered.len() {

@@ -27,12 +27,9 @@ fn encode(instance: u64, value: &[u8]) -> Vec<u8> {
 
 /// Decodes the payload of an ETOB message into `(ℓ, v)`, if well-formed.
 fn decode(payload: &[u8]) -> Option<(u64, Vec<u8>)> {
-    if payload.len() < 8 {
-        return None;
-    }
-    let mut instance_bytes = [0u8; 8];
-    instance_bytes.copy_from_slice(&payload[..8]);
-    Some((u64::from_le_bytes(instance_bytes), payload[8..].to_vec()))
+    let instance_bytes: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+    let value = payload.get(8..)?.to_vec();
+    Some((u64::from_le_bytes(instance_bytes), value))
 }
 
 /// Algorithm 2: EC from any ETOB implementation. Values are byte strings (the

@@ -235,6 +235,53 @@ pub enum Either<L, R> {
     Right(R),
 }
 
+/// Why an incoming wire message was rejected before touching protocol state.
+///
+/// Handlers that consume peer input validate it first and, on failure, drop
+/// the message and bump the automaton's `malformed` counter — a hostile or
+/// corrupted peer must never be able to panic a replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A promotion/delivery sequence carried the same identifier twice.
+    DuplicateId(MsgId),
+    /// A message declared itself as its own causal dependency, which would
+    /// wedge the promotion scan forever.
+    SelfDependency(MsgId),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::DuplicateId(id) => write!(f, "duplicate identifier {id:?} in sequence"),
+            DecodeError::SelfDependency(id) => {
+                write!(f, "message {id:?} lists itself as a causal dependency")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Validates a promotion/delivery sequence received from a peer: every
+/// identifier must be unique.
+pub fn decode_sequence(sequence: &[AppMessage]) -> Result<(), DecodeError> {
+    let mut seen = std::collections::BTreeSet::new();
+    for m in sequence {
+        if !seen.insert(m.id) {
+            return Err(DecodeError::DuplicateId(m.id));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a single causality-graph node received from a peer.
+pub fn decode_node(message: &AppMessage) -> Result<(), DecodeError> {
+    if message.deps.contains(&message.id) {
+        return Err(DecodeError::SelfDependency(message.id));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +313,22 @@ mod tests {
         let dep = MsgId::new(ProcessId::new(2), 8);
         let c = EtobBroadcast::with_deps(ProcessId::new(2), 10, b"y".to_vec(), vec![dep]);
         assert_eq!(c.message.deps, vec![dep]);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_peer_input() {
+        let id = MsgId::new(ProcessId::new(0), 1);
+        let ok = vec![
+            AppMessage::new(id, vec![]),
+            AppMessage::new(MsgId::new(ProcessId::new(0), 2), vec![]),
+        ];
+        assert!(decode_sequence(&ok).is_ok());
+        let dup = vec![AppMessage::new(id, vec![]), AppMessage::new(id, vec![])];
+        assert_eq!(decode_sequence(&dup), Err(DecodeError::DuplicateId(id)));
+        let selfdep = AppMessage::with_deps(id, vec![], vec![id]);
+        assert_eq!(decode_node(&selfdep), Err(DecodeError::SelfDependency(id)));
+        assert!(format!("{}", DecodeError::DuplicateId(id)).contains("duplicate"));
+        assert!(format!("{}", DecodeError::SelfDependency(id)).contains("dependency"));
     }
 
     #[test]

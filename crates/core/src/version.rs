@@ -38,29 +38,43 @@ impl SeqRanges {
     }
 
     /// Inserts one sequence number, coalescing adjacent runs.
+    ///
+    /// Sequence numbers arrive from peers, so this path is panic-free: no
+    /// indexing, and `seq + 1` is checked arithmetic (a hostile
+    /// `seq == u64::MAX` must not overflow in debug builds).
     pub fn insert(&mut self, seq: u64) {
         // position of the first run with lo > seq
         let idx = self.ranges.partition_point(|&(lo, _)| lo <= seq);
         // inside (or adjacent above) the run before idx?
-        if idx > 0 {
-            let (lo, hi) = self.ranges[idx - 1];
+        if let Some(prev) = idx.checked_sub(1) {
+            let Some(&(lo, hi)) = self.ranges.get(prev) else {
+                return;
+            };
             if seq <= hi {
                 return; // already present
             }
-            if seq == hi + 1 {
-                self.ranges[idx - 1] = (lo, seq);
-                // may now touch the next run
-                if idx < self.ranges.len() && self.ranges[idx].0 == seq + 1 {
-                    self.ranges[idx - 1].1 = self.ranges[idx].1;
+            if hi.checked_add(1) == Some(seq) {
+                // extend upward; may now bridge to the next run
+                let bridged = self
+                    .ranges
+                    .get(idx)
+                    .filter(|&&(nlo, _)| seq.checked_add(1) == Some(nlo))
+                    .map(|&(_, nhi)| nhi);
+                if let Some(slot) = self.ranges.get_mut(prev) {
+                    *slot = (lo, bridged.unwrap_or(seq));
+                }
+                if bridged.is_some() {
                     self.ranges.remove(idx);
                 }
                 return;
             }
         }
         // adjacent below the run at idx?
-        if idx < self.ranges.len() && self.ranges[idx].0 == seq + 1 {
-            self.ranges[idx].0 = seq;
-            return;
+        if let Some(next) = self.ranges.get_mut(idx) {
+            if seq.checked_add(1) == Some(next.0) {
+                next.0 = seq;
+                return;
+            }
         }
         self.ranges.insert(idx, (seq, seq));
     }
@@ -68,14 +82,18 @@ impl SeqRanges {
     /// Returns `true` if `seq` is in the set.
     pub fn contains(&self, seq: u64) -> bool {
         let idx = self.ranges.partition_point(|&(lo, _)| lo <= seq);
-        idx > 0 && seq <= self.ranges[idx - 1].1
+        idx.checked_sub(1)
+            .and_then(|prev| self.ranges.get(prev))
+            .is_some_and(|&(_, hi)| seq <= hi)
     }
 
     /// Returns `true` if every member of `other` is a member of `self`.
     pub fn covers(&self, other: &SeqRanges) -> bool {
         other.ranges.iter().all(|&(lo, hi)| {
             let idx = self.ranges.partition_point(|&(l, _)| l <= lo);
-            idx > 0 && hi <= self.ranges[idx - 1].1
+            idx.checked_sub(1)
+                .and_then(|prev| self.ranges.get(prev))
+                .is_some_and(|&(_, h)| hi <= h)
         })
     }
 
@@ -93,16 +111,23 @@ impl SeqRanges {
         }
         let mut merged: Vec<(u64, u64)> =
             Vec::with_capacity(self.ranges.len() + other.ranges.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.ranges.len() || j < other.ranges.len() {
-            let take_mine = j >= other.ranges.len()
-                || (i < self.ranges.len() && self.ranges[i].0 <= other.ranges[j].0);
-            let next = if take_mine {
-                i += 1;
-                self.ranges[i - 1]
-            } else {
-                j += 1;
-                other.ranges[j - 1]
+        let mut mine = self.ranges.iter().copied().peekable();
+        let mut theirs = other.ranges.iter().copied().peekable();
+        loop {
+            let next = match (mine.peek().copied(), theirs.peek().copied()) {
+                (Some(a), Some(b)) if a.0 <= b.0 => {
+                    mine.next();
+                    a
+                }
+                (_, Some(b)) => {
+                    theirs.next();
+                    b
+                }
+                (Some(a), None) => {
+                    mine.next();
+                    a
+                }
+                (None, None) => break,
             };
             match merged.last_mut() {
                 // overlapping or adjacent: coalesce into one maximal run

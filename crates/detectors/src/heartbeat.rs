@@ -18,6 +18,7 @@ use ec_sim::{Algorithm, Context, ProcessId};
 
 /// Messages exchanged by [`HeartbeatOmega`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+// analysis:allow(wire-hygiene::no-wire-size, reason = "heartbeats carry no payload and are deliberately outside the delta wire-size model; experiment A1 counts them as messages, not bytes")
 pub enum HeartbeatMsg {
     /// "I am alive" — broadcast every period.
     Heartbeat,
@@ -93,7 +94,7 @@ impl HeartbeatOmega {
     fn recompute_leader(&mut self, ctx: &mut Context<'_, Self>) {
         let new_leader = (0..self.n)
             .map(ProcessId::new)
-            .find(|p| *p == self.me || !self.suspected[p.index()])
+            .find(|p| *p == self.me || !self.suspected.get(p.index()).copied().unwrap_or(false))
             .unwrap_or(self.me);
         if new_leader != self.leader {
             self.leader = new_leader;
@@ -114,11 +115,22 @@ impl Algorithm for HeartbeatOmega {
         ctx.set_timer(self.config.period);
     }
 
-    fn on_message(&mut self, from: ProcessId, _msg: HeartbeatMsg, ctx: &mut Context<'_, Self>) {
-        self.missed[from.index()] = 0;
-        if self.suspected[from.index()] {
-            self.suspected[from.index()] = false;
-            self.recompute_leader(ctx);
+    fn on_message(&mut self, from: ProcessId, msg: HeartbeatMsg, ctx: &mut Context<'_, Self>) {
+        // Exhaustive by name, so a future variant cannot be silently ignored;
+        // `from` is peer-derived, so the per-process tables are accessed with
+        // .get() rather than indexed.
+        match msg {
+            HeartbeatMsg::Heartbeat => {
+                if let Some(missed) = self.missed.get_mut(from.index()) {
+                    *missed = 0;
+                }
+                if let Some(suspected) = self.suspected.get_mut(from.index()) {
+                    if *suspected {
+                        *suspected = false;
+                        self.recompute_leader(ctx);
+                    }
+                }
+            }
         }
     }
 

@@ -31,6 +31,8 @@
 //!   [`ec_sim::FdHistory`] against the defining properties of Ω and Σ.
 
 #![warn(missing_docs)]
+// Unit tests may unwrap freely; the lint guards protocol paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_debug_implementations)]
 
 pub mod checks;

@@ -384,6 +384,7 @@ where
         let target_ms = t.saturating_mul(self.tick_ms);
         let now_ms = self.runtime.elapsed_ms();
         if now_ms < target_ms {
+            // analysis:allow(determinism::wall-clock, reason = "ThreadEngine paces facade ticks against real time by design; the deterministic SimEngine never reaches this path")
             std::thread::sleep(Duration::from_millis(target_ms - now_ms));
         }
     }

@@ -167,7 +167,7 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
     }
 
     fn rebuild(&mut self, sequence: &[AppMessage], ctx: &mut Context<'_, Self>) {
-        let state = S::replay(sequence.iter().map(|m| &m.payload[..]));
+        let state = S::replay(sequence.iter().map(|m| m.payload.as_ref()));
         self.state = state;
         self.applied = sequence.len();
         let output = ReplicaOutput {

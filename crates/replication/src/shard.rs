@@ -194,8 +194,9 @@ impl<S: StateMachine + Send + 'static, R: Router> ShardedClusterBuilder<S, R> {
         self.build_with(|s| {
             SimEngine::new()
                 .network(
-                    networks[s]
-                        .clone()
+                    networks
+                        .get(s)
+                        .and_then(Clone::clone)
                         .unwrap_or_else(|| config.network.clone()),
                 )
                 .seed(config.seed + s as u64)
@@ -439,7 +440,8 @@ impl<R: Router> ShardedCluster<KvStore, R> {
     /// consistent read, as in the Dynamo-style systems the paper cites).
     pub fn get(&self, key: &str) -> Option<String> {
         let shard = self.shard_of_key(key);
-        self.clusters[shard]
+        self.clusters
+            .get(shard)?
             .state(ProcessId::new(0))
             .and_then(|s| s.get(key).map(str::to_owned))
     }

@@ -266,12 +266,18 @@ where
         for handle in self.handles {
             let _ = handle.join();
         }
+        // One lock at a time: building the report struct-literal-style would
+        // hold all four guards simultaneously for the whole statement.
+        let outputs = std::mem::take(&mut *self.shared.outputs.lock());
+        let leaders = std::mem::take(&mut *self.shared.leaders.lock());
+        let final_states = std::mem::take(&mut *self.shared.final_states.lock());
+        let metrics = self.shared.metrics.lock().clone();
         RuntimeReport {
             n: self.n,
-            outputs: std::mem::take(&mut self.shared.outputs.lock()),
-            leaders: std::mem::take(&mut self.shared.leaders.lock()),
-            final_states: std::mem::take(&mut self.shared.final_states.lock()),
-            metrics: self.shared.metrics.lock().clone(),
+            outputs,
+            leaders,
+            final_states,
+            metrics,
         }
     }
 }

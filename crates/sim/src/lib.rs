@@ -70,6 +70,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Unit tests may unwrap freely; the lint guards protocol paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_debug_implementations)]
 
 mod algorithm;
