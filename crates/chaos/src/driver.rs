@@ -18,8 +18,8 @@ use ec_core::etob_omega::EtobConfig;
 use ec_core::tob_consensus::ConsensusTobConfig;
 use ec_core::types::{AppMessage, MsgId};
 use ec_replication::{
-    Cluster, ClusterBuilder, ClusterReport, Consistency, KvStore, Session, StateMachine,
-    ThreadEngine,
+    Cluster, ClusterBuilder, ClusterReport, Consistency, Engine, KvStore, NetEngine, Session,
+    StateMachine, ThreadEngine,
 };
 use ec_sim::{ProcessId, ProcessSet, Time};
 
@@ -283,30 +283,99 @@ pub fn run_thread_smoke<S: KvInterface>(
     scenario: &Scenario,
     engine: &ThreadEngine,
 ) -> ClusterReport {
-    scenario.assert_well_formed();
-    let mut crashes: Vec<(u64, ProcessId)> = Vec::new();
+    let mut faults: Vec<(u64, FaultAction)> = Vec::new();
     for op in &scenario.nemesis {
         match op {
-            NemesisOp::Crash { process, at } => crashes.push((*at, *process)),
+            NemesisOp::Crash { process, at } => faults.push((*at, FaultAction::Crash(*process))),
             other => panic!("thread smoke supports crash faults only, got: {other}"),
         }
     }
-    crashes.sort_by_key(|(at, p)| (*at, p.index()));
+    run_crash_smoke::<S, _>(scenario, engine, faults)
+}
+
+/// Runs the crash smoke subset of a scenario on the socket [`NetEngine`]:
+/// the write workload is replayed against real TCP nodes, with
+/// [`NemesisOp::Crash`] ops killing nodes at their scripted times and
+/// [`NemesisOp::CrashRecover`] ops additionally **restarting** them — a
+/// fresh incarnation behind the same address, empty until the broadcast
+/// layer's anti-entropy re-fills it. Returns the final cluster report after
+/// the shutdown handshake with every surviving node; the caller asserts
+/// convergence.
+///
+/// Network-level faults and Ω lies remain simulator-only, as with the
+/// thread smoke; what this variant adds over it is real process-style
+/// recovery, which neither the thread engine nor the facade-scripted
+/// simulator path exercises.
+///
+/// # Panics
+///
+/// Panics if the scenario scripts anything other than crashes and
+/// crash–recoveries, or is otherwise malformed.
+pub fn run_net_smoke<S: KvInterface>(scenario: &Scenario, engine: &NetEngine) -> ClusterReport {
+    let mut faults: Vec<(u64, FaultAction)> = Vec::new();
+    for op in &scenario.nemesis {
+        match op {
+            NemesisOp::Crash { process, at } => faults.push((*at, FaultAction::Crash(*process))),
+            NemesisOp::CrashRecover {
+                process,
+                at,
+                back_at,
+            } => {
+                faults.push((*at, FaultAction::Crash(*process)));
+                faults.push((*back_at, FaultAction::Restart(*process)));
+            }
+            other => panic!("net smoke supports crash and crash-recover faults only, got: {other}"),
+        }
+    }
+    run_crash_smoke::<S, _>(scenario, engine, faults)
+}
+
+/// A dynamic fault the crash smoke applies at a scripted facade time.
+enum FaultAction {
+    Crash(ProcessId),
+    Restart(ProcessId),
+}
+
+/// The engine-generic smoke body shared by [`run_thread_smoke`] and
+/// [`run_net_smoke`]: replays the write workload through pinned sessions,
+/// applying the prepared fault schedule at its scripted times.
+fn run_crash_smoke<S: KvInterface, E: Engine>(
+    scenario: &Scenario,
+    engine: &E,
+    mut faults: Vec<(u64, FaultAction)>,
+) -> ClusterReport {
+    scenario.assert_well_formed();
+    faults.sort_by_key(|(at, action)| {
+        let (order, p) = match action {
+            FaultAction::Crash(p) => (0, p),
+            FaultAction::Restart(p) => (1, p),
+        };
+        (*at, order, p.index())
+    });
     let mut cluster: Cluster<S> = ClusterBuilder::<S>::new(scenario.n)
         .consistency(scenario.consistency)
         .etob(EtobConfig::default().with_resend(CHAOS_RESEND))
         .tob(ConsensusTobConfig::default().with_catch_up())
         .deploy(engine);
     let mut sessions: Vec<Session> = (0..scenario.sessions).map(|_| cluster.session()).collect();
-    let mut crashes = crashes.into_iter().peekable();
+    let apply = |cluster: &mut Cluster<S>, action: &FaultAction| match action {
+        FaultAction::Crash(p) => {
+            cluster.crash(*p);
+        }
+        FaultAction::Restart(p) => {
+            cluster.restart(*p);
+        }
+    };
+    let mut faults = faults.into_iter().peekable();
     for op in &scenario.workload {
-        while let Some((at, p)) = crashes.peek().copied() {
-            if at > op.at {
+        while let Some((at, _)) = faults.peek() {
+            if *at > op.at {
                 break;
             }
-            cluster.run_until(at);
-            cluster.crash(p);
-            crashes.next();
+            cluster.run_until(*at);
+            if let Some((_, action)) = faults.next() {
+                apply(&mut cluster, &action);
+            }
         }
         cluster.run_until(op.at);
         if let WorkloadOp::Put { key, value } = &op.op {
@@ -318,9 +387,9 @@ pub fn run_thread_smoke<S: KvInterface>(
         }
         // reads are skipped: the smoke subset checks final convergence only
     }
-    for (at, p) in crashes {
+    for (at, action) in faults {
         cluster.run_until(at);
-        cluster.crash(p);
+        apply(&mut cluster, &action);
     }
     cluster.run_until(scenario.horizon());
     cluster.finish()

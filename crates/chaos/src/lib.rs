@@ -54,7 +54,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use checker::{check_outcome, Verdict, Violation};
-pub use driver::{run_scenario, run_thread_smoke, KvInterface, OpRecord, RunOutcome};
+pub use driver::{
+    run_net_smoke, run_scenario, run_thread_smoke, KvInterface, OpRecord, RunOutcome,
+};
 pub use fixtures::MergingKv;
 pub use gen::ScenarioGen;
 pub use lin::{linearizable_register, LinKind, LinOp};

@@ -152,6 +152,32 @@ impl SeqRanges {
     pub fn runs(&self) -> &[(u64, u64)] {
         &self.ranges
     }
+
+    /// Rebuilds a set from its canonical run list — the inverse of
+    /// [`SeqRanges::runs`], used by wire decoders. Returns `None` unless the
+    /// runs are well-formed (`lo <= hi`), strictly ascending, and maximal
+    /// (separated by at least one absent sequence number): accepting a
+    /// non-canonical list would break digest equality, so a hostile encoding
+    /// is rejected rather than repaired.
+    pub fn from_runs(runs: Vec<(u64, u64)>) -> Option<Self> {
+        let mut prev_hi: Option<u64> = None;
+        for &(lo, hi) in &runs {
+            if lo > hi {
+                return None;
+            }
+            if let Some(p) = prev_hi {
+                // `lo` must leave a gap after the previous run; `p + 1` may
+                // not overflow when p == u64::MAX because then no valid `lo`
+                // exists at all.
+                match p.checked_add(1) {
+                    Some(next) if lo > next => {}
+                    _ => return None,
+                }
+            }
+            prev_hi = Some(hi);
+        }
+        Some(SeqRanges { ranges: runs })
+    }
 }
 
 /// An exact digest of a set of [`MsgId`]s: per origin, the known sequence
@@ -225,6 +251,18 @@ impl VersionVector {
     /// The per-origin entries of the digest.
     pub fn entries(&self) -> impl Iterator<Item = (ProcessId, &SeqRanges)> + '_ {
         self.entries.iter().map(|(p, r)| (*p, r))
+    }
+
+    /// Merges a whole per-origin range set into the digest — the bulk
+    /// counterpart of [`VersionVector::insert`], used by wire decoders
+    /// rebuilding a digest from its entries. An empty range set is a no-op,
+    /// preserving the invariant that every stored entry is non-empty (on
+    /// which digest equality relies).
+    pub fn insert_ranges(&mut self, origin: ProcessId, ranges: &SeqRanges) {
+        if ranges.is_empty() {
+            return;
+        }
+        self.entries.entry(origin).or_default().merge(ranges);
     }
 
     /// The modeled wire size of the digest in bytes: a length prefix plus,
@@ -364,6 +402,45 @@ mod tests {
         a.merge(&huge);
         assert_eq!(a.runs(), &[(1, u64::MAX - 1)]);
         assert!(a.contains(5) && a.covers(&huge));
+    }
+
+    #[test]
+    fn from_runs_accepts_exactly_the_canonical_lists() {
+        let mut reference = SeqRanges::new();
+        for seq in [1u64, 2, 3, 7, 9] {
+            reference.insert(seq);
+        }
+        let rebuilt = SeqRanges::from_runs(reference.runs().to_vec()).expect("canonical");
+        assert_eq!(rebuilt, reference);
+        assert_eq!(SeqRanges::from_runs(Vec::new()), Some(SeqRanges::new()));
+        // inverted, overlapping, adjacent (non-maximal), unsorted, and
+        // u64::MAX-boundary lists are all rejected
+        for bad in [
+            vec![(5u64, 3u64)],
+            vec![(1, 4), (3, 6)],
+            vec![(1, 2), (3, 4)],
+            vec![(5, 6), (1, 2)],
+            vec![(1, u64::MAX), (0, 0)],
+        ] {
+            assert_eq!(SeqRanges::from_runs(bad.clone()), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn insert_ranges_merges_and_ignores_empty_sets() {
+        let mut v = VersionVector::new();
+        let mut ranges = SeqRanges::new();
+        ranges.insert(4);
+        ranges.insert(5);
+        v.insert_ranges(ProcessId::new(1), &ranges);
+        assert!(v.contains(id(1, 4)) && v.contains(id(1, 5)));
+        let before = v.clone();
+        v.insert_ranges(ProcessId::new(2), &SeqRanges::new());
+        assert_eq!(v, before, "empty entries must not be materialized");
+        let mut by_insert = VersionVector::new();
+        by_insert.insert(id(1, 4));
+        by_insert.insert(id(1, 5));
+        assert_eq!(v, by_insert);
     }
 
     #[test]

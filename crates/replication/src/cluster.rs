@@ -363,7 +363,7 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
     }
 
     /// Crashes replica `p` if the engine supports dynamic crashes (thread
-    /// engine only; on the simulator crashes are scripted via
+    /// and net engines; on the simulator crashes are scripted via
     /// [`crate::engine::SimEngine::failures`]). Returns whether the crash
     /// was applied.
     pub fn crash(&mut self, p: ProcessId) -> bool {
@@ -372,6 +372,32 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             self.crashed.insert(p);
         }
         applied
+    }
+
+    /// Restarts a previously crashed replica as a fresh incarnation, if the
+    /// engine supports it (net engine only: the new node rejoins behind the
+    /// same address with empty state and is re-filled by anti-entropy).
+    /// On success `p` counts as correct again. Returns whether the restart
+    /// was applied.
+    pub fn restart(&mut self, p: ProcessId) -> bool {
+        let applied = self.deployment.restart(p);
+        if applied {
+            self.crashed.remove(p);
+        }
+        applied
+    }
+
+    /// Frames rejected as malformed by the net engine's connection readers
+    /// so far (always 0 on the other engines, which have no wire to
+    /// corrupt).
+    pub fn malformed_frames(&self) -> u64 {
+        self.deployment.malformed_frames()
+    }
+
+    /// The TCP listen address of replica `p`'s node (net engine only; the
+    /// adversarial codec tests dial it to inject raw bytes).
+    pub fn node_addr(&self, p: ProcessId) -> Option<std::net::SocketAddr> {
+        self.deployment.node_addr(p)
     }
 
     /// The replicas correct so far.

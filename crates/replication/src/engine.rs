@@ -12,16 +12,21 @@
 //!   scriptable partitions and crash patterns, bit-reproducible runs;
 //! * [`ThreadEngine`] — the real-time runtime of `ec-runtime`
 //!   ([`Runtime`]): one OS thread per replica, channel links, wall-clock
-//!   ticks, heartbeat-based Ω.
+//!   ticks, heartbeat-based Ω;
+//! * [`NetEngine`] — the socket deployment of [`crate::net`]: each replica
+//!   an independent node speaking the length-prefixed binary frame format
+//!   over loopback TCP, heartbeats on the same connections, the facade
+//!   attached over per-node control connections.
 //!
 //! Engine choice is configuration, not code: the cross-engine conformance
-//! suite drives the *same* workload through the same facade on both engines
+//! suite drives the *same* workload through the same facade on all engines
 //! and checks that the replicas converge to byte-identical state-machine
 //! snapshots, under both consistency levels.
 //!
 //! Time units are engine-relative: the simulator interprets facade times as
-//! virtual ticks, the thread engine maps each facade tick to
-//! [`ThreadEngine::tick`] of wall-clock (1 ms by default).
+//! virtual ticks, the thread and net engines map each facade tick to
+//! [`ThreadEngine::tick`] / [`NetEngine::tick`] of wall-clock (1 ms by
+//! default).
 
 use std::fmt;
 use std::time::Duration;
@@ -33,13 +38,15 @@ use ec_detectors::omega::OmegaOracle;
 use ec_detectors::scripted::{LieWindow, OverlayFd};
 use ec_detectors::sigma::SigmaOracle;
 use ec_detectors::PairFd;
-use ec_runtime::{Runtime, RuntimeConfig};
+use ec_runtime::{sleep_ms, Runtime, RuntimeConfig};
 use ec_sim::{
     FailureDetector, FailurePattern, Metrics, NetworkModel, OutputHistory, ProcessId, ProcessSet,
     RecoveryPolicy, Time, World, WorldBuilder,
 };
 
 use crate::cluster::Consistency;
+use crate::net::codec::WireCodec;
+use crate::net::node::{NetCluster, NetFinal};
 use crate::replica::{Replica, ReplicaCommand, ReplicaOutput};
 use crate::state_machine::StateMachine;
 
@@ -77,6 +84,9 @@ pub enum EngineKind {
     Sim,
     /// Thread-per-process real-time runtime (`ec-runtime`).
     Thread,
+    /// Socket deployment: node-per-process over loopback TCP
+    /// ([`crate::net`]).
+    Net,
 }
 
 impl fmt::Display for EngineKind {
@@ -84,6 +94,7 @@ impl fmt::Display for EngineKind {
         match self {
             EngineKind::Sim => write!(f, "sim"),
             EngineKind::Thread => write!(f, "thread"),
+            EngineKind::Net => write!(f, "net"),
         }
     }
 }
@@ -403,6 +414,168 @@ where
 }
 
 // ---------------------------------------------------------------------------
+// NetEngine
+// ---------------------------------------------------------------------------
+
+/// The socket engine: deploys replica groups as independent nodes joined by
+/// loopback TCP connections, every message crossing a real socket in the
+/// [`crate::net::codec`] frame format.
+///
+/// Operationally a [`ThreadEngine`] sibling — wall-clock ticks, heartbeat
+/// Ω, same Σ caveat at [`Consistency::Strong`] (a crash makes the static
+/// full-membership quorum permanently unreachable) — but with the in-memory
+/// channels replaced by the real wire: length-prefixed binary frames,
+/// per-peer connections with reconnect, and a malformed-input counter
+/// ([`crate::cluster::Cluster::malformed_frames`]) fed by every connection
+/// reader. Unlike the other engines it also supports restarting a crashed
+/// replica ([`crate::cluster::Cluster::restart`]): the fresh incarnation
+/// rejoins behind the same address and is re-filled by the broadcast
+/// layer's anti-entropy.
+#[derive(Clone, Debug)]
+pub struct NetEngine {
+    config: RuntimeConfig,
+    tick: Duration,
+}
+
+impl Default for NetEngine {
+    fn default() -> Self {
+        NetEngine {
+            config: RuntimeConfig::default(),
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
+impl NetEngine {
+    /// An engine with the default [`RuntimeConfig`] and 1 ms per facade
+    /// tick.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the runtime configuration (timer tick, heartbeat periods).
+    pub fn runtime_config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets how much wall-clock time one facade tick corresponds to.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    fn tick_ms(&self) -> u64 {
+        (self.tick.as_millis() as u64).max(1)
+    }
+}
+
+impl Engine for NetEngine {
+    fn deploy<S>(&self, plan: &DeployPlan) -> EngineDeployment<S>
+    where
+        S: StateMachine + Send + 'static,
+    {
+        match plan.consistency {
+            Consistency::Eventual => {
+                let etob = plan.etob;
+                let cluster = NetCluster::launch(
+                    plan.replicas,
+                    self.config,
+                    move |p| Replica::new(EtobOmega::new(p, etob)),
+                    |leader, _n| leader,
+                );
+                EngineDeployment::NetEventual(NetDeployment::attach(
+                    cluster,
+                    self.tick_ms(),
+                    plan.replicas,
+                ))
+            }
+            Consistency::Strong => {
+                let tob = plan.tob;
+                let cluster = NetCluster::launch(
+                    plan.replicas,
+                    self.config,
+                    move |p| Replica::new(ConsensusTob::new(p, tob)),
+                    |leader, n| (leader, ProcessSet::all(n)),
+                );
+                EngineDeployment::NetStrong(NetDeployment::attach(
+                    cluster,
+                    self.tick_ms(),
+                    plan.replicas,
+                ))
+            }
+        }
+    }
+}
+
+/// A replica group running as socket nodes, with facade times paced against
+/// the wall clock.
+pub struct NetDeployment<S, B>
+where
+    S: StateMachine + Send + 'static,
+    B: EventualTotalOrderBroadcast + Send + 'static,
+    B::Msg: WireCodec + Send,
+{
+    cluster: NetCluster<S, B>,
+    tick_ms: u64,
+    n: usize,
+}
+
+impl<S, B> fmt::Debug for NetDeployment<S, B>
+where
+    S: StateMachine + Send + 'static,
+    B: EventualTotalOrderBroadcast + Send + 'static,
+    B::Msg: WireCodec + Send,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetDeployment")
+            .field("n", &self.n)
+            .field("tick_ms", &self.tick_ms)
+            .finish()
+    }
+}
+
+impl<S, B> NetDeployment<S, B>
+where
+    S: StateMachine + Send + 'static,
+    B: EventualTotalOrderBroadcast + Send + 'static,
+    B::Msg: WireCodec + Send,
+{
+    fn attach(cluster: NetCluster<S, B>, tick_ms: u64, n: usize) -> Self {
+        NetDeployment {
+            cluster,
+            tick_ms,
+            n,
+        }
+    }
+
+    /// Sleeps until `t` facade ticks of wall-clock time have elapsed since
+    /// deployment (no-op if that moment has already passed).
+    fn pace_to(&self, t: u64) {
+        let target_ms = t.saturating_mul(self.tick_ms);
+        loop {
+            let now_ms = self.cluster.elapsed_ms();
+            if now_ms >= target_ms {
+                return;
+            }
+            sleep_ms((target_ms - now_ms).min(20));
+        }
+    }
+
+    fn latest_output(&self, p: ProcessId) -> Option<ReplicaOutput> {
+        self.cluster.latest_output_of(p)
+    }
+
+    fn output_history(&self) -> OutputHistory<ReplicaOutput> {
+        let mut history = OutputHistory::new(self.n);
+        for (p, ms, out) in self.cluster.outputs_so_far() {
+            history.record(p, Time::new(ms / self.tick_ms), out);
+        }
+        history
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The uniform deployment handle
 // ---------------------------------------------------------------------------
 
@@ -428,6 +601,11 @@ where
     ThreadEventual(ThreadDeployment<S, EtobOmega>),
     /// Threaded quorum-sequencer group (heartbeat Ω + static quorum Σ).
     ThreadStrong(ThreadDeployment<S, ConsensusTob>),
+    /// Socket-node Algorithm 5 group (heartbeat Ω over TCP).
+    NetEventual(NetDeployment<S, EtobOmega>),
+    /// Socket-node quorum-sequencer group (heartbeat Ω + static quorum Σ
+    /// over TCP).
+    NetStrong(NetDeployment<S, ConsensusTob>),
 }
 
 /// Everything a deployment can say about itself once it has been stopped:
@@ -463,14 +641,17 @@ impl<S: fmt::Debug> fmt::Debug for EngineFinal<S> {
 }
 
 /// Applies polymorphic code to whichever variant is live: `$world` arms see
-/// a `&(mut) World<Replica<S, _>, _>`, `$thread` arms a `ThreadDeployment`.
+/// a `&(mut) World<Replica<S, _>, _>`, `$thread` arms a `ThreadDeployment`,
+/// `$net` arms a `NetDeployment`.
 macro_rules! by_engine {
-    ($self:expr, $world:ident => $sim:expr, $thread:ident => $th:expr) => {
+    ($self:expr, $world:ident => $sim:expr, $thread:ident => $th:expr, $net:ident => $nt:expr) => {
         match $self {
             EngineDeployment::SimEventual($world) => $sim,
             EngineDeployment::SimStrong($world) => $sim,
             EngineDeployment::ThreadEventual($thread) => $th,
             EngineDeployment::ThreadStrong($thread) => $th,
+            EngineDeployment::NetEventual($net) => $nt,
+            EngineDeployment::NetStrong($net) => $nt,
         }
     };
 }
@@ -489,12 +670,12 @@ where
 {
     /// Which engine this deployment runs on.
     pub fn kind(&self) -> EngineKind {
-        by_engine!(self, _w => EngineKind::Sim, _t => EngineKind::Thread)
+        by_engine!(self, _w => EngineKind::Sim, _t => EngineKind::Thread, _n => EngineKind::Net)
     }
 
     /// Number of replicas.
     pub fn n(&self) -> usize {
-        by_engine!(self, w => w.n(), t => t.n)
+        by_engine!(self, w => w.n(), t => t.n, d => d.n)
     }
 
     /// Submits a command to replica `entry` at facade time `at`. The
@@ -504,20 +685,22 @@ where
     pub fn submit(&mut self, entry: ProcessId, command: ReplicaCommand, at: u64) {
         by_engine!(self,
             w => w.schedule_input(entry, command, at),
-            t => { t.pace_to(at); t.runtime.submit(entry, command); })
+            t => { t.pace_to(at); t.runtime.submit(entry, command); },
+            d => { d.pace_to(at); d.cluster.submit(entry, command); })
     }
 
     /// Advances the deployment to facade time `t` (virtual time on the
     /// simulator, paced wall-clock time on the thread engine).
     pub fn run_until(&mut self, t: u64) {
-        by_engine!(self, w => w.run_until(t), t_ => t_.pace_to(t))
+        by_engine!(self, w => w.run_until(t), t_ => t_.pace_to(t), d => d.pace_to(t))
     }
 
     /// Commands applied by replica `p` so far.
     pub fn applied(&self, p: ProcessId) -> usize {
         by_engine!(self,
             w => w.algorithm(p).applied(),
-            t => t.latest_output(p).map(|o| o.applied).unwrap_or(0))
+            t => t.latest_output(p).map(|o| o.applied).unwrap_or(0),
+            d => d.latest_output(p).map(|o| o.applied).unwrap_or(0))
     }
 
     /// Commands replica `p` had applied at facade time `t` (from the output
@@ -534,7 +717,8 @@ where
     pub fn snapshot(&self, p: ProcessId) -> Vec<u8> {
         by_engine!(self,
             w => w.algorithm(p).state().snapshot(),
-            t => t.latest_output(p).map(|o| o.snapshot).unwrap_or_else(|| S::default().snapshot()))
+            t => t.latest_output(p).map(|o| o.snapshot).unwrap_or_else(|| S::default().snapshot()),
+            d => d.latest_output(p).map(|o| o.snapshot).unwrap_or_else(|| S::default().snapshot()))
     }
 
     /// A typed copy of replica `p`'s state machine. Direct on the
@@ -547,13 +731,17 @@ where
         t => match t.latest_output(p) {
             Some(out) => S::from_snapshot(&out.snapshot),
             None => Some(S::default()),
+        },
+        d => match d.latest_output(p) {
+            Some(out) => S::from_snapshot(&out.snapshot),
+            None => Some(S::default()),
         })
     }
 
     /// The stable delivered sequence of replica `p`'s broadcast layer.
-    /// Available live on the simulator only (`None` on the thread engine,
-    /// whose replicas are observable only through their outputs until
-    /// [`EngineDeployment::finish`]).
+    /// Available live on the simulator only (`None` on the thread and net
+    /// engines, whose replicas are observable only through their outputs
+    /// until [`EngineDeployment::finish`]).
     pub fn delivered(&self, p: ProcessId) -> Option<Vec<AppMessage>> {
         match self {
             EngineDeployment::SimEventual(w) => {
@@ -562,37 +750,77 @@ where
             EngineDeployment::SimStrong(w) => {
                 Some(w.algorithm(p).broadcast_layer().delivered().to_vec())
             }
-            EngineDeployment::ThreadEventual(_) | EngineDeployment::ThreadStrong(_) => None,
+            EngineDeployment::ThreadEventual(_)
+            | EngineDeployment::ThreadStrong(_)
+            | EngineDeployment::NetEventual(_)
+            | EngineDeployment::NetStrong(_) => None,
         }
     }
 
     /// Crashes replica `p` if the engine supports dynamic crashes. Returns
-    /// `true` on the thread engine; `false` on the simulator, where crashes
-    /// are scripted up front via [`SimEngine::failures`].
+    /// `true` on the thread and net engines; `false` on the simulator,
+    /// where crashes are scripted up front via [`SimEngine::failures`].
     pub fn crash(&mut self, p: ProcessId) -> bool {
         by_engine!(self,
             _w => { let _ = p; false },
-            t => { t.runtime.crash(p); true })
+            t => { t.runtime.crash(p); true },
+            d => { d.cluster.crash(p); true })
     }
 
-    /// Message counters so far (application messages only on the thread
-    /// engine; the simulator has no separate heartbeat traffic to exclude).
+    /// Restarts a crashed replica as a fresh incarnation, if the engine
+    /// supports it. Only the net engine does: the new node rejoins behind
+    /// the crashed one's address with empty state and is re-filled by the
+    /// broadcast layer's anti-entropy. Returns `false` everywhere else,
+    /// and on the net engine if `p` is not down.
+    pub fn restart(&mut self, p: ProcessId) -> bool {
+        match self {
+            EngineDeployment::NetEventual(d) => d.cluster.restart(p),
+            EngineDeployment::NetStrong(d) => d.cluster.restart(p),
+            _ => false,
+        }
+    }
+
+    /// Frames rejected as malformed so far by the net engine's connection
+    /// readers (0 on the other engines, which have no wire to corrupt).
+    pub fn malformed_frames(&self) -> u64 {
+        match self {
+            EngineDeployment::NetEventual(d) => d.cluster.malformed_frames(),
+            EngineDeployment::NetStrong(d) => d.cluster.malformed_frames(),
+            _ => 0,
+        }
+    }
+
+    /// The TCP listen address of replica `p`'s node, on the net engine
+    /// (`None` elsewhere — only the net engine has sockets to dial). The
+    /// adversarial codec tests use this to inject raw bytes.
+    pub fn node_addr(&self, p: ProcessId) -> Option<std::net::SocketAddr> {
+        match self {
+            EngineDeployment::NetEventual(d) => d.cluster.addr(p),
+            EngineDeployment::NetStrong(d) => d.cluster.addr(p),
+            _ => None,
+        }
+    }
+
+    /// Message counters so far (application messages only on the thread and
+    /// net engines; the simulator has no separate heartbeat traffic to
+    /// exclude).
     pub fn metrics(&self) -> Metrics {
-        by_engine!(self, w => w.metrics().clone(), t => t.runtime.metrics())
+        by_engine!(self, w => w.metrics().clone(), t => t.runtime.metrics(), d => d.cluster.metrics())
     }
 
     /// The timed output history so far, in facade ticks.
     pub fn output_history(&self) -> OutputHistory<ReplicaOutput> {
-        by_engine!(self, w => w.trace().output_history(), t => t.output_history())
+        by_engine!(self, w => w.trace().output_history(), t => t.output_history(), d => d.output_history())
     }
 
     /// The processes correct for the whole run: from the failure pattern on
-    /// the simulator, everything minus `facade_crashed` on the thread
-    /// engine.
+    /// the simulator, everything minus `facade_crashed` on the thread and
+    /// net engines.
     pub fn correct(&self, facade_crashed: &ProcessSet) -> ProcessSet {
         by_engine!(self,
             w => sim_correct(w),
-            t => ProcessSet::all(t.n).difference(facade_crashed))
+            t => ProcessSet::all(t.n).difference(facade_crashed),
+            d => ProcessSet::all(d.n).difference(facade_crashed))
     }
 
     /// Total `update` broadcasts of the Algorithm 5 layers so far (0 for
@@ -702,6 +930,54 @@ where
             }
         }
 
+        fn from_net<S, B>(
+            deployment: NetDeployment<S, B>,
+            facade_crashed: &ProcessSet,
+            updates: impl Fn(&B) -> u64,
+        ) -> EngineFinal<S>
+        where
+            S: StateMachine + Send + 'static,
+            B: EventualTotalOrderBroadcast + Send + 'static,
+            B::Msg: WireCodec + Send,
+        {
+            let NetDeployment {
+                cluster,
+                tick_ms,
+                n,
+            } = deployment;
+            let NetFinal {
+                final_states,
+                outputs,
+                metrics,
+            } = cluster.shutdown();
+            let mut history = OutputHistory::new(n);
+            for (p, ms, out) in outputs {
+                history.record(p, Time::new(ms / tick_ms), out);
+            }
+            let replica = |i: usize| final_states.get(i).and_then(Option::as_ref);
+            EngineFinal {
+                applied: (0..n)
+                    .map(|i| replica(i).map_or(0, Replica::applied))
+                    .collect(),
+                snapshots: (0..n)
+                    .map(|i| {
+                        replica(i)
+                            .map(|r| r.state().snapshot())
+                            .unwrap_or_else(|| S::default().snapshot())
+                    })
+                    .collect(),
+                states: (0..n)
+                    .map(|i| replica(i).map(|r| r.state().clone()))
+                    .collect(),
+                history,
+                metrics,
+                correct: ProcessSet::all(n).difference(facade_crashed),
+                updates_sent: (0..n)
+                    .filter_map(|i| replica(i).map(|r| updates(r.broadcast_layer())))
+                    .sum(),
+            }
+        }
+
         match self {
             EngineDeployment::SimEventual(w) => from_sim(*w, EtobOmega::updates_sent),
             EngineDeployment::SimStrong(w) => from_sim(*w, |_| 0),
@@ -709,6 +985,10 @@ where
                 from_thread(t, facade_crashed, EtobOmega::updates_sent)
             }
             EngineDeployment::ThreadStrong(t) => from_thread(t, facade_crashed, |_| 0),
+            EngineDeployment::NetEventual(d) => {
+                from_net(d, facade_crashed, EtobOmega::updates_sent)
+            }
+            EngineDeployment::NetStrong(d) => from_net(d, facade_crashed, |_| 0),
         }
     }
 }

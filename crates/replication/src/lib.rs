@@ -11,12 +11,16 @@
 //!   engine and returns a [`Cluster`] with uniform [`Session`] client
 //!   handles and a uniform [`ClusterReport`]. What is replicated, how
 //!   strongly, and where it runs are configuration, not code.
-//! * [`engine`] — the [`Engine`] trait and its two implementations:
-//!   [`SimEngine`] (deterministic simulation over `ec-sim`) and
-//!   [`ThreadEngine`] (one OS thread per replica over `ec-runtime`). The
-//!   cross-engine conformance suite drives the same workload through both
-//!   and checks byte-identical convergence — the paper's
+//! * [`engine`] — the [`Engine`] trait and its three implementations:
+//!   [`SimEngine`] (deterministic simulation over `ec-sim`),
+//!   [`ThreadEngine`] (one OS thread per replica over `ec-runtime`) and
+//!   [`NetEngine`] (one socket node per replica over [`net`]). The
+//!   cross-engine conformance suite drives the same workload through all of
+//!   them and checks byte-identical convergence — the paper's
 //!   "not a simulator artifact" claim as an executable test.
+//! * [`net`] — the socket substrate behind [`NetEngine`]: a hand-rolled
+//!   length-prefixed binary frame format ([`net::codec`]) and replica nodes
+//!   exchanging it over loopback TCP, heartbeats included.
 //! * [`session`] — client sessions that automatically thread causal
 //!   dependencies (`C(m)`) through successive commands, replacing hand-built
 //!   dependency lists.
@@ -44,6 +48,7 @@
 pub mod cluster;
 pub mod convergence;
 pub mod engine;
+pub mod net;
 pub mod replica;
 pub mod session;
 pub mod shard;
@@ -51,7 +56,9 @@ pub mod state_machine;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, Consistency, ShardReport};
 pub use convergence::{ConvergenceReport, Divergence};
-pub use engine::{DeployPlan, Engine, EngineDeployment, EngineKind, SimEngine, ThreadEngine};
+pub use engine::{
+    DeployPlan, Engine, EngineDeployment, EngineKind, NetEngine, SimEngine, ThreadEngine,
+};
 pub use replica::{Replica, ReplicaCommand, ReplicaOutput};
 pub use session::Session;
 pub use shard::{

@@ -1,0 +1,67 @@
+//! Wall-clock primitives for real-time engines.
+//!
+//! The workspace's static analyzer (`ec-analysis`) bans direct wall-clock
+//! reads and sleeps in the deterministic protocol crates, and `ec-runtime`
+//! is the one crate whose *purpose* is real time. Real-time engines layered
+//! above the protocol crates (the thread engine, the socket-backed net
+//! engine) therefore take their clock from here instead of reaching for
+//! `std::time` themselves: pacing and timestamping stay confined to the
+//! runtime layer, where the policy deliberately allows them.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic stopwatch started at construction — the single wall-clock
+/// read point shared by the real-time engines (elapsed-milliseconds stamps
+/// for output histories, pacing targets for facade ticks).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since the stopwatch was started.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Blocks the calling thread for `ms` milliseconds (no-op for 0).
+pub fn sleep_ms(ms: u64) {
+    if ms > 0 {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone_and_sleep_advances_it() {
+        let watch = Stopwatch::start();
+        let before = watch.elapsed_ms();
+        sleep_ms(5);
+        sleep_ms(0);
+        let after = watch.elapsed_ms();
+        assert!(
+            after >= before + 4,
+            "expected ≥4ms progress: {before}→{after}"
+        );
+        assert!(format!("{watch:?}").contains("Stopwatch"));
+        let defaulted = Stopwatch::default();
+        assert!(defaulted.elapsed_ms() <= watch.elapsed_ms());
+    }
+}

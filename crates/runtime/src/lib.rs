@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 mod runtime;
 
-pub use runtime::{Runtime, RuntimeConfig, RuntimeReport};
+pub use clock::{sleep_ms, Stopwatch};
+pub use runtime::{run_handler, Runtime, RuntimeConfig, RuntimeReport};

@@ -377,7 +377,13 @@ where
     }
 }
 
-fn run_handler<A: Algorithm + ?Sized, F>(
+/// Runs one handler invocation of `algorithm` outside the simulator: builds
+/// a [`Context`] at logical tick `tick` with failure-detector value `fd`,
+/// applies `handler`, and returns the collected [`Actions`] for the caller
+/// to dispatch over whatever links it owns. This is the step primitive both
+/// the in-process thread runtime and the socket-backed net engine drive
+/// their event loops with.
+pub fn run_handler<A: Algorithm + ?Sized, F>(
     algorithm: &mut A,
     me: ProcessId,
     n: usize,

@@ -1,0 +1,59 @@
+//! The service facade over real sockets: the same `Cluster`/`Session` API
+//! that drives the simulator and the thread engine deploys a replicated
+//! key–value store as one node per replica, each owning a loopback TCP
+//! listener and speaking the length-prefixed binary wire codec. The demo
+//! writes through a session on one node, waits for replication, and shows
+//! both replicas converging to byte-identical state — with the byte counts
+//! in the report measured from the actual frames on the wire.
+//!
+//! Run with: `cargo run --example net_kv`
+
+use ec_replication::{Cluster, ClusterBuilder, KvStore, NetEngine};
+use ec_sim::ProcessId;
+
+fn main() {
+    let n = 2;
+    let mut cluster: Cluster<KvStore> = ClusterBuilder::new(n).deploy(&NetEngine::default());
+    println!("spawned {n} replicas (TCP nodes on loopback); writing 3 keys through one session…");
+
+    // the session enters through p1; every write must cross the wire to p0
+    let mut session = cluster.session_at(ProcessId::new(1));
+    for k in 0..3u64 {
+        cluster.submit(
+            &mut session,
+            KvStore::put(&format!("key{k}"), &format!("value{k}")),
+            10 + 10 * k,
+        );
+    }
+    let all_applied = cluster.run_until_applied(3, 10_000);
+    println!("both nodes applied all 3 commands: {all_applied}");
+
+    println!("\nfinal state of each node:");
+    for p in (0..n).map(ProcessId::new) {
+        let state = cluster.state(p).expect("snapshot decodes");
+        println!(
+            "  {p}: applied = {}, key2 = {:?}",
+            cluster.applied(p),
+            state.get("key2")
+        );
+    }
+    println!(
+        "malformed frames seen on the wire: {}",
+        cluster.malformed_frames()
+    );
+
+    let report = cluster.finish();
+    let shard = &report.shards[0];
+    assert!(
+        shard.snapshots_agree(),
+        "both nodes must converge to identical snapshots"
+    );
+    assert!(
+        shard.applied.iter().all(|&a| a == 3),
+        "both nodes must apply every command"
+    );
+    println!(
+        "\nsnapshots byte-identical across the wire: {}",
+        shard.snapshots_agree()
+    );
+}

@@ -11,10 +11,10 @@
 
 use eventual_consistency::chaos::shrink::shrink;
 use eventual_consistency::chaos::{
-    check_outcome, run_scenario, run_thread_smoke, ClientOp, MergingKv, NemesisOp, Scenario,
-    ScenarioGen, WorkloadOp,
+    check_outcome, run_net_smoke, run_scenario, run_thread_smoke, ClientOp, MergingKv, NemesisOp,
+    Scenario, ScenarioGen, WorkloadOp,
 };
-use eventual_consistency::replication::{Consistency, KvStore, ThreadEngine};
+use eventual_consistency::replication::{Consistency, KvStore, NetEngine, ThreadEngine};
 use eventual_consistency::sim::{LinkScope, ProcessId, RecoveryPolicy};
 
 /// One fixed seed = the whole suite. Bump deliberately, never accidentally.
@@ -200,6 +200,45 @@ fn thread_engine_smoke_subset_converges() {
     );
     assert_eq!(shard.snapshots[0], shard.snapshots[1]);
     assert!(shard.applied[0] >= 4, "all four writes must be applied");
+}
+
+#[test]
+fn net_engine_smoke_kills_and_restarts_real_nodes() {
+    // the socket engine gets the harder variant: a real TCP node is killed
+    // mid-workload and a *fresh incarnation* is started behind the same
+    // address. It comes back empty, so the run only converges if the
+    // broadcast layer's anti-entropy actually re-fills it over the wire.
+    let mut s = Scenario::quiet("net-smoke", 3, Consistency::Eventual);
+    s.fault_horizon = 200;
+    s.settle = 800; // wall-clock paced: 1 ms per tick
+    s.nemesis.push(NemesisOp::CrashRecover {
+        process: ProcessId::new(2),
+        at: 60,
+        back_at: 140,
+    });
+    s.workload = (0..5)
+        .map(|i| ClientOp {
+            at: 10 + 25 * i as u64,
+            session: i % 2,
+            op: WorkloadOp::Put {
+                key: "k".into(),
+                value: format!("v{i}"),
+            },
+        })
+        .collect();
+    let report = run_net_smoke::<KvStore>(&s, &NetEngine::default());
+    let shard = &report.shards[0];
+    // all three replicas — including the restarted incarnation — agree
+    assert!(shard.is_converged(), "net smoke did not converge: {report}");
+    assert!(
+        shard.snapshots_agree(),
+        "restarted node did not catch up: {report}"
+    );
+    assert!(shard.applied[0] >= 5, "all five writes must be applied");
+    assert!(
+        shard.applied[2] >= 5,
+        "the restarted node must replay the full history: {report}"
+    );
 }
 
 #[test]

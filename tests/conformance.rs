@@ -2,17 +2,19 @@
 //! an executable test.
 //!
 //! One workload script, written once against the `Cluster`/`Session` facade,
-//! is driven through the deterministic simulator (`SimEngine`) and the
-//! thread-per-process runtime (`ThreadEngine`), at both consistency levels.
-//! Each client session threads its commands into a causal chain (`C(m)`), so
-//! the per-key outcome is fixed by the workload alone — any correct engine
-//! must converge every replica to the *byte-identical* state-machine
-//! snapshot, even though message interleavings, Ω implementations (scripted
-//! oracle vs heartbeats) and clocks (virtual vs wall) all differ.
+//! is driven through the deterministic simulator (`SimEngine`), the
+//! thread-per-process runtime (`ThreadEngine`) and the socket deployment
+//! (`NetEngine`), at both consistency levels. Each client session threads
+//! its commands into a causal chain (`C(m)`), so the per-key outcome is
+//! fixed by the workload alone — any correct engine must converge every
+//! replica to the *byte-identical* state-machine snapshot, even though
+//! message interleavings, Ω implementations (scripted oracle vs heartbeats),
+//! clocks (virtual vs wall) and links (queues vs channels vs real TCP
+//! frames) all differ.
 
 use ec_replication::{
-    Cluster, ClusterBuilder, Consistency, Engine, KvStore, Session, SimEngine, StateMachine,
-    ThreadEngine,
+    Cluster, ClusterBuilder, Consistency, Engine, KvStore, NetEngine, Session, SimEngine,
+    StateMachine, ThreadEngine,
 };
 
 const REPLICAS: usize = 3;
@@ -72,6 +74,7 @@ fn expected_snapshot() -> Vec<u8> {
 fn assert_conforms(consistency: Consistency) {
     let sim = drive(&SimEngine::new(), consistency);
     let thread = drive(&ThreadEngine::default(), consistency);
+    let net = drive(&NetEngine::default(), consistency);
     let expected = expected_snapshot();
     for (p, snapshot) in sim.iter().enumerate() {
         assert_eq!(
@@ -85,7 +88,14 @@ fn assert_conforms(consistency: Consistency) {
             "thread replica {p} ({consistency}) missed the expected state"
         );
     }
+    for (p, snapshot) in net.iter().enumerate() {
+        assert_eq!(
+            snapshot, &expected,
+            "net replica {p} ({consistency}) missed the expected state"
+        );
+    }
     assert_eq!(sim, thread, "engines disagree at {consistency} consistency");
+    assert_eq!(sim, net, "engines disagree at {consistency} consistency");
 }
 
 #[test]

@@ -6,13 +6,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "leader_extraction",
     "partitioned_kv",
     "sharded_kv",
     "runtime_demo",
     "chaos_demo",
+    "net_kv",
 ];
 
 /// Runs all examples sequentially in one test so concurrent `cargo run`
