@@ -10,6 +10,7 @@
 //! | `detectors`      | ✓           | ✓            |                 | ✓            |
 //! | `cht`            | ✓           | ✓            |                 | ✓            |
 //! | `replication`    | ✓           | ✓            |                 | ✓            |
+//! | `storage`        | ✓           | ✓            |                 | ✓            |
 //! | `chaos`          | ✓           | ✓            |                 | ✓            |
 //! | root `src/`      | ✓           | ✓            |                 | ✓            |
 //! | `runtime`        |             |              | ✓               | ✓            |
@@ -38,7 +39,12 @@ pub fn crate_policy(dir_name: &str) -> Option<RuleSet> {
         wire_hygiene: true,
     };
     match dir_name {
-        "core" | "sim" | "detectors" | "cht" | "replication" | "chaos" => Some(deterministic),
+        // `storage` is on the strict row deliberately: it talks to the
+        // filesystem, but recovery must still be a pure function of the bytes
+        // on disk — no wall clock, no ambient randomness, no unordered maps.
+        "core" | "sim" | "detectors" | "cht" | "replication" | "storage" | "chaos" => {
+            Some(deterministic)
+        }
         "runtime" => Some(RuleSet {
             determinism: false,
             panic_safety: false,
@@ -156,7 +162,15 @@ mod tests {
 
     #[test]
     fn policy_matrix_matches_the_contract() {
-        for strict in ["core", "sim", "detectors", "cht", "replication", "chaos"] {
+        for strict in [
+            "core",
+            "sim",
+            "detectors",
+            "cht",
+            "replication",
+            "storage",
+            "chaos",
+        ] {
             let p = crate_policy(strict).expect("strict crates have a policy");
             assert!(p.determinism && p.panic_safety && p.wire_hygiene);
             assert!(!p.lock_discipline);

@@ -974,6 +974,34 @@ fn e12_delta_wire(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// E13: stable-prefix compaction — resident state and op cost vs history
+// ---------------------------------------------------------------------------
+
+fn e13_compaction(c: &mut Criterion) {
+    println!(
+        "\n[E13] stable-prefix compaction: 3 processes, loss-free fixed-delay 2, fold chunk {}",
+        ec_bench::compaction::E13_CHUNK
+    );
+    // the Criterion loop uses a reduced grid; the full artifact grid (up to
+    // 100k ops) is the e13_compaction binary's job
+    let pairs = ec_bench::compaction::run_grid_over(&[2_000, 6_000]);
+    ec_bench::compaction::print_table(&pairs);
+    println!("  (folded prefixes leave residency bounded by fold cadence + in-flight traffic)");
+    let mut group = configure(c).benchmark_group("e13_compaction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for chunk in [0u64, ec_bench::compaction::E13_CHUNK] {
+        let label = if chunk > 0 { "on" } else { "off" };
+        group.bench_with_input(BenchmarkId::new(label, 2_000usize), &chunk, |b, &chunk| {
+            b.iter(|| ec_bench::compaction::compaction_run(2_000, chunk))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     e1_delivery_latency,
@@ -988,6 +1016,7 @@ criterion_group!(
     e10_shard_scaling,
     e11_batching,
     e12_delta_wire,
+    e13_compaction,
     a1_omega_implementations,
     a2_promote_period
 );

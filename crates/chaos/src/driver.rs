@@ -151,11 +151,14 @@ const CHAOS_RESEND: u64 = 15;
 pub fn run_scenario<S: KvInterface>(scenario: &Scenario) -> RunOutcome {
     scenario.assert_well_formed();
     let failures = scenario.failure_pattern();
-    let mut cluster: Cluster<S> = ClusterBuilder::<S>::new(scenario.n)
+    let mut builder = ClusterBuilder::<S>::new(scenario.n)
         .consistency(scenario.consistency)
         .etob(EtobConfig::default().with_resend(CHAOS_RESEND))
-        .tob(ConsensusTobConfig::default().with_catch_up())
-        .deploy(&scenario.engine());
+        .tob(ConsensusTobConfig::default().with_catch_up());
+    if let Some(dir) = &scenario.durable {
+        builder = builder.durable(dir);
+    }
+    let mut cluster: Cluster<S> = builder.deploy(&scenario.engine());
     let mut sessions: Vec<Session> = (0..scenario.sessions).map(|_| cluster.session()).collect();
 
     let mut history: Vec<OpRecord> = Vec::new();
@@ -352,11 +355,14 @@ fn run_crash_smoke<S: KvInterface, E: Engine>(
         };
         (*at, order, p.index())
     });
-    let mut cluster: Cluster<S> = ClusterBuilder::<S>::new(scenario.n)
+    let mut builder = ClusterBuilder::<S>::new(scenario.n)
         .consistency(scenario.consistency)
         .etob(EtobConfig::default().with_resend(CHAOS_RESEND))
-        .tob(ConsensusTobConfig::default().with_catch_up())
-        .deploy(engine);
+        .tob(ConsensusTobConfig::default().with_catch_up());
+    if let Some(dir) = &scenario.durable {
+        builder = builder.durable(dir);
+    }
+    let mut cluster: Cluster<S> = builder.deploy(engine);
     let mut sessions: Vec<Session> = (0..scenario.sessions).map(|_| cluster.session()).collect();
     let apply = |cluster: &mut Cluster<S>, action: &FaultAction| match action {
         FaultAction::Crash(p) => {

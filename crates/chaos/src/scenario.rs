@@ -179,6 +179,12 @@ pub struct Scenario {
     pub consistency: Consistency,
     /// Rejoin semantics for [`NemesisOp::CrashRecover`] windows.
     pub recovery: RecoveryPolicy,
+    /// Durable storage root for the deployment, if any: each replica then
+    /// logs delivered records and checkpoints under `<dir>/<index>/`. With
+    /// [`RecoveryPolicy::ClearState`] this turns a blank-slate rejoin into a
+    /// disk recovery — the replayed replica reads its crashed incarnation's
+    /// log + snapshot and uses anti-entropy only for the missed suffix.
+    pub durable: Option<std::path::PathBuf>,
     /// Number of client sessions (pinned round-robin to entry replicas).
     pub sessions: usize,
     /// Maximum base link delay (delays are uniform in `[1, max_delay]`).
@@ -203,6 +209,7 @@ impl Scenario {
             seed: 1,
             consistency,
             recovery: RecoveryPolicy::RetainState,
+            durable: None,
             sessions: 2,
             max_delay: 3,
             nemesis: Vec::new(),
@@ -415,6 +422,9 @@ impl fmt::Display for Scenario {
             self.fault_horizon,
             self.settle,
         )?;
+        if let Some(dir) = &self.durable {
+            writeln!(f, "  durable: {}", dir.display())?;
+        }
         for op in &self.nemesis {
             writeln!(f, "  nemesis: {op}")?;
         }

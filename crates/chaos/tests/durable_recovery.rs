@@ -1,0 +1,147 @@
+//! Durable crash–recovery under the nemesis: a `CrashRecover` window with
+//! [`RecoveryPolicy::ClearState`] (the rejoining replica starts from a blank
+//! instance) is run twice — once with a durable directory, once without.
+//!
+//! Both runs must converge byte-identically, but the *mechanism* differs:
+//! the blank replay re-fetches the victim's entire pre-crash history through
+//! digest pulls, while the durable rejoin recovers the prefix from the
+//! record log + snapshot and pulls only the suffix missed while down. The
+//! test pins that difference down as a strict shrink of the cluster's
+//! `sync_pulls` counter.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ec_chaos::{check_outcome, run_scenario, ClientOp, NemesisOp, Scenario, WorkloadOp};
+use ec_replication::{Consistency, KvStore, StateMachine};
+use ec_sim::{ProcessId, RecoveryPolicy};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ec-chaos-durable-{}-{tag}-{n}", std::process::id()))
+}
+
+fn put(at: u64, session: usize, key: &str, value: &str) -> ClientOp {
+    ClientOp {
+        at,
+        session,
+        op: WorkloadOp::Put {
+            key: key.into(),
+            value: value.into(),
+        },
+    }
+}
+
+/// The shared scenario: replica 2 crashes after a substantial prefix of the
+/// workload is delivered, loses its in-memory state (`ClearState`), and
+/// rejoins before a short suffix of late writes.
+fn crash_recover_scenario(name: &str) -> Scenario {
+    let mut s = Scenario::quiet(name, 3, Consistency::Eventual);
+    s.recovery = RecoveryPolicy::ClearState;
+    s.nemesis.push(NemesisOp::CrashRecover {
+        process: ProcessId::new(2),
+        at: 260,
+        back_at: 450,
+    });
+    // 20 writes land well before the crash, 4 more after the rejoin;
+    // sessions 0 and 1 pin to replicas 0 and 1, both always up.
+    for k in 0..20u64 {
+        s.workload.push(put(
+            10 + k * 10,
+            (k % 2) as usize,
+            &format!("k{k}"),
+            &format!("v{k}"),
+        ));
+    }
+    for k in 0..4u64 {
+        s.workload
+            .push(put(500 + k * 10, 0, &format!("late{k}"), "z"));
+    }
+    s
+}
+
+/// The state every run must land on, computed directly from the workload.
+fn expected_snapshot() -> Vec<u8> {
+    let mut state = KvStore::default();
+    for k in 0..20u64 {
+        state.apply(&KvStore::put(&format!("k{k}"), &format!("v{k}")));
+    }
+    for k in 0..4u64 {
+        state.apply(&KvStore::put(&format!("late{k}"), "z"));
+    }
+    state.snapshot()
+}
+
+#[test]
+fn durable_clearstate_rejoin_converges_and_shrinks_resync() {
+    // blank replay: the rejoined replica starts empty and must re-pull its
+    // whole history through anti-entropy
+    let blank = run_scenario::<KvStore>(&crash_recover_scenario("blank-replay"));
+    let blank_verdict = check_outcome(&blank);
+    assert!(blank_verdict.ok(), "blank replay failed: {blank_verdict}");
+
+    // durable rejoin: same scenario, but the deployment logs and
+    // checkpoints, so the blank instance recovers from disk on start
+    let dir = unique_dir("clearstate");
+    let mut durable_scenario = crash_recover_scenario("durable-rejoin");
+    durable_scenario.durable = Some(dir.clone());
+    let durable = run_scenario::<KvStore>(&durable_scenario);
+    let durable_verdict = check_outcome(&durable);
+    assert!(
+        durable_verdict.ok(),
+        "durable rejoin failed: {durable_verdict}"
+    );
+
+    // byte-identical convergence, anchored to ground truth: every replica of
+    // both runs holds exactly the expected snapshot
+    let expected = expected_snapshot();
+    for (run, outcome) in [("blank", &blank), ("durable", &durable)] {
+        for (p, snapshot) in outcome.snapshots.iter().enumerate() {
+            assert_eq!(
+                snapshot, &expected,
+                "{run} run, replica {p}: diverged from ground truth"
+            );
+        }
+    }
+
+    // the mechanism check: disk recovery replaces most of the digest-pull
+    // traffic the blank replay needs to refill the victim
+    assert!(
+        durable.sync_pulls < blank.sync_pulls,
+        "durable recovery must shrink resync traffic: durable {} vs blank {}",
+        durable.sync_pulls,
+        blank.sync_pulls
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_runs_are_replayable() {
+    // determinism holds with durability in the loop, provided each run gets
+    // a fresh directory (the directory is state, not configuration)
+    let mut first = crash_recover_scenario("replay-a");
+    let dir_a = unique_dir("replay-a");
+    first.durable = Some(dir_a.clone());
+    let a = run_scenario::<KvStore>(&first);
+
+    let mut second = crash_recover_scenario("replay-a");
+    let dir_b = unique_dir("replay-b");
+    second.durable = Some(dir_b.clone());
+    let b = run_scenario::<KvStore>(&second);
+
+    assert_eq!(a.snapshots, b.snapshots);
+    assert_eq!(a.sync_pulls, b.sync_pulls);
+    assert_eq!(a.history, b.history);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn durable_scenarios_render_their_directory() {
+    let mut s = crash_recover_scenario("rendered");
+    s.durable = Some(PathBuf::from("/tmp/ec-x"));
+    let rendered = format!("{s}");
+    assert!(rendered.contains("durable: /tmp/ec-x"), "{rendered}");
+    assert!(rendered.contains("rejoin at 450"), "{rendered}");
+}

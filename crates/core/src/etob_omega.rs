@@ -57,6 +57,19 @@
 //! property tests (`crates/core/tests/batching_equivalence.rs`) and
 //! experiment E12 pin delivered-sequence equality against the full-graph
 //! reference, including under message loss and duplication.
+//!
+//! # Stable-prefix compaction
+//!
+//! Even with delta wire traffic, *resident* state (graph, promotion
+//! sequence, delivered sequence) still grows with history. With
+//! [`EtobConfig::compact_after`] enabled, processes exchange
+//! [`EtobMsg::Ack`] evidence at promote cadence and fold every delivered
+//! prefix that the whole group has both delivered (hash-checked acks) and
+//! digest-acked (graph frontiers) — bounding resident state by the
+//! in-flight window (experiment E13) while the rolling prefix hashes keep
+//! histories comparable across different fold points. Folded entries cannot
+//! be re-served by anti-entropy; a process that loses its state after the
+//! group folds recovers through `ec-replication`'s durable facade instead.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -70,13 +83,26 @@ use crate::version::VersionVector;
 
 /// The causality graph `CG_i`: all messages known to a process together with
 /// the causal edges `(m′, m)` for every declared dependency `m′ ∈ C(m)`.
+///
+/// Under stable-prefix compaction ([`EtobConfig::compact_after`]) a causally
+/// closed, globally acknowledged prefix of the graph can be *retired*
+/// ([`CausalGraph::retire`]): the nodes and their edges are dropped, but
+/// their identifiers stay in the [`CausalGraph::digest`] (which never
+/// shrinks) and move into the [`CausalGraph::compacted`] frontier. Digest
+/// gap detection therefore keeps working across the compaction boundary —
+/// a peer's frontier covering a retired id is still covered by ours — while
+/// [`CausalGraph::missing_from`] can only serve the *resident* nodes.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CausalGraph {
     nodes: BTreeMap<MsgId, AppMessage>,
     /// Edges `(before, after)`.
     edges: BTreeSet<(MsgId, MsgId)>,
-    /// Exact digest of `nodes.keys()`, maintained incrementally.
+    /// Exact digest of every identifier ever added — resident *and*
+    /// compacted — maintained incrementally and never shrunk.
     digest: VersionVector,
+    /// Identifiers retired by compaction: still in the digest, no longer
+    /// resident, and refused re-admission by [`CausalGraph::update`].
+    compacted: VersionVector,
 }
 
 impl CausalGraph {
@@ -85,9 +111,24 @@ impl CausalGraph {
         Self::default()
     }
 
+    /// Creates a graph recovered from durable state: no resident nodes, with
+    /// `frontier` recorded as the already-compacted (and digested) history.
+    pub fn recovered(frontier: VersionVector) -> Self {
+        CausalGraph {
+            nodes: BTreeMap::new(),
+            edges: BTreeSet::new(),
+            digest: frontier.clone(),
+            compacted: frontier,
+        }
+    }
+
     /// `UpdateCG(m, C(m))`: adds the node `m` and the edges
     /// `{(m′, m) | m′ ∈ C(m)}`. Returns `true` if the node was new.
+    /// A compacted identifier is refused (it is history, not news).
     pub fn update(&mut self, message: AppMessage) -> bool {
+        if self.compacted.contains(message.id) {
+            return false;
+        }
         for dep in &message.deps {
             self.edges.insert((*dep, message.id));
         }
@@ -98,12 +139,45 @@ impl CausalGraph {
     /// `UnionCG(CG_j)`: merges another causality graph into this one.
     pub fn union(&mut self, other: &CausalGraph) {
         for (id, msg) in &other.nodes {
-            if !self.nodes.contains_key(id) {
+            if !self.nodes.contains_key(id) && !self.compacted.contains(*id) {
                 self.digest.insert(*id);
                 self.nodes.insert(*id, msg.clone());
             }
         }
-        self.edges.extend(other.edges.iter().copied());
+        self.edges.extend(
+            other
+                .edges
+                .iter()
+                .filter(|(b, a)| !self.compacted.contains(*b) && !self.compacted.contains(*a))
+                .copied(),
+        );
+    }
+
+    /// Retires a causally closed set of nodes folded into a snapshot: drops
+    /// the nodes and their edges, keeps their identifiers in the digest, and
+    /// records them as compacted.
+    pub fn retire<I: IntoIterator<Item = MsgId>>(&mut self, ids: I) {
+        let retired: BTreeSet<MsgId> = ids.into_iter().collect();
+        for id in &retired {
+            self.compacted.insert(*id);
+            // A delivered entry adopted through a promote delta may never
+            // have become a resident node; retiring still claims it in the
+            // digest so peers' frontiers covering it stay covered by ours.
+            self.digest.insert(*id);
+            self.nodes.remove(id);
+        }
+        self.edges
+            .retain(|(b, a)| !retired.contains(b) && !retired.contains(a));
+    }
+
+    /// The identifiers retired by compaction.
+    pub fn compacted(&self) -> &VersionVector {
+        &self.compacted
+    }
+
+    /// Returns `true` if the identifier was retired by compaction.
+    pub fn is_compacted(&self, id: MsgId) -> bool {
+        self.compacted.contains(id)
     }
 
     /// The exact digest of the graph's node identifiers.
@@ -134,17 +208,18 @@ impl CausalGraph {
             + 32 * self.edges.len() as u64
     }
 
-    /// Number of known messages.
+    /// Number of *resident* messages (compacted history excluded) — the
+    /// quantity bounded by compaction, reported by experiment E13.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Returns `true` if no message is known.
+    /// Returns `true` if no message is resident.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
-    /// Returns `true` if the graph contains the message.
+    /// Returns `true` if the graph holds the message as a resident node.
     pub fn contains(&self, id: MsgId) -> bool {
         self.nodes.contains_key(&id)
     }
@@ -215,6 +290,18 @@ pub enum EtobMsg {
     /// followed a different leader, missed a promote, or the leader
     /// restarted) and asks for a full [`EtobMsg::Promote`] resend.
     PromoteRequest,
+    /// Compaction evidence beacon: "my delivered sequence has a verified
+    /// prefix of `delivered` entries hashing to `hash`". Broadcast every
+    /// promote period when [`EtobConfig::compact_after`] is enabled; a
+    /// prefix becomes foldable only once *every* peer has acknowledged it
+    /// this way (and has acked the graph nodes through its digests), so no
+    /// live peer can ever need a folded node again.
+    Ack {
+        /// Absolute length of the sender's hash-verified delivered prefix.
+        delivered: u64,
+        /// Rolling FNV-1a hash of the first `delivered` identifiers.
+        hash: u64,
+    },
 }
 
 impl EtobMsg {
@@ -234,6 +321,7 @@ impl EtobMsg {
                 8 + 8 + 8 + suffix.iter().map(AppMessage::wire_bytes).sum::<u64>()
             }
             EtobMsg::PromoteRequest => 0,
+            EtobMsg::Ack { .. } => 8 + 8,
         };
         1 + body
     }
@@ -290,6 +378,26 @@ pub struct EtobConfig {
     /// literal Algorithm 5 wire format of the paper, kept as the reference
     /// the equivalence tests and experiment E12 compare against.
     pub delta_sync: bool,
+    /// Stable-prefix compaction granularity, in delivered entries. `0` (the
+    /// default) disables compaction: graph, promotion sequence and delivered
+    /// sequence keep the whole history — the paper's model and the
+    /// conformance reference. With `compact_after = k > 0` (delta mode
+    /// only), every process periodically folds the longest multiple-of-`k`
+    /// delivered prefix that is (a) hash-verified against the leader's
+    /// lineage, (b) [`EtobMsg::Ack`]-acknowledged as delivered by **every**
+    /// peer, and (c) covered by every peer's graph digest — dropping those
+    /// entries from the graph, the promotion sequence and the delivered
+    /// vector, so resident state stays bounded by the in-flight window
+    /// instead of growing with history (experiment E13).
+    ///
+    /// Soundness: folding requires unanimous evidence, so no *live* peer can
+    /// ever need a folded node again; a below-fold rewrite attempt (possible
+    /// only while Ω has not stabilized) is rejected and counted in
+    /// [`EtobOmega::compact_conflicts`]. A process that loses its state
+    /// *after* the group folds (e.g. blank-slate recovery) cannot be healed
+    /// by anti-entropy — folded nodes cannot be re-served — and needs
+    /// durable recovery (`ec-replication`'s `durable` facade) instead.
+    pub compact_after: u64,
 }
 
 impl Default for EtobConfig {
@@ -300,6 +408,7 @@ impl Default for EtobConfig {
             batch: 0,
             resend_period: 0,
             delta_sync: true,
+            compact_after: 0,
         }
     }
 }
@@ -353,30 +462,40 @@ impl EtobConfig {
         self.resend_period = period;
         self
     }
+
+    /// Builder-style helper enabling stable-prefix compaction with the given
+    /// chunk granularity (see [`EtobConfig::compact_after`]). Effective in
+    /// delta mode only; the paper-literal full-graph mode always keeps the
+    /// whole history.
+    pub fn with_compaction(mut self, chunk: u64) -> Self {
+        self.compact_after = chunk;
+        self
+    }
 }
 
 /// FNV-1a offset basis: the rolling prefix hash of the empty sequence.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Aliases [`crate::types::SEQ_HASH_SEED`], the seed the durable layer
+/// persists alongside snapshots.
+const FNV_OFFSET: u64 = crate::types::SEQ_HASH_SEED;
 
-/// Extends a rolling FNV-1a prefix hash with one message identifier.
-fn hash_step(mut h: u64, id: MsgId) -> u64 {
-    let bytes = (id.origin.index() as u64)
-        .to_le_bytes()
-        .into_iter()
-        .chain(id.seq.to_le_bytes());
-    for b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
+/// Extends a rolling FNV-1a prefix hash with one message identifier
+/// (delegates to the workspace-wide [`crate::types::seq_hash_step`]).
+fn hash_step(h: u64, id: MsgId) -> u64 {
+    crate::types::seq_hash_step(h, id)
 }
 
 /// The rolling prefix hashes of a sequence: `out[k]` hashes the identifiers
 /// of the first `k` entries (`out.len() == sequence.len() + 1`).
 fn prefix_hashes(sequence: &[AppMessage]) -> Vec<u64> {
+    prefix_hashes_from(FNV_OFFSET, sequence)
+}
+
+/// The rolling prefix hashes of a sequence continuing from `h0` — the hash
+/// of an already-folded absolute prefix: `out[k]` extends `h0` with the
+/// first `k` identifiers (`out.len() == sequence.len() + 1`).
+fn prefix_hashes_from(h0: u64, sequence: &[AppMessage]) -> Vec<u64> {
     let mut out = Vec::with_capacity(sequence.len() + 1);
-    let mut h = FNV_OFFSET;
+    let mut h = h0;
     out.push(h);
     for m in sequence {
         h = hash_step(h, m.id);
@@ -389,17 +508,31 @@ fn prefix_hashes(sequence: &[AppMessage]) -> Vec<u64> {
 pub struct EtobOmega {
     me: ProcessId,
     config: EtobConfig,
-    /// `d_i`: the delivered sequence output by this process.
+    /// `d_i`: the delivered sequence output by this process — the *resident
+    /// tail* beyond the `folded` absolute offset (the whole sequence while
+    /// compaction is off or has not fired, since `folded` is then 0).
     delivered: Vec<AppMessage>,
     /// Rolling prefix hashes of `delivered` (`delivered.len() + 1` entries),
-    /// verifying [`EtobMsg::PromoteDelta`] prefixes in O(1).
+    /// verifying [`EtobMsg::PromoteDelta`] prefixes in O(1). Hashes are
+    /// *absolute*: entry `k` hashes the first `folded + k` identifiers of
+    /// the whole history, so entry 0 is the fold hash ([`FNV_OFFSET`] while
+    /// nothing is folded) and hashes stay comparable across processes with
+    /// different fold points.
     delivered_hashes: Vec<u64>,
-    /// `promote_i`: the sequence this process promotes while it trusts itself.
+    /// `promote_i`: the sequence this process promotes while it trusts
+    /// itself — like `delivered`, the resident tail beyond `folded`.
     promote: Vec<AppMessage>,
-    /// Rolling prefix hashes of `promote` (`promote.len() + 1` entries).
+    /// Rolling *absolute* prefix hashes of `promote`
+    /// (`promote.len() + 1` entries, entry 0 the fold hash).
     promote_hashes: Vec<u64>,
     /// identifiers already in `promote`, for O(log n) membership checks.
     promoted_ids: BTreeSet<MsgId>,
+    /// Graph nodes *not yet* in `promote` — the candidate set
+    /// `UpdatePromote()` scans. Maintained incrementally at every graph
+    /// insertion so the scan is O(pending), not O(graph): without this the
+    /// per-message cost grows with the whole retained history, which is
+    /// exactly the unbounded-residency failure mode experiment E13 measures.
+    unpromoted: BTreeSet<MsgId>,
     /// `CG_i`: the causality graph.
     graph: CausalGraph,
     /// Delta state: identifiers of graph nodes added since this process's
@@ -411,7 +544,8 @@ pub struct EtobOmega {
     /// beacons and sync requests). Only ever advanced by evidence from the
     /// peer itself, so targeted resends never skip a lost node.
     peer_acked: BTreeMap<ProcessId, VersionVector>,
-    /// Delta state: length of `promote` at the previous promote broadcast.
+    /// Delta state: *absolute* length of `promote` (fold offset included)
+    /// at the previous promote broadcast.
     last_promote_broadcast: usize,
     /// Batching state: absolute deadline of the pending flush, if any.
     next_flush: Option<u64>,
@@ -432,6 +566,21 @@ pub struct EtobOmega {
     /// ([`crate::types::DecodeError`]): duplicate-id sequences,
     /// self-dependent nodes. Dropped input never touches protocol state.
     malformed: u64,
+    /// Compaction state: absolute number of delivered entries folded out of
+    /// the resident sequences (see [`EtobConfig::compact_after`]).
+    folded: usize,
+    /// Compaction evidence: per-peer maximum [`EtobMsg::Ack`]ed delivered
+    /// prefix length — only ever advanced by acks whose hash matched this
+    /// process's own delivered lineage.
+    peer_delivered_ack: BTreeMap<ProcessId, u64>,
+    /// Number of fold operations performed by this incarnation.
+    compactions: u64,
+    /// Total delivered entries folded by this incarnation.
+    compacted_total: u64,
+    /// Below-fold rewrite or divergent-prefix adoption attempts rejected —
+    /// possible only while Ω is unstable; each one is a dropped prefix that
+    /// disagreed with the compacted history.
+    compact_conflicts: u64,
 }
 
 impl EtobOmega {
@@ -471,6 +620,7 @@ impl EtobOmega {
             promote: Vec::new(),
             promote_hashes: vec![FNV_OFFSET],
             promoted_ids: BTreeSet::new(),
+            unpromoted: BTreeSet::new(),
             graph: CausalGraph::new(),
             unsent: Vec::new(),
             peer_acked: BTreeMap::new(),
@@ -482,6 +632,11 @@ impl EtobOmega {
             sync_pulls: 0,
             promote_pulls: 0,
             malformed: 0,
+            folded: 0,
+            peer_delivered_ack: BTreeMap::new(),
+            compactions: 0,
+            compacted_total: 0,
+            compact_conflicts: 0,
         }
     }
 
@@ -513,7 +668,46 @@ impl EtobOmega {
         self.malformed
     }
 
-    /// The current delivered sequence `d_i`.
+    /// Total number of entries delivered over the whole history — the
+    /// folded prefix plus the resident tail. With compaction off this
+    /// equals `delivered().len()`.
+    pub fn delivered_total(&self) -> u64 {
+        (self.folded + self.delivered.len()) as u64
+    }
+
+    /// Rolling FNV-1a identifier hash of the entire delivered history,
+    /// folded prefix included: equal hashes across processes certify
+    /// identical histories even after the prefixes were compacted away.
+    pub fn delivered_hash(&self) -> u64 {
+        self.delivered_hashes.last().copied().unwrap_or(FNV_OFFSET)
+    }
+
+    /// Absolute number of delivered entries folded out of resident state.
+    pub fn folded(&self) -> u64 {
+        self.folded as u64
+    }
+
+    /// Number of fold operations this incarnation has performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Total delivered entries folded by this incarnation's fold operations
+    /// (differs from [`EtobOmega::folded`] only after durable recovery,
+    /// which restores the fold offset without re-performing the folds).
+    pub fn compacted_total(&self) -> u64 {
+        self.compacted_total
+    }
+
+    /// Below-fold rewrites and divergent-prefix adoptions rejected. Non-zero
+    /// only if compaction fired while Ω was still unstable.
+    pub fn compact_conflicts(&self) -> u64 {
+        self.compact_conflicts
+    }
+
+    /// The current *resident* delivered sequence `d_i` — the tail beyond
+    /// the [`EtobOmega::folded`] offset (the whole sequence while nothing
+    /// is folded).
     pub fn delivered(&self) -> &[AppMessage] {
         &self.delivered
     }
@@ -528,6 +722,22 @@ impl EtobOmega {
         &self.graph
     }
 
+    /// Admits one message into the causality graph, keeping the incremental
+    /// broadcast (`unsent`) and promotion-candidate (`unpromoted`) sets in
+    /// step. Every graph insertion must go through here — a node the
+    /// candidate set misses would never be promoted. Returns `true` if the
+    /// graph grew.
+    fn admit(&mut self, msg: AppMessage) -> bool {
+        let id = msg.id;
+        if self.graph.update(msg) {
+            self.unsent.push(id);
+            self.unpromoted.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
     /// `UpdatePromote()`: extends the promotion sequence with every message of
     /// the causality graph not yet present, in an order that respects the
     /// causal edges (and keeps the existing sequence as a prefix). Messages
@@ -537,27 +747,26 @@ impl EtobOmega {
         let before = self.promote.len();
         loop {
             let mut appended = false;
-            // Deterministic scan order: by message identifier.
-            let candidates: Vec<MsgId> = self
-                .graph
-                .nodes
-                .keys()
-                .filter(|id| !self.promoted_ids.contains(id))
-                .copied()
-                .collect();
+            // Deterministic scan order: by message identifier. Only the
+            // incrementally maintained pending set is scanned, so a pass
+            // costs O(pending), independent of how much promoted history
+            // the graph retains.
+            let candidates: Vec<MsgId> = self.unpromoted.iter().copied().collect();
             for id in candidates {
                 let deps_satisfied = self
                     .graph
                     .predecessors(id)
-                    .all(|dep| self.promoted_ids.contains(&dep));
+                    .all(|dep| self.promoted_ids.contains(&dep) || self.graph.is_compacted(dep));
                 if deps_satisfied {
                     let Some(msg) = self.graph.get(id).cloned() else {
+                        self.unpromoted.remove(&id);
                         continue;
                     };
                     let tail = self.promote_hashes.last().copied().unwrap_or(FNV_OFFSET);
                     self.promote_hashes.push(hash_step(tail, id));
                     self.promote.push(msg);
                     self.promoted_ids.insert(id);
+                    self.unpromoted.remove(&id);
                     appended = true;
                 }
             }
@@ -629,24 +838,180 @@ impl EtobOmega {
             ctx.broadcast(EtobMsg::Promote(self.promote.clone()));
             return;
         }
-        // `promote_hashes` always has `promote.len() + 1` entries, so the
-        // clamped base is always in range; the fallbacks keep this path
-        // panic-free even if that invariant is ever broken.
-        let base = self.last_promote_broadcast.min(self.promote.len());
+        // `base` is absolute; the resident `promote`/`promote_hashes` start
+        // at `folded`, and `promote_hashes` always has `promote.len() + 1`
+        // entries, so the clamped relative index is always in range; the
+        // fallbacks keep this path panic-free even if that invariant is
+        // ever broken.
+        let base = self
+            .last_promote_broadcast
+            .clamp(self.folded, self.folded + self.promote.len());
+        let rel = base - self.folded;
         ctx.broadcast(EtobMsg::PromoteDelta {
             base,
-            prefix_hash: self.promote_hashes.get(base).copied().unwrap_or(FNV_OFFSET),
-            suffix: self.promote.get(base..).unwrap_or_default().to_vec(),
+            prefix_hash: self.promote_hashes.get(rel).copied().unwrap_or(FNV_OFFSET),
+            suffix: self.promote.get(rel..).unwrap_or_default().to_vec(),
         });
-        self.last_promote_broadcast = self.promote.len();
+        self.last_promote_broadcast = self.folded + self.promote.len();
     }
 
-    /// Adopts `sequence` wholesale as the delivered sequence (full-promote
-    /// reception), rebuilding the prefix hashes.
-    fn adopt_delivered(&mut self, sequence: Vec<AppMessage>, ctx: &mut Context<'_, Self>) {
-        self.delivered = sequence;
-        self.delivered_hashes = prefix_hashes(&self.delivered);
+    /// Adopts a full promotion sequence as the delivered sequence
+    /// (full-promote reception) iff it differs from the current one,
+    /// rebuilding the prefix hashes. With a folded prefix the sequence is
+    /// adopted only if its first `folded` entries hash to our fold hash —
+    /// a divergent history can never silently replace compacted state.
+    fn adopt_full_promote(&mut self, sequence: Vec<AppMessage>, ctx: &mut Context<'_, Self>) {
+        if self.folded == 0 {
+            if self.delivered != sequence {
+                self.delivered = sequence;
+                self.delivered_hashes = prefix_hashes(&self.delivered);
+                ctx.output(self.delivered.clone());
+            }
+            return;
+        }
+        let Some(prefix) = sequence.get(..self.folded) else {
+            // Shorter than our compacted history: a below-fold rewrite.
+            self.compact_conflicts += 1;
+            return;
+        };
+        let h = prefix.iter().fold(FNV_OFFSET, |h, m| hash_step(h, m.id));
+        if h != self.delivered_hashes.first().copied().unwrap_or(FNV_OFFSET) {
+            self.compact_conflicts += 1;
+            return;
+        }
+        let tail = sequence.get(self.folded..).unwrap_or_default();
+        if self.delivered.as_slice() != tail {
+            self.delivered = tail.to_vec();
+            self.delivered_hashes = prefix_hashes_from(h, &self.delivered);
+            ctx.output(self.delivered.clone());
+        }
+    }
+
+    /// Applies a hash-verified promote suffix at *resident* offset `rel`:
+    /// reconstructs exactly the sequence the leader holds and adopts it iff
+    /// it differs from the current delivered sequence (the same condition as
+    /// the full-promote path).
+    fn apply_verified_suffix(
+        &mut self,
+        rel: usize,
+        suffix: Vec<AppMessage>,
+        ctx: &mut Context<'_, Self>,
+    ) {
+        let same = self.delivered.len() == rel + suffix.len()
+            && self
+                .delivered
+                .get(rel..)
+                .is_some_and(|tail| tail == suffix.as_slice());
+        if same {
+            return;
+        }
+        self.delivered.truncate(rel);
+        self.delivered_hashes.truncate(rel.saturating_add(1));
+        let mut h = self.delivered_hashes.last().copied().unwrap_or(FNV_OFFSET);
+        for m in suffix {
+            h = hash_step(h, m.id);
+            self.delivered_hashes.push(h);
+            self.delivered.push(m);
+        }
         ctx.output(self.delivered.clone());
+    }
+
+    /// Compaction evidence exchange, at promote cadence: every process sends
+    /// each peer a pure digest beacon (advancing the peers' acked-frontier
+    /// evidence even on quiet links) plus an [`EtobMsg::Ack`] advertising
+    /// its verified delivered prefix. Neither counts as an `update`
+    /// broadcast ([`EtobOmega::updates_sent`] measures payload pushes).
+    fn broadcast_compaction_evidence(&mut self, ctx: &mut Context<'_, Self>) {
+        let frontier = self.graph.digest().clone();
+        let delivered = self.delivered_total();
+        let hash = self.delivered_hash();
+        for i in 0..ctx.n() {
+            let to = ProcessId::new(i);
+            if to == self.me {
+                continue;
+            }
+            ctx.send(
+                to,
+                EtobMsg::Delta {
+                    nodes: Vec::new(),
+                    frontier: frontier.clone(),
+                },
+            );
+            ctx.send(to, EtobMsg::Ack { delivered, hash });
+        }
+    }
+
+    /// Stable-prefix compaction: folds the longest eligible multiple-of-
+    /// [`EtobConfig::compact_after`] delivered prefix into the compacted
+    /// frontier. Eligibility is the two-evidence rule — every peer has both
+    /// (a) [`EtobMsg::Ack`]ed the prefix as delivered with a matching hash,
+    /// so it holds (and, under the durable facade, has logged) the entries,
+    /// and (b) covered every folded identifier with its graph digest, so
+    /// the anti-entropy machinery will never be asked to re-serve a folded
+    /// node. Both are needed: graph coverage alone says nothing about
+    /// delivery (a peer can crash holding an undelivered node), and
+    /// delivered acks alone would leave digest gaps that pull forever.
+    fn maybe_compact(&mut self, n: usize) {
+        let chunk = usize::try_from(self.config.compact_after).unwrap_or(0);
+        if chunk == 0 {
+            return;
+        }
+        // (a) unanimous delivered-level acks, bounded by our own sequence.
+        let mut acked = self.folded + self.delivered.len();
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if p == self.me {
+                continue;
+            }
+            let peer = self.peer_delivered_ack.get(&p).copied().unwrap_or(0);
+            acked = acked.min(usize::try_from(peer).unwrap_or(usize::MAX));
+        }
+        let target = (acked / chunk) * chunk;
+        if target <= self.folded {
+            return;
+        }
+        let fold = target - self.folded;
+        let ids: Vec<MsgId> = self
+            .delivered
+            .get(..fold)
+            .unwrap_or_default()
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        if ids.len() < fold {
+            return;
+        }
+        // (b) every peer's graph digest covers every identifier folded.
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if p == self.me {
+                continue;
+            }
+            let Some(acked_graph) = self.peer_acked.get(&p) else {
+                return;
+            };
+            if !ids.iter().all(|id| acked_graph.contains(*id)) {
+                return;
+            }
+        }
+        // Fold: retire the nodes, drop the resident prefixes, rebase the
+        // promote hashes on the fold hash. (`delivered_hashes` are absolute,
+        // so draining the first `fold` entries leaves entry 0 as the new
+        // fold hash.)
+        self.graph.retire(ids.iter().copied());
+        self.delivered.drain(..fold);
+        self.delivered_hashes.drain(..fold);
+        let folded_set: BTreeSet<MsgId> = ids.into_iter().collect();
+        self.promote.retain(|m| !folded_set.contains(&m.id));
+        self.promoted_ids.retain(|id| !folded_set.contains(id));
+        self.unpromoted.retain(|id| !folded_set.contains(id));
+        let fold_hash = self.delivered_hashes.first().copied().unwrap_or(FNV_OFFSET);
+        self.promote_hashes = prefix_hashes_from(fold_hash, &self.promote);
+        self.unsent.retain(|id| !folded_set.contains(id));
+        self.folded = target;
+        self.last_promote_broadcast = self.last_promote_broadcast.max(target);
+        self.compactions += 1;
+        self.compacted_total += fold as u64;
     }
 
     /// Anti-entropy step: when enabled and due, retransmits graph state if
@@ -708,6 +1073,7 @@ impl fmt::Debug for EtobOmega {
             .field("delivered", &self.delivered.len())
             .field("promote", &self.promote.len())
             .field("known", &self.graph.len())
+            .field("folded", &self.folded)
             .finish()
     }
 }
@@ -730,10 +1096,7 @@ impl Algorithm for EtobOmega {
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
         // On broadcastETOB(m, C(m)): UpdateCG(m, C(m)); send update(CG_i) to all.
-        let id = input.message.id;
-        if self.graph.update(input.message) {
-            self.unsent.push(id);
-        }
+        self.admit(input.message);
         if self.config.batching_enabled() {
             // Coalesce: the update goes out at the next flush deadline and
             // covers every message recorded in the graph by then.
@@ -757,8 +1120,7 @@ impl Algorithm for EtobOmega {
                         continue;
                     }
                     if !self.graph.contains(msg.id) {
-                        self.graph.update(msg.clone());
-                        self.unsent.push(msg.id);
+                        self.admit(msg.clone());
                     }
                 }
                 let grew = self.update_promote();
@@ -776,10 +1138,7 @@ impl Algorithm for EtobOmega {
                         self.malformed += 1;
                         continue;
                     }
-                    let id = node.id;
-                    if self.graph.update(node) {
-                        self.unsent.push(id);
-                    }
+                    self.admit(node);
                 }
                 self.note_peer_knows(from, &frontier);
                 let grew = self.update_promote();
@@ -817,8 +1176,8 @@ impl Algorithm for EtobOmega {
                     self.malformed += 1;
                     return;
                 }
-                if *ctx.fd() == from && self.delivered != sequence {
-                    self.adopt_delivered(sequence, ctx);
+                if *ctx.fd() == from {
+                    self.adopt_full_promote(sequence, ctx);
                 }
             }
             EtobMsg::PromoteDelta {
@@ -833,36 +1192,42 @@ impl Algorithm for EtobOmega {
                     self.malformed += 1;
                     return;
                 }
-                // `base` comes off the wire: every access below goes through
+                // `base` is an *absolute* wire value and resident state
+                // starts at `folded`: every access below goes through
                 // `.get()` so a hostile value falls into the resync branch
-                // instead of panicking. (`delivered_hashes` has
-                // `delivered.len() + 1` entries, so `get(base)` succeeding
-                // also proves `base <= delivered.len()`.)
+                // instead of panicking.
+                if base < self.folded {
+                    // The claimed prefix ends below our fold point. If the
+                    // suffix reaches the fold, roll the prefix hash across
+                    // the overlap: a match proves the same lineage (adopt
+                    // what lies beyond the fold), a mismatch is a divergent
+                    // below-fold rewrite (rejected and counted). A suffix
+                    // that falls short of the fold is entirely stale.
+                    let skip = self.folded - base;
+                    if let Some(overlap) = suffix.get(..skip) {
+                        let h = overlap.iter().fold(prefix_hash, |h, m| hash_step(h, m.id));
+                        if h == self.delivered_hashes.first().copied().unwrap_or(FNV_OFFSET) {
+                            let tail = suffix.get(skip..).unwrap_or_default().to_vec();
+                            self.apply_verified_suffix(0, tail, ctx);
+                        } else {
+                            self.compact_conflicts += 1;
+                        }
+                    }
+                    return;
+                }
+                let rel = base - self.folded;
+                // `delivered_hashes` has `delivered.len() + 1` entries, so
+                // `get(rel)` succeeding also proves `rel <= delivered.len()`.
                 let verified_prefix = self
                     .delivered_hashes
-                    .get(base)
+                    .get(rel)
                     .is_some_and(|h| *h == prefix_hash);
                 if verified_prefix {
                     // My delivered prefix is the leader's unsent prefix:
                     // reconstruct exactly the full sequence the leader would
                     // have sent, and adopt it iff it differs (the same
                     // condition as the full-promote path).
-                    let same = self.delivered.len() == base + suffix.len()
-                        && self
-                            .delivered
-                            .get(base..)
-                            .is_some_and(|tail| tail == suffix.as_slice());
-                    if !same {
-                        self.delivered.truncate(base);
-                        self.delivered_hashes.truncate(base.saturating_add(1));
-                        let mut h = self.delivered_hashes.last().copied().unwrap_or(FNV_OFFSET);
-                        for m in suffix {
-                            h = hash_step(h, m.id);
-                            self.delivered_hashes.push(h);
-                            self.delivered.push(m);
-                        }
-                        ctx.output(self.delivered.clone());
-                    }
+                    self.apply_verified_suffix(rel, suffix, ctx);
                 } else {
                     // Unverifiable prefix (followed a different leader,
                     // missed a promote, or the leader restarted): fall back
@@ -874,9 +1239,48 @@ impl Algorithm for EtobOmega {
             EtobMsg::PromoteRequest => {
                 // Full-resend fallback: only a process that currently
                 // considers itself the leader answers (mirroring the gate on
-                // periodic promotes).
+                // periodic promotes). With a folded prefix the full sequence
+                // no longer exists resident, so the reply is a delta
+                // anchored at the fold point: a requester sharing the folded
+                // lineage verifies it like any delta, and one that does not
+                // (e.g. restarted blank) needs durable recovery — folded
+                // entries cannot be re-served by anti-entropy.
                 if *ctx.fd() == self.me {
-                    ctx.send(from, EtobMsg::Promote(self.promote.clone()));
+                    if self.folded == 0 {
+                        ctx.send(from, EtobMsg::Promote(self.promote.clone()));
+                    } else {
+                        ctx.send(
+                            from,
+                            EtobMsg::PromoteDelta {
+                                base: self.folded,
+                                prefix_hash: self
+                                    .promote_hashes
+                                    .first()
+                                    .copied()
+                                    .unwrap_or(FNV_OFFSET),
+                                suffix: self.promote.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            EtobMsg::Ack { delivered, hash } => {
+                // Compaction evidence: record the peer's verified delivered
+                // prefix, but only when the hash is comparable with our own
+                // lineage and matches — an ack for a divergent prefix, or
+                // one beyond what we can check, is ignored rather than
+                // trusted.
+                if from == self.me {
+                    return;
+                }
+                let verified = usize::try_from(delivered)
+                    .ok()
+                    .and_then(|abs| abs.checked_sub(self.folded))
+                    .and_then(|rel| self.delivered_hashes.get(rel))
+                    .is_some_and(|h| *h == hash);
+                if verified {
+                    let slot = self.peer_delivered_ack.entry(from).or_insert(0);
+                    *slot = (*slot).max(delivered);
                 }
             }
         }
@@ -899,6 +1303,14 @@ impl Algorithm for EtobOmega {
             if *ctx.fd() == self.me {
                 self.broadcast_promote(ctx);
             }
+            // Compaction rides the same cadence: exchange evidence, then
+            // fold whatever prefix the evidence now covers. Delta mode only
+            // — the paper-literal full-graph mode is the uncompacted
+            // conformance reference.
+            if self.config.compact_after > 0 && self.config.delta_sync {
+                self.broadcast_compaction_evidence(ctx);
+                self.maybe_compact(ctx.n());
+            }
             self.next_promote = now + self.config.promote_period;
             ctx.set_timer(self.config.promote_period);
         }
@@ -907,6 +1319,58 @@ impl Algorithm for EtobOmega {
 
     fn wire_size(msg: &EtobMsg) -> u64 {
         msg.wire_bytes()
+    }
+}
+
+impl crate::types::Compactable for EtobOmega {
+    fn stable_base(&self) -> u64 {
+        self.folded as u64
+    }
+
+    fn stable_hash(&self) -> u64 {
+        self.delivered_hashes.first().copied().unwrap_or(FNV_OFFSET)
+    }
+
+    fn stable_frontier(&self) -> VersionVector {
+        self.graph.compacted().clone()
+    }
+
+    fn prime_recovery(
+        &mut self,
+        base: u64,
+        hash: u64,
+        frontier: VersionVector,
+        tail: Vec<AppMessage>,
+    ) -> bool {
+        // Only a pristine automaton (fresh from `new`, before any input or
+        // message) may be primed — recovery replaces state, never merges it.
+        let pristine = self.folded == 0
+            && self.delivered.is_empty()
+            && self.promote.is_empty()
+            && self.graph.digest().is_empty();
+        let Ok(folded) = usize::try_from(base) else {
+            return false;
+        };
+        if !pristine {
+            return false;
+        }
+        self.folded = folded;
+        self.delivered_hashes = prefix_hashes_from(hash, &tail);
+        // The recovered graph starts from the folded frontier; the tail
+        // entries re-enter as resident nodes so digests, gap detection and
+        // repair serve them exactly as if the process had never crashed.
+        self.graph = CausalGraph::recovered(frontier);
+        for m in &tail {
+            self.graph.update(m.clone());
+        }
+        self.promote = tail.clone();
+        self.promote_hashes = self.delivered_hashes.clone();
+        self.promoted_ids = tail.iter().map(|m| m.id).collect();
+        // Every resident node is in the tail and thus already promoted.
+        self.unpromoted.clear();
+        self.delivered = tail;
+        self.last_promote_broadcast = folded + self.promote.len();
+        true
     }
 }
 
@@ -1430,7 +1894,7 @@ mod tests {
         let mk = |seq| AppMessage::new(MsgId::new(ProcessId::new(1), seq), b"x".to_vec());
         let mut leader = EtobOmega::new(ProcessId::new(1), EtobConfig::default());
         for seq in 1..=3u64 {
-            leader.graph.update(mk(seq));
+            leader.admit(mk(seq));
         }
         leader.update_promote();
         leader.last_promote_broadcast = 2; // as if promote[..2] was broadcast
@@ -1499,7 +1963,7 @@ mod tests {
 
         // a follow-up suffix from the same lineage is now verifiable in O(1)
         for seq in 4..=5u64 {
-            leader.graph.update(mk(seq));
+            leader.admit(mk(seq));
         }
         leader.update_promote();
         let mut next = ec_sim::Actions::<EtobOmega>::new();
@@ -1623,14 +2087,235 @@ mod tests {
         let b = AppMessage::with_deps(MsgId::new(ProcessId::new(1), 1), b"b".to_vec(), vec![a.id]);
         let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
         // b arrives without a: held back
-        alg.graph.update(b.clone());
+        alg.admit(b.clone());
         alg.update_promote();
         assert!(alg.promotion_sequence().is_empty());
         // once a arrives, both are appended in causal order
-        alg.graph.update(a.clone());
+        alg.admit(a.clone());
         alg.update_promote();
         let ids: Vec<MsgId> = alg.promotion_sequence().iter().map(|m| m.id).collect();
         assert_eq!(ids, vec![a.id, b.id]);
         assert!(format!("{alg:?}").contains("EtobOmega"));
+    }
+
+    #[test]
+    fn compaction_folds_globally_acked_prefixes_without_changing_delivery() {
+        // Same workload, compaction off (the reference) vs on: identical
+        // delivered history — checked via the rolling hash and the resident
+        // tail — but the compacted run retires resident state.
+        let n = 3;
+        let failures = FailurePattern::no_failures(n);
+        let workload = BroadcastWorkload::uniform(n, 36, 4, 13);
+        let reference: Vec<MsgId> = {
+            let omega = OmegaOracle::stable_from_start(failures.clone());
+            let mut world = WorldBuilder::new(n)
+                .network(NetworkModel::fixed_delay(2))
+                .failures(failures.clone())
+                .seed(42)
+                .build_with(
+                    |p| EtobOmega::new(p, EtobConfig::default().with_resend(15)),
+                    omega,
+                );
+            workload.submit_to(&mut world);
+            world.run_until(4_000);
+            world
+                .algorithm(ProcessId::new(0))
+                .delivered()
+                .iter()
+                .map(|m| m.id)
+                .collect()
+        };
+        assert_eq!(reference.len(), 36);
+        let expected_hash = reference.iter().fold(FNV_OFFSET, |h, id| hash_step(h, *id));
+
+        let omega = OmegaOracle::stable_from_start(failures.clone());
+        let config = EtobConfig::default().with_resend(15).with_compaction(8);
+        let mut world = WorldBuilder::new(n)
+            .network(NetworkModel::fixed_delay(2))
+            .failures(failures.clone())
+            .seed(42)
+            .build_with(|p| EtobOmega::new(p, config), omega);
+        workload.submit_to(&mut world);
+        world.run_until(4_000);
+        for p in world.process_ids() {
+            let alg = world.algorithm(p);
+            assert_eq!(alg.delivered_total(), 36, "{p} lost history");
+            assert_eq!(alg.delivered_hash(), expected_hash, "{p} diverged");
+            assert!(alg.folded() >= 8, "{p} never folded");
+            assert_eq!(alg.folded() % 8, 0, "{p} folded off-chunk");
+            assert_eq!(alg.compacted_total(), alg.folded());
+            assert_eq!(alg.compact_conflicts(), 0, "{p} hit a conflict");
+            assert_eq!(alg.malformed(), 0);
+            let tail: Vec<MsgId> = alg.delivered().iter().map(|m| m.id).collect();
+            assert_eq!(tail.as_slice(), &reference[alg.folded() as usize..]);
+            assert!(
+                alg.causal_graph().len() < 36,
+                "{p} graph still holds the whole history"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_priming_restores_the_fold_and_rejects_divergent_prefixes() {
+        use crate::types::Compactable;
+        let mk = |seq| AppMessage::new(MsgId::new(ProcessId::new(1), seq), b"x".to_vec());
+        let history: Vec<AppMessage> = (1..=3u64).map(mk).collect();
+        let hashes = prefix_hashes(&history);
+        let mut frontier = VersionVector::new();
+        for m in &history[..2] {
+            frontier.insert(m.id);
+        }
+
+        // Prime a fresh automaton: 2 folded entries plus a 1-entry tail.
+        let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::default());
+        assert!(alg.prime_recovery(2, hashes[2], frontier.clone(), vec![history[2].clone()]));
+        assert_eq!(alg.folded(), 2);
+        assert_eq!(alg.delivered_total(), 3);
+        assert_eq!(alg.delivered_hash(), hashes[3]);
+        assert_eq!(alg.stable_base(), 2);
+        assert_eq!(alg.stable_hash(), hashes[2]);
+        assert!(alg.stable_frontier().covers(&frontier));
+        assert!(alg.causal_graph().is_compacted(history[0].id));
+        assert!(alg.causal_graph().contains(history[2].id));
+        // Priming twice is refused — the automaton is no longer pristine.
+        assert!(!alg.prime_recovery(2, hashes[2], frontier.clone(), vec![]));
+
+        // A full promote that disagrees with the folded prefix is rejected…
+        let divergent: Vec<AppMessage> = (10..=13u64).map(mk).collect();
+        let mut actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(2),
+                2,
+                ProcessId::new(1),
+                &mut actions,
+            );
+            alg.on_message(ProcessId::new(1), EtobMsg::Promote(divergent), &mut ctx);
+            // …as is a promote delta whose below-fold prefix hash diverges…
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::PromoteDelta {
+                    base: 1,
+                    prefix_hash: hashes[1].wrapping_add(1),
+                    suffix: history[1..].to_vec(),
+                },
+                &mut ctx,
+            );
+            assert_eq!(alg.compact_conflicts(), 2);
+            assert_eq!(alg.delivered_total(), 3, "compacted history survived");
+
+            // …while one overlapping the fold with the *same* lineage
+            // verifies across the boundary and extends the tail.
+            let mut extended = history[1..].to_vec();
+            extended.push(mk(4));
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::PromoteDelta {
+                    base: 1,
+                    prefix_hash: hashes[1],
+                    suffix: extended,
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(alg.compact_conflicts(), 2);
+        assert_eq!(alg.delivered_total(), 4);
+        assert_eq!(alg.folded(), 2);
+        assert_eq!(alg.delivered_hash(), hash_step(hashes[3], mk(4).id));
+    }
+
+    #[test]
+    fn acks_are_hash_checked_before_counting_as_compaction_evidence() {
+        let mk = |seq| AppMessage::new(MsgId::new(ProcessId::new(1), seq), b"x".to_vec());
+        let history: Vec<AppMessage> = (1..=4u64).map(mk).collect();
+        let hashes = prefix_hashes(&history);
+        let mut alg = EtobOmega::new(ProcessId::new(0), EtobConfig::default().with_compaction(2));
+        let mut actions = ec_sim::Actions::<EtobOmega>::new();
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                Time::new(2),
+                2,
+                ProcessId::new(1),
+                &mut actions,
+            );
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Promote(history.clone()),
+                &mut ctx,
+            );
+            assert_eq!(alg.delivered_total(), 4);
+            // Divergent hash: ignored.
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Ack {
+                    delivered: 4,
+                    hash: hashes[4] ^ 1,
+                },
+                &mut ctx,
+            );
+            assert!(alg.peer_delivered_ack.is_empty());
+            // Beyond what we can check: ignored.
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Ack {
+                    delivered: 9,
+                    hash: 0,
+                },
+                &mut ctx,
+            );
+            assert!(alg.peer_delivered_ack.is_empty());
+            // Matching: recorded — and never regresses.
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Ack {
+                    delivered: 4,
+                    hash: hashes[4],
+                },
+                &mut ctx,
+            );
+            assert_eq!(alg.peer_delivered_ack[&ProcessId::new(1)], 4);
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Ack {
+                    delivered: 2,
+                    hash: hashes[2],
+                },
+                &mut ctx,
+            );
+            assert_eq!(alg.peer_delivered_ack[&ProcessId::new(1)], 4);
+
+            // Delivered-level acks alone do not fold: the peer's graph
+            // digest has not covered the nodes (two-evidence rule, (b)).
+            alg.maybe_compact(2);
+            assert_eq!(alg.folded(), 0);
+
+            // Graph-level evidence arrives with the peer's beacon frontier;
+            // now the whole acked prefix folds.
+            let mut frontier = VersionVector::new();
+            for m in &history {
+                frontier.insert(m.id);
+            }
+            alg.on_message(
+                ProcessId::new(1),
+                EtobMsg::Delta {
+                    nodes: Vec::new(),
+                    frontier,
+                },
+                &mut ctx,
+            );
+            alg.maybe_compact(2);
+        }
+        assert_eq!(alg.folded(), 4);
+        assert_eq!(alg.compactions(), 1);
+        assert_eq!(alg.compacted_total(), 4);
+        assert!(alg.delivered().is_empty(), "the whole sequence folded");
+        assert_eq!(alg.delivered_total(), 4);
+        assert_eq!(alg.delivered_hash(), hashes[4]);
+        for m in &history {
+            assert!(alg.causal_graph().is_compacted(m.id));
+            assert!(alg.causal_graph().digest().contains(m.id));
+        }
     }
 }

@@ -42,6 +42,7 @@ pub mod tob_consensus;
 pub mod transforms;
 pub mod types;
 pub mod version;
+pub mod wire;
 pub mod workload;
 
 mod wrapper;
@@ -56,8 +57,9 @@ pub use spec::{
 pub use tob_consensus::{ConsensusTob, ConsensusTobConfig, TobMsg};
 pub use transforms::{EcToEic, EcToEtob, EicToEc, EtobToEc};
 pub use types::{
-    AppMessage, DeliveredSequence, EcInput, EcOutput, EicInput, EicOutput, Either, EtobBroadcast,
-    EventualConsensus, EventualIrrevocableConsensus, EventualTotalOrderBroadcast, MsgId, Payload,
+    seq_hash_step, AppMessage, Compactable, DeliveredSequence, EcInput, EcOutput, EicInput,
+    EicOutput, Either, EtobBroadcast, EventualConsensus, EventualIrrevocableConsensus,
+    EventualTotalOrderBroadcast, MsgId, Payload, SEQ_HASH_SEED,
 };
 pub use version::{SeqRanges, VersionVector};
 pub use workload::{BroadcastWorkload, KvOp, KvWorkload, ZipfMix};

@@ -459,6 +459,11 @@ impl Algorithm for ConsensusTob {
     }
 }
 
+// The strong baseline never folds history: the trait defaults (`stable_base`
+// 0, empty frontier, recovery unsupported) are exactly its behavior, and the
+// durable facade then recovers it by replaying the whole logged tail.
+impl crate::types::Compactable for ConsensusTob {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

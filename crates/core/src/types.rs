@@ -7,6 +7,8 @@ use std::sync::Arc;
 
 use ec_sim::{Algorithm, ProcessId};
 
+use crate::version::VersionVector;
+
 /// Globally unique identifier of an application message: the broadcaster and
 /// a per-broadcaster sequence number.
 ///
@@ -158,6 +160,84 @@ pub trait EventualTotalOrderBroadcast:
 impl<T> EventualTotalOrderBroadcast for T where
     T: Algorithm<Input = EtobBroadcast, Output = DeliveredSequence>
 {
+}
+
+/// Rolling-hash seed shared by every stable-prefix implementation: the
+/// FNV-1a offset basis, i.e. the hash of the empty sequence. The durable
+/// layer persists prefix hashes seeded here, so the constant is part of the
+/// on-disk format and must never change.
+pub const SEQ_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Extends a rolling FNV-1a prefix hash with one message identifier (origin
+/// index then sequence number, both little-endian). This is the single hash
+/// function behind [`Compactable::stable_hash`] and the durable layer's
+/// snapshot/log linkage checks, so — like [`SEQ_HASH_SEED`] — it is part of
+/// the on-disk format.
+pub fn seq_hash_step(mut h: u64, id: MsgId) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let bytes = (id.origin.index() as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain(id.seq.to_le_bytes());
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable-prefix compaction and durable recovery, as implemented by
+/// [`crate::etob_omega::EtobOmega`] (see `EtobConfig::compact_after`).
+///
+/// A broadcast automaton with a *stable prefix* has folded the first
+/// [`Compactable::stable_base`] entries of its delivered sequence out of
+/// resident state; the fold is summarized by a rolling identifier hash
+/// ([`Compactable::stable_hash`]) and an exact identifier digest
+/// ([`Compactable::stable_frontier`]). The durable facade in
+/// `ec-replication` checkpoints exactly this triple plus the resident tail,
+/// and [`Compactable::prime_recovery`] reloads it into a freshly constructed
+/// automaton before the node rejoins, so anti-entropy only has to fetch the
+/// suffix the node missed while down.
+///
+/// Every method has a no-compaction default, so implementations that never
+/// fold anything (e.g. the strong baseline `ConsensusTob`) implement the
+/// trait as an empty `impl` block and remain fully functional — recovery
+/// then degrades to replaying the whole logged tail.
+pub trait Compactable {
+    /// Absolute number of delivered entries folded into the stable prefix.
+    fn stable_base(&self) -> u64 {
+        0
+    }
+
+    /// Rolling FNV-1a hash of the folded prefix's identifiers
+    /// ([`SEQ_HASH_SEED`] while nothing is folded).
+    fn stable_hash(&self) -> u64 {
+        SEQ_HASH_SEED
+    }
+
+    /// Exact digest of the folded identifiers (empty while nothing is
+    /// folded).
+    fn stable_frontier(&self) -> VersionVector {
+        VersionVector::new()
+    }
+
+    /// Primes a *freshly constructed* automaton with recovered durable
+    /// state: `base`/`hash`/`frontier` describe the folded prefix of the
+    /// last checkpoint and `tail` is the delivered suffix beyond it
+    /// (reassembled from the checkpoint and the record log). Returns `true`
+    /// if the state was adopted; `false` if recovery is unsupported or the
+    /// automaton is no longer pristine (the caller then starts blank and
+    /// relies on anti-entropy alone).
+    fn prime_recovery(
+        &mut self,
+        base: u64,
+        hash: u64,
+        frontier: VersionVector,
+        tail: Vec<AppMessage>,
+    ) -> bool {
+        let _ = (base, hash, frontier, tail);
+        false
+    }
 }
 
 /// Invocation `proposeEC_ℓ(v)` of eventual consensus instance `ℓ`.

@@ -24,6 +24,24 @@ pub enum HeartbeatMsg {
     Heartbeat,
 }
 
+impl ec_storage::WireCodec for HeartbeatMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HeartbeatMsg::Heartbeat => out.push(0),
+        }
+    }
+
+    fn decode(r: &mut ec_storage::Reader<'_>) -> Result<Self, ec_storage::DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(HeartbeatMsg::Heartbeat),
+            tag => Err(ec_storage::DecodeError::BadTag {
+                context: "HeartbeatMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Configuration of [`HeartbeatOmega`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeartbeatConfig {

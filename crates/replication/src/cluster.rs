@@ -106,6 +106,7 @@ impl<S: StateMachine + Send + 'static> ClusterBuilder<S> {
                 consistency: Consistency::Eventual,
                 etob: EtobConfig::default(),
                 tob: ConsensusTobConfig::default(),
+                durable: None,
             },
             _state: PhantomData,
         }
@@ -128,6 +129,24 @@ impl<S: StateMachine + Send + 'static> ClusterBuilder<S> {
     /// [`Consistency::Strong`].
     pub fn tob(mut self, tob: ConsensusTobConfig) -> Self {
         self.plan.tob = tob;
+        self
+    }
+
+    /// Makes every replica durable under `dir` (replica `i` persists in
+    /// `dir/i/`): delivered state is logged and checkpointed, and a
+    /// restarted replica recovers from disk, using anti-entropy only for
+    /// the suffix it missed. Uses the default cadence; see
+    /// [`ClusterBuilder::durable_with`] for full control.
+    pub fn durable(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_with(crate::durable::DurableOptions::new(dir))
+    }
+
+    /// Makes every replica durable with explicit [`DurableOptions`]
+    /// (checkpoint cadence, snapshot retention).
+    ///
+    /// [`DurableOptions`]: crate::durable::DurableOptions
+    pub fn durable_with(mut self, options: crate::durable::DurableOptions) -> Self {
+        self.plan.durable = Some(options);
         self
     }
 

@@ -1,0 +1,732 @@
+//! Durable replica state: a per-replica record log plus snapshot store
+//! ([`ec_storage`]) under a typed facade, so a crashed node rejoins from
+//! disk and uses anti-entropy only for the suffix it missed.
+//!
+//! ## On-disk layout
+//!
+//! Each replica owns one directory (`<cluster dir>/<replica index>/`):
+//!
+//! ```text
+//! replica.eclog       append-only record log (ec-storage RecordLog)
+//! snapshots/          atomic checkpoint store (ec-storage SnapshotStore)
+//! ```
+//!
+//! ## Log records
+//!
+//! Every log record body is one tagged structure (total decoding — corrupt
+//! bodies end replay, they never panic):
+//!
+//! ```text
+//! Base     := 0 base:u64 hash:u64     the absolute index the entries that
+//!                                     follow extend, plus the rolling
+//!                                     identifier hash of everything below it
+//! Entry    := 1 AppMessage            one delivered entry, in order
+//! Truncate := 2 to:u64                the delivered suffix from absolute
+//!                                     index `to` was reordered; discard it
+//! OwnSeq   := 3 seq:u64               high-water mark of locally assigned
+//!                                     sequence numbers (id-reuse guard)
+//! ```
+//!
+//! `Truncate` exists because an *eventual* total order may reorder its
+//! uncommitted suffix: the log mirrors the current delivered sequence, not
+//! a grow-only history.
+//!
+//! ## Checkpoints
+//!
+//! A checkpoint publishes one snapshot — `base`, `hash`, the compacted
+//! identifier frontier, the state-machine snapshot at `base`, and the
+//! own-sequence high-water mark — then atomically rewrites the log down to
+//! `Base` + the resident tail. Recovery therefore composes the newest valid
+//! snapshot with the log tail, verifying the **hash linkage** between them:
+//! log entries below the snapshot's base must hash (from the log's base
+//! hash) to exactly the snapshot's hash, otherwise the log is distrusted
+//! and recovery falls back to the snapshot alone.
+//!
+//! ## Failure policy
+//!
+//! Appends are plain `write(2)` calls (they survive a process kill; the
+//! periodic checkpoint fsyncs), and any I/O error flips the store into a
+//! **degraded** mode that stops persisting but never panics and never
+//! disturbs the in-memory replica — durability is best-effort by design,
+//! correctness never depends on it.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ec_core::types::{seq_hash_step, AppMessage, MsgId, SEQ_HASH_SEED};
+use ec_core::VersionVector;
+use ec_storage::codec::{push_bytes, push_u64};
+use ec_storage::{
+    DecodeError, LogError, Reader, RecordLog, SnapshotError, SnapshotStore, WireCodec,
+};
+
+/// Durability configuration for one replica group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Root directory; each replica persists under `<dir>/<replica index>/`.
+    pub dir: PathBuf,
+    /// Checkpoint after this many newly logged entries (clamped to ≥ 1).
+    pub checkpoint_every: usize,
+    /// Snapshots retained per replica (clamped to ≥ 1 by the store).
+    pub keep_snapshots: usize,
+}
+
+impl DurableOptions {
+    /// Options rooted at `dir` with the default cadence (checkpoint every 8
+    /// entries, keep 3 snapshots).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            checkpoint_every: 8,
+            keep_snapshots: 3,
+        }
+    }
+
+    /// Sets the checkpoint cadence (entries between checkpoints).
+    pub fn checkpoint_every(mut self, entries: usize) -> Self {
+        self.checkpoint_every = entries;
+        self
+    }
+
+    /// Sets the snapshot retention count.
+    pub fn keep_snapshots(mut self, keep: usize) -> Self {
+        self.keep_snapshots = keep;
+        self
+    }
+
+    /// The same options scoped to one replica's subdirectory.
+    pub fn for_replica(&self, index: usize) -> DurableOptions {
+        DurableOptions {
+            dir: self.dir.join(index.to_string()),
+            checkpoint_every: self.checkpoint_every,
+            keep_snapshots: self.keep_snapshots,
+        }
+    }
+}
+
+/// Why a durable store could not be opened.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The record log failed to open or rewrite.
+    Log(LogError),
+    /// The snapshot store failed to open or read.
+    Snapshot(SnapshotError),
+    /// The replica directory could not be created.
+    Io(io::Error),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Log(e) => write!(f, "durable log error: {e}"),
+            DurableError::Snapshot(e) => write!(f, "durable snapshot error: {e}"),
+            DurableError::Io(e) => write!(f, "durable directory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Log(e) => Some(e),
+            DurableError::Snapshot(e) => Some(e),
+            DurableError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<LogError> for DurableError {
+    fn from(e: LogError) -> Self {
+        DurableError::Log(e)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(e: SnapshotError) -> Self {
+        DurableError::Snapshot(e)
+    }
+}
+
+/// Everything recovered from disk when a durable store opens: the checkpoint
+/// triple (`base`, `hash`, `frontier`), the state-machine snapshot bytes at
+/// `base`, the delivered tail beyond it, and the own-sequence high-water
+/// mark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recovered {
+    /// Absolute number of delivered entries folded below the checkpoint.
+    pub base: u64,
+    /// Rolling identifier hash of those `base` entries
+    /// ([`SEQ_HASH_SEED`]-seeded).
+    pub hash: u64,
+    /// Exact identifier digest of the folded prefix.
+    pub frontier: VersionVector,
+    /// State-machine snapshot at `base` (empty when `base == 0`).
+    pub state: Vec<u8>,
+    /// Delivered entries beyond `base`, in order.
+    pub tail: Vec<AppMessage>,
+    /// Highest locally assigned sequence number ever recorded.
+    pub own_seq: u64,
+}
+
+/// File name of the per-replica record log.
+pub const LOG_FILE: &str = "replica.eclog";
+/// Subdirectory holding the per-replica snapshots.
+pub const SNAPSHOT_DIR: &str = "snapshots";
+
+const REC_BASE: u8 = 0;
+const REC_ENTRY: u8 = 1;
+const REC_TRUNCATE: u8 = 2;
+const REC_OWN_SEQ: u8 = 3;
+
+/// One decoded log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LogRecord {
+    Base { base: u64, hash: u64 },
+    Entry(AppMessage),
+    Truncate { to: u64 },
+    OwnSeq(u64),
+}
+
+fn encode_base(base: u64, hash: u64) -> Vec<u8> {
+    let mut out = vec![REC_BASE];
+    push_u64(&mut out, base);
+    push_u64(&mut out, hash);
+    out
+}
+
+fn encode_entry(message: &AppMessage) -> Vec<u8> {
+    let mut out = vec![REC_ENTRY];
+    message.encode(&mut out);
+    out
+}
+
+fn encode_truncate(to: u64) -> Vec<u8> {
+    let mut out = vec![REC_TRUNCATE];
+    push_u64(&mut out, to);
+    out
+}
+
+fn encode_own_seq(seq: u64) -> Vec<u8> {
+    let mut out = vec![REC_OWN_SEQ];
+    push_u64(&mut out, seq);
+    out
+}
+
+fn decode_record(body: &[u8]) -> Result<LogRecord, DecodeError> {
+    let mut r = Reader::new(body);
+    let record = match r.read_u8()? {
+        REC_BASE => LogRecord::Base {
+            base: r.read_u64()?,
+            hash: r.read_u64()?,
+        },
+        REC_ENTRY => LogRecord::Entry(AppMessage::decode(&mut r)?),
+        REC_TRUNCATE => LogRecord::Truncate { to: r.read_u64()? },
+        REC_OWN_SEQ => LogRecord::OwnSeq(r.read_u64()?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "durable log record",
+                tag,
+            })
+        }
+    };
+    r.ensure_consumed()?;
+    Ok(record)
+}
+
+fn encode_snapshot_body(
+    base: u64,
+    hash: u64,
+    frontier: &VersionVector,
+    state: &[u8],
+    own_seq: u64,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, base);
+    push_u64(&mut out, hash);
+    frontier.encode(&mut out);
+    push_bytes(&mut out, state);
+    push_u64(&mut out, own_seq);
+    out
+}
+
+fn decode_snapshot_body(
+    body: &[u8],
+) -> Result<(u64, u64, VersionVector, Vec<u8>, u64), DecodeError> {
+    let mut r = Reader::new(body);
+    let base = r.read_u64()?;
+    let hash = r.read_u64()?;
+    let frontier = VersionVector::decode(&mut r)?;
+    let state = r.read_bytes()?.to_vec();
+    let own_seq = r.read_u64()?;
+    r.ensure_consumed()?;
+    Ok((base, hash, frontier, state, own_seq))
+}
+
+/// The durable store for one replica: a [`RecordLog`] mirroring the current
+/// delivered tail plus a [`SnapshotStore`] of periodic checkpoints.
+#[derive(Debug)]
+pub struct DurableStore {
+    log: RecordLog,
+    snapshots: SnapshotStore,
+    /// Absolute base the logged entries extend (the last `Base` record).
+    log_base: u64,
+    /// Identifier mirror of the `Entry` records currently live in the log
+    /// (post-`Truncate`), so tail updates append only the changed suffix.
+    logged: Vec<MsgId>,
+    /// Own-sequence high-water mark already on disk.
+    own_seq: u64,
+    /// Entries appended since the last checkpoint.
+    since_checkpoint: usize,
+    checkpoint_every: usize,
+    next_snapshot_id: u64,
+    degraded: bool,
+}
+
+impl DurableStore {
+    /// Opens (creating if absent) the store in `options.dir`, recovering
+    /// whatever the directory holds. The log is rewritten into canonical
+    /// `Base` + tail form on the way out, so a recovery-of-a-recovery is
+    /// exact.
+    pub fn open(
+        options: &DurableOptions,
+    ) -> Result<(DurableStore, Option<Recovered>), DurableError> {
+        fs::create_dir_all(&options.dir).map_err(DurableError::Io)?;
+        let snapshots =
+            SnapshotStore::open(options.dir.join(SNAPSHOT_DIR), options.keep_snapshots)?;
+        let (_, log_recovery) = RecordLog::open(options.dir.join(LOG_FILE))?;
+
+        // Replay the log into (base, hash, entries, own_seq). A record body
+        // that fails to decode ends the replay — everything before it is
+        // intact (the CRC layer already dropped torn tails).
+        let mut log_base = 0u64;
+        let mut log_hash = SEQ_HASH_SEED;
+        let mut entries: Vec<AppMessage> = Vec::new();
+        let mut own_seq = 0u64;
+        for body in &log_recovery.records {
+            match decode_record(body) {
+                Ok(LogRecord::Base { base, hash }) => {
+                    entries.clear();
+                    log_base = base;
+                    log_hash = hash;
+                }
+                Ok(LogRecord::Entry(message)) => entries.push(message),
+                Ok(LogRecord::Truncate { to }) => {
+                    let keep = usize::try_from(to.saturating_sub(log_base)).unwrap_or(0);
+                    entries.truncate(keep);
+                }
+                Ok(LogRecord::OwnSeq(seq)) => own_seq = own_seq.max(seq),
+                Err(_) => break,
+            }
+        }
+
+        // Compose with the newest structurally valid snapshot.
+        let snapshot = snapshots
+            .latest()?
+            .and_then(|s| decode_snapshot_body(&s.body).ok());
+        let (base, hash, frontier, state, tail) = match snapshot {
+            Some((base, hash, frontier, state, snap_own_seq)) => {
+                own_seq = own_seq.max(snap_own_seq);
+                let tail = if base >= log_base {
+                    let skip = usize::try_from(base - log_base).unwrap_or(usize::MAX);
+                    if skip <= entries.len() {
+                        // Hash linkage: the logged entries the snapshot
+                        // subsumes must reproduce exactly its prefix hash,
+                        // or the log belongs to a different history.
+                        let linked = entries
+                            .iter()
+                            .take(skip)
+                            .fold(log_hash, |h, m| seq_hash_step(h, m.id));
+                        if linked == hash {
+                            entries.split_off(skip)
+                        } else {
+                            Vec::new()
+                        }
+                    } else {
+                        // The log ends below the snapshot's base (crash
+                        // between snapshot publish and log rewrite with a
+                        // short log): the snapshot alone is authoritative.
+                        Vec::new()
+                    }
+                } else {
+                    // The log's base outruns the best surviving snapshot
+                    // (the newer snapshot rotted): the gap below the log is
+                    // unreachable, so trust only the snapshot.
+                    Vec::new()
+                };
+                (base, hash, frontier, state, tail)
+            }
+            None if log_base == 0 => {
+                // Log-only recovery: full tail from the beginning.
+                (0, SEQ_HASH_SEED, VersionVector::new(), Vec::new(), entries)
+            }
+            None => {
+                // A folded log with no snapshot cannot reconstruct its base
+                // state; keep only the id-reuse guard.
+                (
+                    0,
+                    SEQ_HASH_SEED,
+                    VersionVector::new(),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+        };
+
+        // Canonical rewrite: Base + tail + own-seq high-water mark.
+        let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(tail.len() + 2);
+        bodies.push(encode_base(base, hash));
+        bodies.extend(tail.iter().map(encode_entry));
+        if own_seq > 0 {
+            bodies.push(encode_own_seq(own_seq));
+        }
+        let log = RecordLog::rewrite(options.dir.join(LOG_FILE), bodies.iter().map(Vec::as_slice))?;
+
+        let next_snapshot_id = snapshots.ids()?.last().map_or(1, |newest| newest + 1);
+        let recovered = if base > 0 || !tail.is_empty() || own_seq > 0 {
+            Some(Recovered {
+                base,
+                hash,
+                frontier,
+                state,
+                tail: tail.clone(),
+                own_seq,
+            })
+        } else {
+            None
+        };
+        Ok((
+            DurableStore {
+                log,
+                snapshots,
+                log_base: base,
+                logged: tail.iter().map(|m| m.id).collect(),
+                own_seq,
+                since_checkpoint: 0,
+                checkpoint_every: options.checkpoint_every.max(1),
+                next_snapshot_id,
+                degraded: false,
+            },
+            recovered,
+        ))
+    }
+
+    /// Mirrors the current delivered tail (`tail`, starting at absolute
+    /// index `base` with prefix hash `hash`) into the log, appending only
+    /// the changed suffix: a `Truncate` where the sequences first disagree,
+    /// then the new entries.
+    pub fn record_tail(&mut self, base: u64, hash: u64, tail: &[AppMessage]) {
+        if self.degraded {
+            return;
+        }
+        let skip = match usize::try_from(base.saturating_sub(self.log_base)) {
+            Ok(skip) if skip <= self.logged.len() => skip,
+            // The tail starts beyond everything logged — an invariant
+            // breach (folds can only cover logged entries). Re-anchor the
+            // whole log rather than persist a gapped history.
+            _ => {
+                self.rewrite_to(base, hash, tail);
+                return;
+            }
+        };
+        // First index (relative to `tail`) where log and tail disagree.
+        // (`skip <= logged.len()` was just checked, so the slice is total.)
+        let lived = self.logged.get(skip..).unwrap_or(&[]);
+        let agree = lived
+            .iter()
+            .zip(tail.iter())
+            .take_while(|(logged, new)| **logged == new.id)
+            .count();
+        if lived.len() > agree {
+            // The delivered suffix was reordered (or shrank): cut it.
+            let cut = base + agree as u64;
+            if self.append(&encode_truncate(cut)).is_err() {
+                return;
+            }
+            self.logged.truncate(skip + agree);
+        }
+        for message in tail.iter().skip(agree) {
+            if self.append(&encode_entry(message)).is_err() {
+                return;
+            }
+            self.logged.push(message.id);
+            self.since_checkpoint += 1;
+        }
+    }
+
+    /// Records a new own-sequence high-water mark (no-op unless it grew).
+    pub fn record_own_seq(&mut self, seq: u64) {
+        if self.degraded || seq <= self.own_seq {
+            return;
+        }
+        if self.append(&encode_own_seq(seq)).is_ok() {
+            self.own_seq = seq;
+        }
+    }
+
+    /// Whether enough entries accumulated since the last checkpoint.
+    pub fn checkpoint_due(&self) -> bool {
+        !self.degraded && self.since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Publishes a checkpoint — snapshot first (atomic), then the log is
+    /// rewritten down to `Base` + the resident tail — and fsyncs both.
+    pub fn checkpoint(
+        &mut self,
+        base: u64,
+        hash: u64,
+        frontier: &VersionVector,
+        state: &[u8],
+        tail: &[AppMessage],
+        own_seq: u64,
+    ) {
+        if self.degraded {
+            return;
+        }
+        let body = encode_snapshot_body(base, hash, frontier, state, own_seq.max(self.own_seq));
+        if self
+            .snapshots
+            .publish(self.next_snapshot_id, &body)
+            .is_err()
+        {
+            self.degraded = true;
+            return;
+        }
+        self.next_snapshot_id += 1;
+        self.own_seq = self.own_seq.max(own_seq);
+        self.rewrite_to(base, hash, tail);
+        self.since_checkpoint = 0;
+    }
+
+    /// Whether an I/O error has disabled persistence (the replica keeps
+    /// running purely in memory).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The record log's file path.
+    pub fn log_path(&self) -> &Path {
+        self.log.path()
+    }
+
+    /// The snapshot directory.
+    pub fn snapshot_dir(&self) -> &Path {
+        self.snapshots.dir()
+    }
+
+    /// Entries appended since the last checkpoint.
+    pub fn entries_since_checkpoint(&self) -> usize {
+        self.since_checkpoint
+    }
+
+    fn append(&mut self, body: &[u8]) -> Result<(), ()> {
+        match self.log.append(body) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.degraded = true;
+                Err(())
+            }
+        }
+    }
+
+    /// Atomically replaces the log with `Base` + `tail` (+ own-seq mark).
+    fn rewrite_to(&mut self, base: u64, hash: u64, tail: &[AppMessage]) {
+        let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(tail.len() + 2);
+        bodies.push(encode_base(base, hash));
+        bodies.extend(tail.iter().map(encode_entry));
+        if self.own_seq > 0 {
+            bodies.push(encode_own_seq(self.own_seq));
+        }
+        match RecordLog::rewrite(
+            self.log.path().to_path_buf(),
+            bodies.iter().map(Vec::as_slice),
+        ) {
+            Ok(log) => {
+                self.log = log;
+                self.log_base = base;
+                self.logged = tail.iter().map(|m| m.id).collect();
+            }
+            Err(_) => self.degraded = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::types::Payload;
+    use ec_sim::ProcessId;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ec-durable-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn msg(origin: usize, seq: u64) -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId::new(origin), seq),
+            Payload::from(format!("m{origin}.{seq}").into_bytes()),
+        )
+    }
+
+    fn roll(h0: u64, tail: &[AppMessage]) -> u64 {
+        tail.iter().fold(h0, |h, m| seq_hash_step(h, m.id))
+    }
+
+    #[test]
+    fn fresh_store_recovers_nothing_and_roundtrips_a_tail() {
+        let dir = tmp_dir("fresh");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, recovered) = DurableStore::open(&opts).expect("open");
+        assert!(recovered.is_none());
+        assert!(!store.degraded());
+        let tail = vec![msg(0, 1), msg(1, 1), msg(0, 2)];
+        store.record_tail(0, SEQ_HASH_SEED, &tail);
+        store.record_own_seq(2);
+        drop(store);
+        let (_, recovered) = DurableStore::open(&opts).expect("reopen");
+        let recovered = recovered.expect("recovered");
+        assert_eq!(recovered.base, 0);
+        assert_eq!(recovered.hash, SEQ_HASH_SEED);
+        assert_eq!(recovered.tail, tail);
+        assert_eq!(recovered.own_seq, 2);
+        assert!(recovered.state.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reordered_suffixes_are_truncated_not_duplicated() {
+        let dir = tmp_dir("reorder");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, _) = DurableStore::open(&opts).expect("open");
+        let first = vec![msg(0, 1), msg(1, 1), msg(1, 2)];
+        store.record_tail(0, SEQ_HASH_SEED, &first);
+        // the eventual order reshuffles everything after the first entry
+        let second = vec![msg(0, 1), msg(1, 2), msg(1, 1), msg(2, 1)];
+        store.record_tail(0, SEQ_HASH_SEED, &second);
+        drop(store);
+        let (_, recovered) = DurableStore::open(&opts).expect("reopen");
+        assert_eq!(recovered.expect("recovered").tail, second);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_plus_log_tail_compose_with_hash_linkage() {
+        let dir = tmp_dir("checkpoint");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, _) = DurableStore::open(&opts).expect("open");
+        let all: Vec<AppMessage> = (1..=6).map(|s| msg(0, s)).collect();
+        store.record_tail(0, SEQ_HASH_SEED, &all);
+        // fold the first four entries into a checkpoint
+        let fold_hash = roll(SEQ_HASH_SEED, &all[..4]);
+        let mut frontier = VersionVector::new();
+        for m in &all[..4] {
+            frontier.insert(m.id);
+        }
+        store.checkpoint(4, fold_hash, &frontier, b"state@4", &all[4..], 6);
+        // more entries arrive after the checkpoint
+        let late = msg(1, 1);
+        let tail: Vec<AppMessage> = all[4..].iter().cloned().chain([late]).collect();
+        store.record_tail(4, fold_hash, &tail);
+        drop(store);
+        let (store, recovered) = DurableStore::open(&opts).expect("reopen");
+        let recovered = recovered.expect("recovered");
+        assert_eq!(recovered.base, 4);
+        assert_eq!(recovered.hash, fold_hash);
+        assert_eq!(recovered.frontier, frontier);
+        assert_eq!(recovered.state, b"state@4".to_vec());
+        assert_eq!(recovered.tail, tail);
+        assert_eq!(recovered.own_seq, 6);
+        assert!(!store.degraded());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_ahead_of_log_wins_and_verifies_linkage() {
+        let dir = tmp_dir("linkage");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, _) = DurableStore::open(&opts).expect("open");
+        let all: Vec<AppMessage> = (1..=3).map(|s| msg(0, s)).collect();
+        store.record_tail(0, SEQ_HASH_SEED, &all);
+        drop(store);
+        // simulate a crash between snapshot publish and log rewrite: publish
+        // a snapshot at base 2 by hand, leaving the log at base 0.
+        let fold_hash = roll(SEQ_HASH_SEED, &all[..2]);
+        let mut frontier = VersionVector::new();
+        for m in &all[..2] {
+            frontier.insert(m.id);
+        }
+        let body = encode_snapshot_body(2, fold_hash, &frontier, b"state@2", 3);
+        let mut snaps = SnapshotStore::open(dir.join(SNAPSHOT_DIR), 3).expect("snaps");
+        snaps.publish(1, &body).expect("publish");
+        let (_, recovered) = DurableStore::open(&opts).expect("reopen");
+        let recovered = recovered.expect("recovered");
+        assert_eq!(recovered.base, 2);
+        assert_eq!(recovered.state, b"state@2".to_vec());
+        // entries 1..=2 were subsumed (linkage verified), entry 3 survives
+        assert_eq!(recovered.tail, vec![all[2].clone()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergent_log_is_distrusted_on_linkage_mismatch() {
+        let dir = tmp_dir("divergent");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, _) = DurableStore::open(&opts).expect("open");
+        let all: Vec<AppMessage> = (1..=3).map(|s| msg(0, s)).collect();
+        store.record_tail(0, SEQ_HASH_SEED, &all);
+        drop(store);
+        // a snapshot whose hash does NOT match the logged prefix
+        let body = encode_snapshot_body(2, 0xDEAD_BEEF, &VersionVector::new(), b"state@2", 0);
+        let mut snaps = SnapshotStore::open(dir.join(SNAPSHOT_DIR), 3).expect("snaps");
+        snaps.publish(1, &body).expect("publish");
+        let (_, recovered) = DurableStore::open(&opts).expect("reopen");
+        let recovered = recovered.expect("recovered");
+        assert_eq!(recovered.base, 2);
+        assert!(recovered.tail.is_empty(), "divergent log must be dropped");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_log_tail_recovers_the_intact_prefix() {
+        let dir = tmp_dir("torn");
+        let opts = DurableOptions::new(&dir).checkpoint_every(100);
+        let (mut store, _) = DurableStore::open(&opts).expect("open");
+        let all: Vec<AppMessage> = (1..=4).map(|s| msg(0, s)).collect();
+        store.record_tail(0, SEQ_HASH_SEED, &all);
+        let log_path = store.log_path().to_path_buf();
+        drop(store);
+        // chop bytes off the log tail: the last record is torn
+        let bytes = fs::read(&log_path).expect("read");
+        fs::write(&log_path, &bytes[..bytes.len() - 7]).expect("write");
+        let (_, recovered) = DurableStore::open(&opts).expect("reopen");
+        let tail = recovered.expect("recovered").tail;
+        assert_eq!(tail, all[..3].to_vec(), "intact prefix survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_codec_is_total_on_corrupt_bodies() {
+        let good = encode_entry(&msg(3, 9));
+        assert!(matches!(decode_record(&good), Ok(LogRecord::Entry(_))));
+        for cut in 0..good.len() {
+            assert!(decode_record(&good[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_record(&long).is_err());
+        assert!(matches!(
+            decode_record(&[9, 0, 0]),
+            Err(DecodeError::BadTag { .. })
+        ));
+        let base = encode_base(7, 42);
+        assert_eq!(
+            decode_record(&base),
+            Ok(LogRecord::Base { base: 7, hash: 42 })
+        );
+        let tr = encode_truncate(5);
+        assert_eq!(decode_record(&tr), Ok(LogRecord::Truncate { to: 5 }));
+    }
+}

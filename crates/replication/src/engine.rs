@@ -33,7 +33,7 @@ use std::time::Duration;
 
 use ec_core::etob_omega::{EtobConfig, EtobOmega};
 use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
-use ec_core::types::{AppMessage, EventualTotalOrderBroadcast};
+use ec_core::types::{AppMessage, Compactable, EventualTotalOrderBroadcast};
 use ec_detectors::omega::OmegaOracle;
 use ec_detectors::scripted::{LieWindow, OverlayFd};
 use ec_detectors::sigma::SigmaOracle;
@@ -45,6 +45,7 @@ use ec_sim::{
 };
 
 use crate::cluster::Consistency;
+use crate::durable::DurableOptions;
 use crate::net::codec::WireCodec;
 use crate::net::node::{NetCluster, NetFinal};
 use crate::replica::{Replica, ReplicaCommand, ReplicaOutput};
@@ -53,7 +54,7 @@ use crate::state_machine::StateMachine;
 /// What a [`crate::cluster::ClusterBuilder`] asks an engine to deploy: the
 /// group size, the consistency level, and the broadcast-layer configurations
 /// (the one matching the consistency level is used).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeployPlan {
     /// Number of replicas in the group.
     pub replicas: usize,
@@ -64,6 +65,21 @@ pub struct DeployPlan {
     pub etob: EtobConfig,
     /// Quorum-sequencer configuration, used at [`Consistency::Strong`].
     pub tob: ConsensusTobConfig,
+    /// Durability options; `Some` makes every replica persist under
+    /// `durable.dir/<replica index>/` and recover from it on (re)start.
+    pub durable: Option<DurableOptions>,
+}
+
+/// Builds one replica for a deployment, durable when the plan says so.
+fn make_replica<S, B>(p: ProcessId, broadcast: B, durable: &Option<DurableOptions>) -> Replica<S, B>
+where
+    S: StateMachine,
+    B: EventualTotalOrderBroadcast + Compactable,
+{
+    match durable {
+        Some(options) => Replica::durable(broadcast, options.for_replica(p.index())),
+        None => Replica::new(broadcast),
+    }
 }
 
 /// A deployment target for a replica group: turns a [`DeployPlan`] into a
@@ -237,23 +253,31 @@ impl Engine for SimEngine {
         match plan.consistency {
             Consistency::Eventual => {
                 let etob = plan.etob;
+                let durable = plan.durable.clone();
                 let world = WorldBuilder::new(n)
                     .network(self.network.clone())
                     .failures(failures)
                     .seed(self.seed)
                     .recovery_policy(self.recovery)
-                    .build_with(|p| Replica::new(EtobOmega::new(p, etob)), omega);
+                    .build_with(
+                        move |p| make_replica(p, EtobOmega::new(p, etob), &durable),
+                        omega,
+                    );
                 EngineDeployment::SimEventual(Box::new(world))
             }
             Consistency::Strong => {
                 let fd = PairFd::new(omega, SigmaOracle::majority(failures.clone()));
                 let tob = plan.tob;
+                let durable = plan.durable.clone();
                 let world = WorldBuilder::new(n)
                     .network(self.network.clone())
                     .failures(failures)
                     .seed(self.seed)
                     .recovery_policy(self.recovery)
-                    .build_with(|p| Replica::new(ConsensusTob::new(p, tob)), fd);
+                    .build_with(
+                        move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
+                        fd,
+                    );
                 EngineDeployment::SimStrong(Box::new(world))
             }
         }
@@ -323,8 +347,9 @@ impl Engine for ThreadEngine {
         match plan.consistency {
             Consistency::Eventual => {
                 let etob = plan.etob;
+                let durable = plan.durable.clone();
                 let runtime = Runtime::spawn(plan.replicas, self.config, move |p| {
-                    Replica::new(EtobOmega::new(p, etob))
+                    make_replica(p, EtobOmega::new(p, etob), &durable)
                 });
                 EngineDeployment::ThreadEventual(ThreadDeployment::new(
                     runtime,
@@ -334,10 +359,11 @@ impl Engine for ThreadEngine {
             }
             Consistency::Strong => {
                 let tob = plan.tob;
+                let durable = plan.durable.clone();
                 let runtime = Runtime::spawn_with_fd(
                     plan.replicas,
                     self.config,
-                    move |p| Replica::new(ConsensusTob::new(p, tob)),
+                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
                     |leader, n| (leader, ProcessSet::all(n)),
                 );
                 EngineDeployment::ThreadStrong(ThreadDeployment::new(
@@ -355,7 +381,7 @@ impl Engine for ThreadEngine {
 pub struct ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast,
+    B: EventualTotalOrderBroadcast + Compactable,
 {
     runtime: Runtime<Replica<S, B>>,
     tick_ms: u64,
@@ -365,7 +391,7 @@ where
 impl<S, B> fmt::Debug for ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast,
+    B: EventualTotalOrderBroadcast + Compactable,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ThreadDeployment")
@@ -378,7 +404,7 @@ where
 impl<S, B> ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: Send,
 {
     fn new(runtime: Runtime<Replica<S, B>>, tick_ms: u64, n: usize) -> Self {
@@ -478,10 +504,11 @@ impl Engine for NetEngine {
         match plan.consistency {
             Consistency::Eventual => {
                 let etob = plan.etob;
+                let durable = plan.durable.clone();
                 let cluster = NetCluster::launch(
                     plan.replicas,
                     self.config,
-                    move |p| Replica::new(EtobOmega::new(p, etob)),
+                    move |p| make_replica(p, EtobOmega::new(p, etob), &durable),
                     |leader, _n| leader,
                 );
                 EngineDeployment::NetEventual(NetDeployment::attach(
@@ -492,10 +519,11 @@ impl Engine for NetEngine {
             }
             Consistency::Strong => {
                 let tob = plan.tob;
+                let durable = plan.durable.clone();
                 let cluster = NetCluster::launch(
                     plan.replicas,
                     self.config,
-                    move |p| Replica::new(ConsensusTob::new(p, tob)),
+                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
                     |leader, n| (leader, ProcessSet::all(n)),
                 );
                 EngineDeployment::NetStrong(NetDeployment::attach(
@@ -513,7 +541,7 @@ impl Engine for NetEngine {
 pub struct NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     cluster: NetCluster<S, B>,
@@ -524,7 +552,7 @@ where
 impl<S, B> fmt::Debug for NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -538,7 +566,7 @@ where
 impl<S, B> NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn attach(cluster: NetCluster<S, B>, tick_ms: u64, n: usize) -> Self {
@@ -860,7 +888,7 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine,
-            B: EventualTotalOrderBroadcast,
+            B: EventualTotalOrderBroadcast + Compactable,
             D: FailureDetector<Output = B::Fd>,
         {
             EngineFinal {
@@ -895,7 +923,7 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine + Send + 'static,
-            B: EventualTotalOrderBroadcast + Send + 'static,
+            B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
             B::Msg: Send,
         {
             let ThreadDeployment {
@@ -937,7 +965,7 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine + Send + 'static,
-            B: EventualTotalOrderBroadcast + Send + 'static,
+            B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
             B::Msg: WireCodec + Send,
         {
             let NetDeployment {

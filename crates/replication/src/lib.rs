@@ -31,6 +31,11 @@
 //!   implementation and replays the delivered sequence into its state
 //!   machine. The facade wires this for you; drive it by hand only when an
 //!   experiment needs direct control over the world or the broadcast layer.
+//! * [`durable`] — the per-replica durability layer behind
+//!   [`ClusterBuilder::durable`]: an `ec-storage` record log mirroring the
+//!   delivered tail plus periodic snapshots, and the recovery path that
+//!   [`Cluster::restart`] (and the chaos crash–recover nemesis) uses to
+//!   rejoin from disk, pulling only the missing suffix via anti-entropy.
 //! * [`convergence`] — convergence metrics over replica output histories:
 //!   when did all correct replicas last agree, how long did divergence
 //!   episodes last, how many commands were applied on each side of a
@@ -47,6 +52,7 @@
 
 pub mod cluster;
 pub mod convergence;
+pub mod durable;
 pub mod engine;
 pub mod net;
 pub mod replica;
@@ -56,6 +62,7 @@ pub mod state_machine;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterReport, Consistency, ShardReport};
 pub use convergence::{ConvergenceReport, Divergence};
+pub use durable::{DurableError, DurableOptions, DurableStore, Recovered};
 pub use engine::{
     DeployPlan, Engine, EngineDeployment, EngineKind, NetEngine, SimEngine, ThreadEngine,
 };

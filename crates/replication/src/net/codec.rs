@@ -5,9 +5,9 @@
 //! [`Frame`] variant, then the variant's fields in declaration order. All
 //! integers are big-endian; byte strings and lists carry a u32 length/count
 //! prefix. The format is dependency-free by design — the paper's wire enums
-//! ([`EtobMsg`], [`TobMsg`], heartbeats) serialize through the same
-//! [`WireCodec`] trait the frame layer uses, so what crosses the TCP
-//! boundary is exactly the protocol state the simulator models.
+//! ([`ec_core::EtobMsg`], [`ec_core::TobMsg`], heartbeats) serialize through
+//! the same [`WireCodec`] trait the frame layer uses, so what crosses the
+//! TCP boundary is exactly the protocol state the simulator models.
 //!
 //! Decoding is *total*: malformed input of any shape yields a typed
 //! [`DecodeError`], never a panic, never an unbounded allocation (list
@@ -16,15 +16,23 @@
 //! runs out of order, duplicate graph nodes — are rejected rather than
 //! repaired, so `decode(encode(x)) == x` and *only* encodings produced by
 //! [`WireCodec::encode`] are accepted.
+//!
+//! The codec *core* — [`Reader`], [`DecodeError`], the [`WireCodec`] trait
+//! and the push/read helpers — lives in [`ec_storage::codec`] so the
+//! durable record log decodes through the same machinery, and the
+//! protocol-type implementations live next to the types they encode
+//! ([`ec_core::wire`], `ec_detectors::heartbeat`). This module re-exports
+//! the core under the original paths and keeps only the engine-local frame
+//! layer: [`Frame`], [`ReplicaCommand`] / [`ReplicaOutput`] bodies, and the
+//! length-prefix assembly.
 
-use std::fmt;
-
-use ec_core::etob_omega::{CausalGraph, EtobMsg};
-use ec_core::tob_consensus::TobMsg;
-use ec_core::types::{AppMessage, MsgId, Payload};
-use ec_core::version::{SeqRanges, VersionVector};
+use ec_core::types::{MsgId, Payload};
+use ec_core::wire::MSG_ID_BYTES;
 use ec_detectors::HeartbeatMsg;
 use ec_sim::ProcessId;
+
+use ec_storage::codec::{push_bytes, push_u32, push_u64, read_usize};
+pub use ec_storage::codec::{DecodeError, Reader, WireCodec};
 
 use crate::replica::{ReplicaCommand, ReplicaOutput};
 
@@ -37,489 +45,6 @@ pub const MAX_FRAME_BODY: usize = 16 << 20;
 /// [`Frame::Hello`], distinguishing the control connection from peer
 /// connections (which announce their replica index).
 pub const DRIVER: u32 = u32::MAX;
-
-/// Why a byte sequence failed to decode. Every malformed input maps to one
-/// of these — the decoding path has no panicking branch.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DecodeError {
-    /// The input ended before a field was complete.
-    Truncated {
-        /// Bytes the current field still needed.
-        needed: usize,
-        /// Bytes actually available.
-        available: usize,
-    },
-    /// The input continued past the end of a complete value.
-    TrailingBytes {
-        /// Unconsumed byte count.
-        remaining: usize,
-    },
-    /// An enum tag byte matched no variant.
-    BadTag {
-        /// Which enum was being decoded.
-        context: &'static str,
-        /// The offending tag byte.
-        tag: u8,
-    },
-    /// A length or count field was impossible: a list count larger than the
-    /// remaining bytes could hold, or a value overflowing `usize`.
-    BadLength {
-        /// Which field was being decoded.
-        context: &'static str,
-        /// The offending value.
-        value: u64,
-    },
-    /// A frame body length prefix exceeded [`MAX_FRAME_BODY`].
-    Oversized {
-        /// The declared body length.
-        declared: u64,
-    },
-    /// A structurally well-formed but non-canonical encoding: digest runs
-    /// out of order or non-maximal, duplicate graph nodes, duplicate digest
-    /// origins.
-    Invalid {
-        /// Which invariant was violated.
-        context: &'static str,
-    },
-}
-
-impl fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DecodeError::Truncated { needed, available } => {
-                write!(f, "truncated input: needed {needed} bytes, had {available}")
-            }
-            DecodeError::TrailingBytes { remaining } => {
-                write!(f, "{remaining} trailing bytes after a complete value")
-            }
-            DecodeError::BadTag { context, tag } => {
-                write!(f, "unknown tag {tag} for {context}")
-            }
-            DecodeError::BadLength { context, value } => {
-                write!(f, "impossible length {value} for {context}")
-            }
-            DecodeError::Oversized { declared } => {
-                write!(
-                    f,
-                    "frame body of {declared} bytes exceeds the {MAX_FRAME_BODY}-byte cap"
-                )
-            }
-            DecodeError::Invalid { context } => {
-                write!(f, "non-canonical encoding: {context}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
-
-/// A bounds-checked cursor over an input buffer. All reads narrow the
-/// remaining slice; none of them can panic.
-#[derive(Debug)]
-pub struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    /// Starts reading at the beginning of `buf`.
-    pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// Consumes exactly `n` bytes.
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if n > self.buf.len() {
-            return Err(DecodeError::Truncated {
-                needed: n,
-                available: self.buf.len(),
-            });
-        }
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
-        Ok(head)
-    }
-
-    fn be_uint(&mut self, width: usize) -> Result<u64, DecodeError> {
-        let bytes = self.take(width)?;
-        Ok(bytes.iter().fold(0u64, |acc, b| (acc << 8) | u64::from(*b)))
-    }
-
-    /// Consumes one byte.
-    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.be_uint(1)? as u8)
-    }
-
-    /// Consumes a big-endian u32.
-    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(self.be_uint(4)? as u32)
-    }
-
-    /// Consumes a big-endian u64.
-    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
-        self.be_uint(8)
-    }
-
-    /// Consumes a u32 length prefix followed by that many raw bytes.
-    pub fn read_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
-        let len = self.read_u32()? as usize;
-        self.take(len)
-    }
-
-    /// Consumes a u32 element count and validates it against the bytes
-    /// still present: each element needs at least `min_elem` bytes, so a
-    /// count the remaining input cannot possibly hold is rejected before
-    /// any allocation.
-    pub fn read_count(
-        &mut self,
-        min_elem: usize,
-        context: &'static str,
-    ) -> Result<usize, DecodeError> {
-        let count = self.read_u32()? as usize;
-        if count > self.remaining() / min_elem.max(1) {
-            return Err(DecodeError::BadLength {
-                context,
-                value: count as u64,
-            });
-        }
-        Ok(count)
-    }
-
-    /// Asserts that the input was consumed completely.
-    pub fn ensure_consumed(self) -> Result<(), DecodeError> {
-        if self.buf.is_empty() {
-            Ok(())
-        } else {
-            Err(DecodeError::TrailingBytes {
-                remaining: self.buf.len(),
-            })
-        }
-    }
-}
-
-fn push_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn push_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    push_u32(out, bytes.len() as u32);
-    out.extend_from_slice(bytes);
-}
-
-fn read_usize(r: &mut Reader<'_>, context: &'static str) -> Result<usize, DecodeError> {
-    let v = r.read_u64()?;
-    usize::try_from(v).map_err(|_| DecodeError::BadLength { context, value: v })
-}
-
-/// A value with a self-contained binary encoding on the socket engine's
-/// wire. Implementations come in matched pairs: `decode` accepts exactly
-/// the encodings `encode` produces (canonical round-trip), and rejects
-/// everything else with a typed [`DecodeError`].
-pub trait WireCodec: Sized {
-    /// Appends the canonical encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
-
-    /// Decodes one value, consuming exactly its encoding from the reader.
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
-}
-
-impl WireCodec for MsgId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        push_u32(out, self.origin.index() as u32);
-        push_u64(out, self.seq);
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let origin = ProcessId::new(r.read_u32()? as usize);
-        let seq = r.read_u64()?;
-        Ok(MsgId::new(origin, seq))
-    }
-}
-
-/// Encoded [`MsgId`] size — the `min_elem` bound for dependency lists.
-const MSG_ID_BYTES: usize = 12;
-/// Minimal encoded [`AppMessage`] size (id + empty payload + empty deps).
-const APP_MESSAGE_BYTES: usize = MSG_ID_BYTES + 4 + 4;
-
-impl WireCodec for AppMessage {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.id.encode(out);
-        push_bytes(out, self.payload.as_ref());
-        push_u32(out, self.deps.len() as u32);
-        for dep in &self.deps {
-            dep.encode(out);
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let id = MsgId::decode(r)?;
-        let payload: Payload = r.read_bytes()?.into();
-        let count = r.read_count(MSG_ID_BYTES, "dependency list")?;
-        let mut deps = Vec::with_capacity(count);
-        for _ in 0..count {
-            deps.push(MsgId::decode(r)?);
-        }
-        Ok(AppMessage { id, payload, deps })
-    }
-}
-
-fn encode_messages(out: &mut Vec<u8>, messages: &[AppMessage]) {
-    push_u32(out, messages.len() as u32);
-    for m in messages {
-        m.encode(out);
-    }
-}
-
-fn decode_messages(r: &mut Reader<'_>) -> Result<Vec<AppMessage>, DecodeError> {
-    let count = r.read_count(APP_MESSAGE_BYTES, "message list")?;
-    let mut messages = Vec::with_capacity(count);
-    for _ in 0..count {
-        messages.push(AppMessage::decode(r)?);
-    }
-    Ok(messages)
-}
-
-impl WireCodec for SeqRanges {
-    fn encode(&self, out: &mut Vec<u8>) {
-        push_u32(out, self.runs().len() as u32);
-        for &(lo, hi) in self.runs() {
-            push_u64(out, lo);
-            push_u64(out, hi);
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let count = r.read_count(16, "digest run list")?;
-        let mut runs = Vec::with_capacity(count);
-        for _ in 0..count {
-            let lo = r.read_u64()?;
-            let hi = r.read_u64()?;
-            runs.push((lo, hi));
-        }
-        SeqRanges::from_runs(runs).ok_or(DecodeError::Invalid {
-            context: "digest runs must be ascending and maximal",
-        })
-    }
-}
-
-impl WireCodec for VersionVector {
-    fn encode(&self, out: &mut Vec<u8>) {
-        push_u32(out, self.entries().count() as u32);
-        for (origin, ranges) in self.entries() {
-            push_u32(out, origin.index() as u32);
-            ranges.encode(out);
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        // origin id (4) + run count (4) + at least one run (16)
-        let count = r.read_count(24, "digest origin list")?;
-        let mut vector = VersionVector::new();
-        let mut prev: Option<usize> = None;
-        for _ in 0..count {
-            let origin = r.read_u32()? as usize;
-            if prev.is_some_and(|p| p >= origin) {
-                return Err(DecodeError::Invalid {
-                    context: "digest origins must be strictly ascending",
-                });
-            }
-            prev = Some(origin);
-            let ranges = SeqRanges::decode(r)?;
-            if ranges.is_empty() {
-                return Err(DecodeError::Invalid {
-                    context: "digest entries must be non-empty",
-                });
-            }
-            vector.insert_ranges(ProcessId::new(origin), &ranges);
-        }
-        Ok(vector)
-    }
-}
-
-impl WireCodec for CausalGraph {
-    // Only the node list crosses the wire: the causal edges are exactly
-    // `{(dep, id)}` over the nodes' declared dependencies and the digest is
-    // a pure function of the node identifiers, so the receiver rebuilds
-    // both — cheaper than shipping them, and impossible to desynchronize.
-    fn encode(&self, out: &mut Vec<u8>) {
-        push_u32(out, self.len() as u32);
-        for m in self.messages() {
-            m.encode(out);
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let count = r.read_count(APP_MESSAGE_BYTES, "graph node list")?;
-        let mut graph = CausalGraph::new();
-        for _ in 0..count {
-            let message = AppMessage::decode(r)?;
-            if !graph.update(message) {
-                return Err(DecodeError::Invalid {
-                    context: "duplicate graph node",
-                });
-            }
-        }
-        Ok(graph)
-    }
-}
-
-impl WireCodec for EtobMsg {
-    fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            EtobMsg::Update(graph) => {
-                out.push(0);
-                graph.encode(out);
-            }
-            EtobMsg::Delta { nodes, frontier } => {
-                out.push(1);
-                encode_messages(out, nodes);
-                frontier.encode(out);
-            }
-            EtobMsg::SyncRequest { digest } => {
-                out.push(2);
-                digest.encode(out);
-            }
-            EtobMsg::Promote(sequence) => {
-                out.push(3);
-                encode_messages(out, sequence);
-            }
-            EtobMsg::PromoteDelta {
-                base,
-                prefix_hash,
-                suffix,
-            } => {
-                out.push(4);
-                push_u64(out, *base as u64);
-                push_u64(out, *prefix_hash);
-                encode_messages(out, suffix);
-            }
-            EtobMsg::PromoteRequest => out.push(5),
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        match r.read_u8()? {
-            0 => Ok(EtobMsg::Update(CausalGraph::decode(r)?)),
-            1 => Ok(EtobMsg::Delta {
-                nodes: decode_messages(r)?,
-                frontier: VersionVector::decode(r)?,
-            }),
-            2 => Ok(EtobMsg::SyncRequest {
-                digest: VersionVector::decode(r)?,
-            }),
-            3 => Ok(EtobMsg::Promote(decode_messages(r)?)),
-            4 => Ok(EtobMsg::PromoteDelta {
-                base: read_usize(r, "promote base")?,
-                prefix_hash: r.read_u64()?,
-                suffix: decode_messages(r)?,
-            }),
-            5 => Ok(EtobMsg::PromoteRequest),
-            tag => Err(DecodeError::BadTag {
-                context: "EtobMsg",
-                tag,
-            }),
-        }
-    }
-}
-
-impl WireCodec for TobMsg {
-    fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            TobMsg::Forward(message) => {
-                out.push(0);
-                message.encode(out);
-            }
-            TobMsg::Accept { slot, message } => {
-                out.push(1);
-                push_u64(out, *slot);
-                message.encode(out);
-            }
-            TobMsg::Ack { slot, id } => {
-                out.push(2);
-                push_u64(out, *slot);
-                id.encode(out);
-            }
-            TobMsg::Heads {
-                next_slot,
-                delivered,
-            } => {
-                out.push(3);
-                push_u64(out, *next_slot);
-                push_u64(out, *delivered);
-            }
-            TobMsg::SyncRequest { have } => {
-                out.push(4);
-                push_u64(out, *have);
-            }
-            TobMsg::SyncReply {
-                have,
-                next_deliver_slot,
-                suffix,
-            } => {
-                out.push(5);
-                push_u64(out, *have);
-                push_u64(out, *next_deliver_slot);
-                encode_messages(out, suffix);
-            }
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        match r.read_u8()? {
-            0 => Ok(TobMsg::Forward(AppMessage::decode(r)?)),
-            1 => Ok(TobMsg::Accept {
-                slot: r.read_u64()?,
-                message: AppMessage::decode(r)?,
-            }),
-            2 => Ok(TobMsg::Ack {
-                slot: r.read_u64()?,
-                id: MsgId::decode(r)?,
-            }),
-            3 => Ok(TobMsg::Heads {
-                next_slot: r.read_u64()?,
-                delivered: r.read_u64()?,
-            }),
-            4 => Ok(TobMsg::SyncRequest {
-                have: r.read_u64()?,
-            }),
-            5 => Ok(TobMsg::SyncReply {
-                have: r.read_u64()?,
-                next_deliver_slot: r.read_u64()?,
-                suffix: decode_messages(r)?,
-            }),
-            tag => Err(DecodeError::BadTag {
-                context: "TobMsg",
-                tag,
-            }),
-        }
-    }
-}
-
-impl WireCodec for HeartbeatMsg {
-    fn encode(&self, out: &mut Vec<u8>) {
-        match self {
-            HeartbeatMsg::Heartbeat => out.push(0),
-        }
-    }
-
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        match r.read_u8()? {
-            0 => Ok(HeartbeatMsg::Heartbeat),
-            tag => Err(DecodeError::BadTag {
-                context: "HeartbeatMsg",
-                tag,
-            }),
-        }
-    }
-}
 
 impl WireCodec for ReplicaCommand {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -573,7 +98,8 @@ impl WireCodec for ReplicaOutput {
 }
 
 /// One frame body of the socket engine, generic over the broadcast-layer
-/// message type `M` ([`EtobMsg`] or [`TobMsg`]). Peer connections carry
+/// message type `M` ([`ec_core::EtobMsg`] or [`ec_core::TobMsg`]). Peer
+/// connections carry
 /// `App` and `Heartbeat`; the driver's control connection carries `Input`,
 /// `Crash` and `Shutdown` inbound and `Output` plus a final `Shutdown`
 /// goodbye outbound. Every connection opens with a `Hello`.
@@ -704,6 +230,10 @@ pub fn hello_body(from: u32) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ec_core::etob_omega::{CausalGraph, EtobMsg};
+    use ec_core::types::AppMessage;
+    use ec_core::version::VersionVector;
+    use std::fmt;
 
     fn id(p: usize, seq: u64) -> MsgId {
         MsgId::new(ProcessId::new(p), seq)

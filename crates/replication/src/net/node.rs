@@ -30,7 +30,7 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use ec_core::types::EventualTotalOrderBroadcast;
+use ec_core::types::{Compactable, EventualTotalOrderBroadcast};
 use ec_detectors::{HeartbeatMsg, HeartbeatOmega};
 use ec_runtime::{run_handler, sleep_ms, RuntimeConfig, Stopwatch};
 use ec_sim::{Actions, Algorithm, Metrics, ProcessId};
@@ -128,7 +128,7 @@ struct NodeSlot<M> {
 pub(crate) struct NetFinal<S, B>
 where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast,
+    B: EventualTotalOrderBroadcast + Compactable,
 {
     /// Final replica of each node's last incarnation (crashed incarnations
     /// are overwritten by their restart).
@@ -147,7 +147,7 @@ where
 pub(crate) struct NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     n: usize,
@@ -167,7 +167,7 @@ where
 impl<S, B> std::fmt::Debug for NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -181,7 +181,7 @@ where
 impl<S, B> NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     /// Binds one loopback listener per node, starts the acceptor, node and
@@ -628,7 +628,7 @@ fn dispatch_replica<S, B>(
     control: &ControlSlot,
 ) where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast,
+    B: EventualTotalOrderBroadcast + Compactable,
     B::Msg: WireCodec,
 {
     let sent = actions.sends.len();
@@ -671,7 +671,7 @@ fn node_loop<S, B>(
 ) -> Replica<S, B>
 where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast,
+    B: EventualTotalOrderBroadcast + Compactable,
     B::Msg: WireCodec,
 {
     let mut omega = HeartbeatOmega::new(me, n, config.heartbeat);

@@ -4,10 +4,12 @@
 use std::fmt;
 
 use ec_core::types::{
-    AppMessage, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId, Payload,
+    AppMessage, Compactable, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId,
+    Payload,
 };
 use ec_sim::{Algorithm, Context, ProcessId};
 
+use crate::durable::{DurableOptions, DurableStore};
 use crate::state_machine::StateMachine;
 
 /// A client command submitted to a replica.
@@ -101,15 +103,43 @@ pub struct ReplicaOutput {
 /// delivered sequence whenever it changes, so divergence and convergence of
 /// the broadcast layer translate directly into divergence and convergence of
 /// replica snapshots.
-pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast> {
+///
+/// ## Stable-prefix folding
+///
+/// When the broadcast layer compacts ([`Compactable::stable_base`] grows),
+/// its delivered outputs shrink to the resident tail. The replica mirrors
+/// the fold: the folded prefix's effect is absorbed into `base_state` (the
+/// state machine at absolute index `base_applied`) and only the tail is
+/// replayed on top, so replica memory tracks the broadcast layer's instead
+/// of the full history. With compaction off, `base_applied` stays 0 and
+/// this is exactly the classic full replay.
+///
+/// ## Durability
+///
+/// [`Replica::durable`] attaches a [`DurableStore`]: every delivered-tail
+/// change is mirrored into the record log, periodic checkpoints snapshot
+/// `base_state`, and on (re)start the replica recovers from disk and primes
+/// the broadcast layer ([`Compactable::prime_recovery`]) so anti-entropy
+/// only fetches the suffix missed while down. Recovery is **lazy** —
+/// nothing touches the disk until `on_start` runs — so a pre-built spare
+/// automaton recovers the state of the instance it replaces.
+pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> {
     broadcast: B,
     state: S,
     applied: usize,
     next_seq: u64,
     last_output: Option<ReplicaOutput>,
+    /// State machine with exactly the folded prefix applied.
+    base_state: S,
+    /// Absolute length of the folded prefix baked into `base_state`.
+    base_applied: usize,
+    /// Resident delivered tail (the broadcast layer's last output).
+    tail: Vec<AppMessage>,
+    durable_options: Option<DurableOptions>,
+    durable: Option<DurableStore>,
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Replica<S, B> {
     /// Wraps a broadcast layer.
     ///
     /// # Example
@@ -135,7 +165,22 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
             applied: 0,
             next_seq: 0,
             last_output: None,
+            base_state: S::default(),
+            base_applied: 0,
+            tail: Vec::new(),
+            durable_options: None,
+            durable: None,
         }
+    }
+
+    /// Wraps a broadcast layer with durability: delivered state persists
+    /// under `options.dir` and is recovered (lazily, at `on_start`) after a
+    /// crash. Persistence is best-effort — an I/O failure degrades to the
+    /// in-memory behavior of [`Replica::new`], never to a panic.
+    pub fn durable(broadcast: B, options: DurableOptions) -> Self {
+        let mut replica = Replica::new(broadcast);
+        replica.durable_options = Some(options);
+        replica
     }
 
     /// The current state machine.
@@ -153,6 +198,16 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
         &self.broadcast
     }
 
+    /// Absolute length of the folded prefix baked into the base state.
+    pub fn base_applied(&self) -> usize {
+        self.base_applied
+    }
+
+    /// The attached durable store, once `on_start` has opened it.
+    pub fn durable_store(&self) -> Option<&DurableStore> {
+        self.durable.as_ref()
+    }
+
     fn relay(
         &mut self,
         actions: ec_sim::Actions<B>,
@@ -166,10 +221,15 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
         actions.outputs
     }
 
-    fn rebuild(&mut self, sequence: &[AppMessage], ctx: &mut Context<'_, Self>) {
-        let state = S::replay(sequence.iter().map(|m| m.payload.as_ref()));
+    /// Recomputes `state` as `base_state` plus the resident tail and emits
+    /// an output if the visible state changed.
+    fn rebuild(&mut self, ctx: &mut Context<'_, Self>) {
+        let mut state = self.base_state.clone();
+        for m in &self.tail {
+            state.apply(m.payload.as_ref());
+        }
         self.state = state;
-        self.applied = sequence.len();
+        self.applied = self.base_applied + self.tail.len();
         let output = ReplicaOutput {
             applied: self.applied,
             snapshot: self.state.snapshot(),
@@ -178,6 +238,95 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
             self.last_output = Some(output.clone());
             ctx.output(output);
         }
+    }
+
+    /// Absorbs a broadcast-layer fold into the base state: the broadcast
+    /// only folds a globally stable prefix, so the tail entries below the
+    /// new stable base are final and can be applied permanently.
+    ///
+    /// Runs *before* any new tail is adopted: the stored tail always starts
+    /// at `base_applied`, and the broadcast layer never folds and emits a
+    /// delivered output in the same activation (folds happen on the promote
+    /// timer, outputs on message receipt), so draining the prefix from the
+    /// old tail is correct in every interleaving.
+    fn reconcile_fold(&mut self) {
+        let stable = usize::try_from(self.broadcast.stable_base()).unwrap_or(usize::MAX);
+        if stable <= self.base_applied {
+            return;
+        }
+        let drain = (stable - self.base_applied).min(self.tail.len());
+        for m in self.tail.drain(..drain) {
+            self.base_state.apply(m.payload.as_ref());
+        }
+        self.base_applied += drain;
+    }
+
+    /// Mirrors the current tail into the durable store and checkpoints when
+    /// due. A no-op without a store or when nothing changed.
+    fn persist(&mut self) {
+        if self.durable.is_none() {
+            return;
+        }
+        let base = self.base_applied as u64;
+        let hash = self.broadcast.stable_hash();
+        if let Some(store) = self.durable.as_mut() {
+            store.record_tail(base, hash, &self.tail);
+        }
+        if self
+            .durable
+            .as_ref()
+            .is_some_and(DurableStore::checkpoint_due)
+        {
+            let frontier = self.broadcast.stable_frontier();
+            let state = self.base_state.snapshot();
+            let own_seq = self.next_seq;
+            if let Some(store) = self.durable.as_mut() {
+                store.checkpoint(base, hash, &frontier, &state, &self.tail, own_seq);
+            }
+        }
+    }
+
+    /// Opens the durable store and, when the directory holds state, primes
+    /// the broadcast layer and rebuilds from the checkpoint + logged tail.
+    /// Failures at any stage degrade to a blank start (anti-entropy then
+    /// refetches everything) — recovery never panics and never merges.
+    fn recover(&mut self, ctx: &mut Context<'_, Self>) {
+        let Some(options) = self.durable_options.as_ref() else {
+            return;
+        };
+        let Ok((store, recovered)) = DurableStore::open(options) else {
+            return;
+        };
+        self.durable = Some(store);
+        let Some(rec) = recovered else {
+            return;
+        };
+        // Never reuse a locally assigned sequence number from the previous
+        // incarnation, even when the rest of the recovery is not adopted.
+        self.next_seq = self.next_seq.max(rec.own_seq);
+        for m in &rec.tail {
+            if m.id.origin == ctx.me() {
+                self.next_seq = self.next_seq.max(m.id.seq);
+            }
+        }
+        let base_state = if rec.base == 0 {
+            Some(S::default())
+        } else {
+            S::from_snapshot(&rec.state)
+        };
+        let Some(base_state) = base_state else {
+            return;
+        };
+        if !self
+            .broadcast
+            .prime_recovery(rec.base, rec.hash, rec.frontier, rec.tail.clone())
+        {
+            return;
+        }
+        self.base_state = base_state;
+        self.base_applied = usize::try_from(rec.base).unwrap_or(0);
+        self.tail = rec.tail;
+        self.rebuild(ctx);
     }
 
     fn drive<F>(&mut self, ctx: &mut Context<'_, Self>, f: F)
@@ -191,30 +340,36 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Replica<S, B> {
             f(&mut self.broadcast, &mut ictx);
         }
         let deliveries = self.relay(actions, ctx);
+        self.reconcile_fold();
         if let Some(last) = deliveries.last() {
-            let last = last.clone();
-            self.rebuild(&last, ctx);
+            self.tail = last.clone();
+            self.rebuild(ctx);
         }
+        self.persist();
     }
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast + fmt::Debug> fmt::Debug for Replica<S, B> {
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + fmt::Debug> fmt::Debug
+    for Replica<S, B>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Replica")
             .field("applied", &self.applied)
+            .field("base_applied", &self.base_applied)
             .field("state", &self.state)
             .field("broadcast", &self.broadcast)
             .finish()
     }
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast> Algorithm for Replica<S, B> {
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Algorithm for Replica<S, B> {
     type Msg = B::Msg;
     type Input = ReplicaCommand;
     type Output = ReplicaOutput;
     type Fd = B::Fd;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        self.recover(ctx);
         self.drive(ctx, |b, ictx| b.on_start(ictx));
         ctx.set_timer(3);
     }
@@ -232,6 +387,13 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast> Algorithm for Replica<S, B
                 MsgId::new(ctx.me(), self.next_seq)
             }
         };
+        // Persist the high-water mark *before* the command enters the
+        // broadcast layer: a crash right after the send must not lead the
+        // next incarnation to reuse this identifier.
+        let next_seq = self.next_seq;
+        if let Some(store) = self.durable.as_mut() {
+            store.record_own_seq(next_seq);
+        }
         let message = AppMessage::with_deps(id, input.command, input.deps);
         self.drive(ctx, |b, ictx| b.on_input(EtobBroadcast { message }, ictx));
     }

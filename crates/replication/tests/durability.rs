@@ -1,0 +1,170 @@
+//! Durable recovery on the socket engine: a `NetEngine` node is killed and
+//! restarted behind the same address with `ClusterBuilder::durable(dir)`,
+//! and must converge **byte-identically** to a never-crashed control
+//! cluster running the same workload — recovering its pre-crash state from
+//! the record log + snapshot store and using anti-entropy only for the
+//! suffix it missed while down.
+//!
+//! The compaction variant is the sharp end: with stable-prefix compaction
+//! enabled, the surviving peers may have folded the prefix out of resident
+//! state, so a blank-slate restart could never be healed by anti-entropy —
+//! only disk recovery can seat the restarted node back into the group.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ec_core::etob_omega::EtobConfig;
+use ec_replication::{Cluster, ClusterBuilder, KvStore, NetEngine, StateMachine};
+use ec_sim::ProcessId;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ec-durability-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Phase 1 of the shared workload: six puts spread over two sessions.
+fn phase_one(cluster: &mut Cluster<KvStore>) {
+    let mut a = cluster.session();
+    let mut b = cluster.session();
+    for k in 0..3u64 {
+        cluster.submit(&mut a, KvStore::put(&format!("a{k}"), &format!("v{k}")), 5);
+        cluster.submit(&mut b, KvStore::put(&format!("b{k}"), &format!("w{k}")), 5);
+    }
+}
+
+/// Phase 2: four more puts, entering through replica 0 (which is alive in
+/// both runs — in the crash run, replica 2 is down at this point).
+fn phase_two(cluster: &mut Cluster<KvStore>) {
+    let mut s = cluster.session_at(ProcessId::new(0));
+    for k in 0..4u64 {
+        cluster.submit(&mut s, KvStore::put(&format!("late{k}"), "z"), 5);
+    }
+}
+
+const TOTAL_OPS: usize = 10;
+const MAX_T: u64 = 30_000;
+
+/// Runs the workload with a crash + durable restart of replica 2 between
+/// the phases, and returns the byte-identical converged snapshot.
+fn crash_run(etob: EtobConfig, dir: PathBuf) -> Vec<u8> {
+    let mut cluster: Cluster<KvStore> = ClusterBuilder::new(3)
+        .etob(etob)
+        .durable(&dir)
+        .deploy(&NetEngine::default());
+    phase_one(&mut cluster);
+    assert!(
+        cluster.run_until_applied(6, MAX_T),
+        "phase one did not converge"
+    );
+
+    let victim = ProcessId::new(2);
+    assert!(cluster.crash(victim), "net engine supports crashes");
+    // the victim's durable directory must hold a non-trivial record log
+    let log = dir.join("2").join("replica.eclog");
+    let log_len = std::fs::metadata(&log).expect("victim log exists").len();
+    assert!(log_len > 8, "victim logged its delivered state: {log_len}");
+
+    phase_two(&mut cluster);
+    assert!(
+        cluster.run_until_applied(TOTAL_OPS, MAX_T),
+        "survivors did not converge while the victim was down"
+    );
+
+    assert!(cluster.restart(victim), "victim restarts");
+    assert!(
+        cluster.run_until_applied(TOTAL_OPS, MAX_T),
+        "restarted replica did not catch up"
+    );
+
+    let report = cluster.finish();
+    assert_eq!(report.shards[0].applied, vec![TOTAL_OPS; 3]);
+    assert!(
+        report.shards[0].snapshots_agree(),
+        "snapshots diverged after durable recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    report.shards[0].snapshots[0].clone()
+}
+
+/// The never-crashed control: same workload, no durability, no faults.
+fn control_run(etob: EtobConfig) -> Vec<u8> {
+    let mut cluster: Cluster<KvStore> = ClusterBuilder::new(3)
+        .etob(etob)
+        .deploy(&NetEngine::default());
+    phase_one(&mut cluster);
+    assert!(cluster.run_until_applied(6, MAX_T), "control phase one");
+    phase_two(&mut cluster);
+    assert!(
+        cluster.run_until_applied(TOTAL_OPS, MAX_T),
+        "control phase two"
+    );
+    let report = cluster.finish();
+    assert!(report.shards[0].snapshots_agree());
+    report.shards[0].snapshots[0].clone()
+}
+
+/// The expected state is also computable directly — both runs must land on
+/// exactly these bytes, so "byte-identical" is anchored to ground truth,
+/// not merely to each other.
+fn expected_snapshot() -> Vec<u8> {
+    let mut state = KvStore::default();
+    for k in 0..3u64 {
+        state.apply(&KvStore::put(&format!("a{k}"), &format!("v{k}")));
+        state.apply(&KvStore::put(&format!("b{k}"), &format!("w{k}")));
+    }
+    for k in 0..4u64 {
+        state.apply(&KvStore::put(&format!("late{k}"), "z"));
+    }
+    state.snapshot()
+}
+
+#[test]
+fn net_restart_with_durable_dir_matches_never_crashed_control() {
+    let etob = EtobConfig::default();
+    let crashed = crash_run(etob, unique_dir("plain"));
+    let control = control_run(etob);
+    assert_eq!(
+        crashed, control,
+        "durable restart must be byte-identical to the control"
+    );
+    assert_eq!(crashed, expected_snapshot());
+}
+
+#[test]
+fn net_restart_recovers_under_stable_prefix_compaction() {
+    // Aggressive folding: every 2 delivered entries are eligible, so by the
+    // time the victim restarts the survivors have folded most of the
+    // history out of resident state — the restarted node *must* come back
+    // from disk to rejoin.
+    let etob = EtobConfig::default().with_compaction(2);
+    let crashed = crash_run(etob, unique_dir("compacted"));
+    let control = control_run(etob);
+    assert_eq!(
+        crashed, control,
+        "durable restart under compaction must match the control"
+    );
+    assert_eq!(crashed, expected_snapshot());
+}
+
+#[test]
+fn durable_dirs_are_created_per_replica_and_survive_finish() {
+    let dir = unique_dir("layout");
+    let mut cluster: Cluster<KvStore> = ClusterBuilder::new(2)
+        .durable(&dir)
+        .deploy(&NetEngine::default());
+    let mut s = cluster.session();
+    cluster.submit(&mut s, KvStore::put("k", "v"), 5);
+    assert!(cluster.run_until_applied(1, MAX_T));
+    let report = cluster.finish();
+    assert!(report.shards[0].snapshots_agree());
+    for replica in 0..2 {
+        let log = dir.join(replica.to_string()).join("replica.eclog");
+        assert!(log.is_file(), "replica {replica} has a record log");
+        assert!(
+            dir.join(replica.to_string()).join("snapshots").is_dir(),
+            "replica {replica} has a snapshot directory"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

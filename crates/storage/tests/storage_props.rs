@@ -1,0 +1,384 @@
+//! Property-based and adversarial tests of the durability codecs.
+//!
+//! Three families:
+//!
+//! 1. **Round-trips** — arbitrary record bodies and snapshot bodies survive
+//!    a write → reopen cycle bit-for-bit.
+//! 2. **Totality** — the log scanner and snapshot decoder accept *arbitrary*
+//!    bytes without panicking, and every malformed shape in a hand-built
+//!    adversarial corpus maps to a typed error.
+//! 3. **Kill-mid-write** — a log file cut at *every* byte offset, or hit by
+//!    a single flipped bit, reopens to an intact prefix of the original
+//!    records (never a panic, never silent corruption past the damage).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ec_storage::codec::push_u32;
+use ec_storage::log::{encode_record, scan_records, TailState, LOG_MAGIC};
+use ec_storage::snapshot::{decode_snapshot, SNAPSHOT_MAGIC};
+use ec_storage::{crc32, DecodeError, RecordLog, SnapshotStore, MAX_RECORD_BODY};
+use proptest::prelude::*;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ec-storage-props-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Builds a complete log file image (magic + records) in memory.
+fn log_image(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let mut image = Vec::from(LOG_MAGIC);
+    for body in bodies {
+        encode_record(body, &mut image);
+    }
+    image
+}
+
+/// Builds a complete snapshot file image in memory.
+fn snapshot_image(id: u64, body: &[u8]) -> Vec<u8> {
+    let mut image = Vec::from(SNAPSHOT_MAGIC);
+    image.extend_from_slice(&id.to_be_bytes());
+    image.extend_from_slice(&crc32(body).to_be_bytes());
+    image.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    image.extend_from_slice(body);
+    image
+}
+
+fn arb_bodies() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8)
+}
+
+proptest! {
+    /// Append → reopen round-trips arbitrary bodies bit-for-bit.
+    #[test]
+    fn log_roundtrips_arbitrary_bodies(bodies in arb_bodies()) {
+        let path = tmp_path("roundtrip");
+        let (mut log, rec) = RecordLog::open(&path).expect("open");
+        prop_assert!(rec.records.is_empty());
+        for body in &bodies {
+            log.append(body).expect("append");
+        }
+        log.sync().expect("sync");
+        drop(log);
+        let (_, rec) = RecordLog::open(&path).expect("reopen");
+        prop_assert_eq!(rec.records, bodies);
+        prop_assert_eq!(rec.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `RecordLog::rewrite` round-trips too, and composes with appends.
+    #[test]
+    fn log_rewrite_roundtrips(bodies in arb_bodies(), extra in prop::collection::vec(any::<u8>(), 0..32)) {
+        let path = tmp_path("rewrite");
+        let refs: Vec<&[u8]> = bodies.iter().map(Vec::as_slice).collect();
+        let mut log = RecordLog::rewrite(&path, refs).expect("rewrite");
+        log.append(&extra).expect("append");
+        drop(log);
+        let (_, rec) = RecordLog::open(&path).expect("reopen");
+        let mut expected = bodies.clone();
+        expected.push(extra);
+        prop_assert_eq!(rec.records, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The scanner is total over arbitrary byte soup, and what it accepts
+    /// re-encodes to exactly the bytes it claimed were valid.
+    #[test]
+    fn scan_is_total_and_faithful(region in prop::collection::vec(any::<u8>(), 0..256)) {
+        let scan = scan_records(&region);
+        prop_assert!(scan.valid_len <= region.len());
+        let mut reencoded = Vec::new();
+        for body in &scan.records {
+            encode_record(body, &mut reencoded);
+        }
+        prop_assert_eq!(&reencoded[..], &region[..scan.valid_len]);
+        if scan.tail == TailState::Clean {
+            prop_assert_eq!(scan.valid_len, region.len());
+        }
+    }
+
+    /// Kill-mid-write: a log cut at an arbitrary byte offset reopens to a
+    /// prefix of the original records and stays appendable.
+    #[test]
+    fn log_cut_anywhere_recovers_a_prefix(bodies in arb_bodies(), cut_seed in any::<usize>()) {
+        let image = log_image(&bodies);
+        let cut = cut_seed % (image.len() + 1);
+        let path = tmp_path("cut");
+        std::fs::write(&path, &image[..cut]).expect("write torn file");
+        let (mut log, rec) = RecordLog::open(&path).expect("recover");
+        prop_assert!(rec.records.len() <= bodies.len());
+        prop_assert_eq!(&rec.records[..], &bodies[..rec.records.len()]);
+        log.append(b"post-recovery").expect("append");
+        drop(log);
+        let (_, rec) = RecordLog::open(&path).expect("reopen");
+        prop_assert_eq!(rec.records.last().map(Vec::as_slice), Some(&b"post-recovery"[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A single flipped bit anywhere after the magic never panics the
+    /// scanner and never corrupts a record silently: every recovered record
+    /// is byte-identical to an original one at the same position.
+    #[test]
+    fn log_bit_flip_is_detected(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+        byte_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut image = log_image(&bodies);
+        // at least one record frame, so the region is at least 8 bytes
+        let region_len = image.len() - LOG_MAGIC.len();
+        let target = LOG_MAGIC.len() + byte_seed % region_len;
+        image[target] ^= 1 << bit;
+        let scan = scan_records(&image[LOG_MAGIC.len()..]);
+        prop_assert!(scan.records.len() <= bodies.len());
+        for (got, want) in scan.records.iter().zip(bodies.iter()) {
+            // a flip in record k's frame can only truncate at k, so every
+            // *returned* record must match its original exactly — unless the
+            // flip landed in a length prefix and resynthesized a frame whose
+            // CRC happens to match, which CRC-32 makes vanishingly unlikely
+            // for these sizes and is impossible for a body flip.
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(matches!(scan.tail, TailState::Torn(_)) || scan.records.len() == bodies.len());
+    }
+
+    /// Snapshot publish → latest round-trips arbitrary bodies, and the
+    /// newest intact snapshot always wins.
+    #[test]
+    fn snapshot_roundtrips_arbitrary_bodies(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..4),
+    ) {
+        let dir = tmp_path("snap-rt");
+        let mut store = SnapshotStore::open(&dir, bodies.len()).expect("open");
+        for (k, body) in bodies.iter().enumerate() {
+            store.publish(k as u64 + 1, body).expect("publish");
+        }
+        let latest = store.latest().expect("latest").expect("some");
+        prop_assert_eq!(latest.id, bodies.len() as u64);
+        prop_assert_eq!(&latest.body, bodies.last().expect("nonempty"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The snapshot decoder is total over arbitrary byte soup.
+    #[test]
+    fn snapshot_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        // typed rejection is the expected outcome for almost all inputs; a
+        // successful decode must be faithful to the bytes
+        if let Ok(snapshot) = decode_snapshot(&bytes) {
+            prop_assert_eq!(snapshot_image(snapshot.id, &snapshot.body), bytes);
+        }
+    }
+
+    /// A snapshot file cut at an arbitrary offset or with one flipped bit
+    /// is rejected (or, for a flip in the id field only, decodes to a
+    /// different id) — `latest()` then falls back to the previous snapshot.
+    #[test]
+    fn snapshot_damage_falls_back_to_older(
+        body in prop::collection::vec(any::<u8>(), 1..64),
+        damage in any::<usize>(),
+        flip in any::<bool>(),
+    ) {
+        let dir = tmp_path("snap-dmg");
+        let mut store = SnapshotStore::open(&dir, 4).expect("open");
+        store.publish(1, b"good-old").expect("publish old");
+        store.publish(2, &body).expect("publish new");
+        let victim = dir.join("snap-00000000000000000002.ecsnap");
+        let mut bytes = std::fs::read(&victim).expect("read");
+        let at = damage % bytes.len();
+        if flip {
+            bytes[at] ^= 0x40;
+        } else {
+            bytes.truncate(at);
+        }
+        std::fs::write(&victim, &bytes).expect("write damage");
+        let latest = store.latest().expect("latest").expect("some");
+        // either the damage was caught (fall back to id 1), or the file
+        // still decodes as id 2 with an unharmed body (flip landed in bytes
+        // compensated elsewhere is impossible: CRC covers the body, the id
+        // is checked against the file name, so only an undamaged read wins)
+        if latest.id == 2 {
+            prop_assert_eq!(&latest.body, &body);
+        } else {
+            prop_assert_eq!(latest.id, 1);
+            prop_assert_eq!(&latest.body[..], &b"good-old"[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Exhaustive (not sampled) kill-mid-write: a three-record log cut at
+/// *every* byte offset recovers the longest intact record prefix.
+#[test]
+fn log_cut_at_every_offset_is_exact() {
+    let bodies = vec![b"alpha".to_vec(), Vec::new(), b"gamma-longer".to_vec()];
+    let image = log_image(&bodies);
+    // record boundaries, in bytes from the start of the file
+    let mut boundaries = vec![LOG_MAGIC.len()];
+    for body in &bodies {
+        boundaries.push(boundaries.last().expect("nonempty") + 8 + body.len());
+    }
+    for cut in 0..=image.len() {
+        let path = tmp_path("exhaustive");
+        std::fs::write(&path, &image[..cut]).expect("write");
+        let (_, rec) = RecordLog::open(&path).expect("recover");
+        // a cut inside the magic recovers to an empty log (the preamble is
+        // rewritten), so saturate at the first boundary
+        let expected = boundaries
+            .iter()
+            .filter(|b| **b <= cut)
+            .count()
+            .saturating_sub(1);
+        assert_eq!(rec.records.len(), expected, "cut at {cut}");
+        assert_eq!(&rec.records[..], &bodies[..expected], "cut at {cut}");
+        // the file was truncated back to the last intact boundary
+        let kept = std::fs::metadata(&path).expect("meta").len() as usize;
+        assert_eq!(kept, boundaries[expected], "cut at {cut}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Hand-built adversarial corpus: every malformed log region maps to a
+/// typed torn-tail, never a panic and never a bogus record.
+#[test]
+fn log_adversarial_corpus() {
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("half a length prefix", vec![0x00, 0x00]),
+        ("length with no crc", {
+            let mut v = Vec::new();
+            push_u32(&mut v, 5);
+            v
+        }),
+        ("oversized declared length", {
+            let mut v = Vec::new();
+            push_u32(&mut v, (MAX_RECORD_BODY + 1) as u32);
+            push_u32(&mut v, 0);
+            v
+        }),
+        ("u32::MAX declared length", {
+            let mut v = Vec::new();
+            push_u32(&mut v, u32::MAX);
+            push_u32(&mut v, 0);
+            v.extend_from_slice(&[0xAB; 64]);
+            v
+        }),
+        ("crc over wrong body", {
+            let mut v = Vec::new();
+            push_u32(&mut v, 3);
+            push_u32(&mut v, crc32(b"abc"));
+            v.extend_from_slice(b"abd");
+            v
+        }),
+        ("valid record then garbage", {
+            let mut v = Vec::new();
+            encode_record(b"ok", &mut v);
+            v.extend_from_slice(&[0xFF; 3]);
+            v
+        }),
+    ];
+    for (name, region) in cases {
+        let scan = scan_records(&region);
+        assert!(
+            matches!(scan.tail, TailState::Torn(_)),
+            "{name}: expected torn tail, got {:?}",
+            scan.tail
+        );
+        if name == "valid record then garbage" {
+            assert_eq!(scan.records, vec![b"ok".to_vec()], "{name}");
+        } else {
+            assert!(scan.records.is_empty(), "{name}: {:?}", scan.records);
+        }
+    }
+}
+
+/// Hand-built adversarial corpus for the snapshot decoder.
+#[test]
+fn snapshot_adversarial_corpus() {
+    let good = snapshot_image(42, b"payload");
+    assert!(decode_snapshot(&good).is_ok());
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty", Vec::new()),
+        ("magic only", SNAPSHOT_MAGIC.to_vec()),
+        ("wrong magic", {
+            let mut v = good.clone();
+            v[2] ^= 0xFF;
+            v
+        }),
+        ("oversized declared body", {
+            let mut v = Vec::from(SNAPSHOT_MAGIC);
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&0u32.to_be_bytes());
+            v.extend_from_slice(&u32::MAX.to_be_bytes());
+            v
+        }),
+        ("declared longer than present", {
+            let mut v = Vec::from(SNAPSHOT_MAGIC);
+            v.extend_from_slice(&1u64.to_be_bytes());
+            v.extend_from_slice(&crc32(b"xy").to_be_bytes());
+            v.extend_from_slice(&3u32.to_be_bytes());
+            v.extend_from_slice(b"xy");
+            v
+        }),
+        ("trailing bytes", {
+            let mut v = good.clone();
+            v.push(0);
+            v
+        }),
+        ("crc mismatch", {
+            let mut v = good.clone();
+            let last = v.len() - 1;
+            v[last] ^= 0x01;
+            v
+        }),
+    ];
+    for (name, bytes) in cases {
+        assert!(decode_snapshot(&bytes).is_err(), "{name} must be rejected");
+    }
+}
+
+/// A torn `.tmp` from a crashed publish plus a valid older snapshot: the
+/// store ignores the temp file and serves the older snapshot; the next
+/// publish can reuse the interrupted id.
+#[test]
+fn snapshot_kill_mid_publish_recovers() {
+    let dir = tmp_path("snap-kill");
+    let mut store = SnapshotStore::open(&dir, 3).expect("open");
+    store.publish(1, b"committed").expect("publish");
+    // a crash mid-publish leaves a half-written temp file behind
+    let torn = snapshot_image(2, b"never-made-it");
+    std::fs::write(
+        dir.join("snap-00000000000000000002.tmp"),
+        &torn[..torn.len() / 2],
+    )
+    .expect("write torn tmp");
+    let latest = store.latest().expect("latest").expect("some");
+    assert_eq!(latest.id, 1);
+    assert_eq!(latest.body, b"committed".to_vec());
+    // id 2 never reached the namespace, so publishing it again is legal
+    store.publish(2, b"second-try").expect("republish");
+    assert_eq!(store.latest().expect("latest").expect("some").id, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// CRC-32 sanity anchors: known vectors plus the incremental property the
+/// log relies on (crc of a body is order- and length-sensitive).
+#[test]
+fn crc_known_vectors() {
+    assert_eq!(crc32(b""), 0);
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    assert_ne!(crc32(b"a"), crc32(b"a\0"));
+}
+
+/// `DecodeError` is `Eq` + `Display` and its shapes are stable — the
+/// recovery paths in `ec-replication` match on them.
+#[test]
+fn decode_error_shapes_are_stable() {
+    let torn = scan_records(&[0x00]);
+    match torn.tail {
+        TailState::Torn(DecodeError::Truncated { needed, available }) => {
+            assert_eq!((needed, available), (4, 1));
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
