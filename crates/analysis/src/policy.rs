@@ -11,6 +11,7 @@
 //! | `cht`            | ✓           | ✓            |                 | ✓            |
 //! | `replication`    | ✓           | ✓            |                 | ✓            |
 //! | `storage`        | ✓           | ✓            |                 | ✓            |
+//! | `telemetry`      | ✓           | ✓            |                 | ✓            |
 //! | `chaos`          | ✓           | ✓            |                 | ✓            |
 //! | root `src/`      | ✓           | ✓            |                 | ✓            |
 //! | `runtime`        |             |              | ✓               | ✓            |
@@ -42,9 +43,10 @@ pub fn crate_policy(dir_name: &str) -> Option<RuleSet> {
         // `storage` is on the strict row deliberately: it talks to the
         // filesystem, but recovery must still be a pure function of the bytes
         // on disk — no wall clock, no ambient randomness, no unordered maps.
-        "core" | "sim" | "detectors" | "cht" | "replication" | "storage" | "chaos" => {
-            Some(deterministic)
-        }
+        // `telemetry` likewise: it *abstracts* time behind `Clock`, and must
+        // never read a wall clock itself, or sim runs lose reproducibility.
+        "core" | "sim" | "detectors" | "cht" | "replication" | "storage" | "telemetry"
+        | "chaos" => Some(deterministic),
         "runtime" => Some(RuleSet {
             determinism: false,
             panic_safety: false,
@@ -169,6 +171,7 @@ mod tests {
             "cht",
             "replication",
             "storage",
+            "telemetry",
             "chaos",
         ] {
             let p = crate_policy(strict).expect("strict crates have a policy");

@@ -9,10 +9,11 @@
 //! `e12_delta` binary.
 
 use ec_core::etob_omega::{EtobConfig, EtobOmega};
-use ec_core::types::MsgId;
+use ec_core::types::{Instrumented, MsgId};
 use ec_core::workload::BroadcastWorkload;
 use ec_detectors::omega::OmegaOracle;
 use ec_sim::{FailurePattern, NetworkModel, ProcessId, WorldBuilder};
+use ec_telemetry::{Recorder, TelemetryReport, TimeSource, FLIGHT_CAPACITY};
 
 /// Number of processes in every E12 run (the acceptance grid is a
 /// 5-process group).
@@ -37,6 +38,14 @@ pub struct DeltaPoint {
     /// Final stable sequence, as identifiers (identical across modes —
     /// asserted by the caller and by `tests/delta_wire.rs`).
     pub sequence: Vec<MsgId>,
+    /// Submit→deliver latency p50 across all processes, in logical ticks
+    /// (virtual time, so the column is bit-reproducible like the byte
+    /// counters).
+    pub submit_deliver_p50: u64,
+    /// Submit→deliver latency p90, in logical ticks.
+    pub submit_deliver_p90: u64,
+    /// Submit→deliver latency p99, in logical ticks.
+    pub submit_deliver_p99: u64,
     /// Wall-clock microseconds of the serving phase (host-dependent; not
     /// part of the deterministic JSON artifact).
     pub wall_micros: u128,
@@ -57,7 +66,18 @@ pub fn delta_run(history: usize, delta: bool) -> DeltaPoint {
         .network(NetworkModel::fixed_delay(2))
         .failures(failures)
         .seed(12)
-        .build_with(|p| EtobOmega::new(p, config), omega);
+        .build_with(
+            |p| {
+                let mut algorithm = EtobOmega::new(p, config);
+                algorithm.attach_recorder(Recorder::new(
+                    p.index() as u32,
+                    TimeSource::Logical,
+                    FLIGHT_CAPACITY,
+                ));
+                algorithm
+            },
+            omega,
+        );
     workload.submit_to(&mut world);
     world.run_until(workload.last_submission_time() + 600);
     let wall_micros = started.elapsed().as_micros();
@@ -74,6 +94,12 @@ pub fn delta_run(history: usize, delta: bool) -> DeltaPoint {
             "{p} did not deliver the full history (delta = {delta})"
         );
     }
+    let mut telemetry = TelemetryReport::default();
+    for p in world.process_ids() {
+        if let Some(recorder) = world.algorithm(p).recorder() {
+            telemetry.merge(&recorder.report());
+        }
+    }
     let metrics = world.metrics();
     DeltaPoint {
         history,
@@ -89,6 +115,9 @@ pub fn delta_run(history: usize, delta: bool) -> DeltaPoint {
             .map(|p| world.algorithm(p).sync_pulls())
             .sum(),
         sequence,
+        submit_deliver_p50: telemetry.submit_deliver.quantile(500),
+        submit_deliver_p90: telemetry.submit_deliver.quantile(900),
+        submit_deliver_p99: telemetry.submit_deliver.quantile(990),
         wall_micros,
     }
 }
@@ -122,18 +151,20 @@ pub fn run_grid() -> Vec<(DeltaPoint, DeltaPoint)> {
 /// outputs cannot drift apart.
 pub fn print_table(pairs: &[(DeltaPoint, DeltaPoint)]) {
     println!(
-        "{:<10} {:<7} {:>14} {:>10} {:>10} {:>12}",
-        "history", "mode", "bytes sent", "messages", "updates", "wall [ms]"
+        "{:<10} {:<7} {:>14} {:>10} {:>10} {:>9} {:>9} {:>12}",
+        "history", "mode", "bytes sent", "messages", "updates", "lat p50", "lat p99", "wall [ms]"
     );
     for (full, delta) in pairs {
         for p in [full, delta] {
             println!(
-                "{:<10} {:<7} {:>14} {:>10} {:>10} {:>12.2}",
+                "{:<10} {:<7} {:>14} {:>10} {:>10} {:>9} {:>9} {:>12.2}",
                 p.history,
                 if p.delta { "delta" } else { "full" },
                 p.bytes_sent,
                 p.messages_sent,
                 p.updates_sent,
+                p.submit_deliver_p50,
+                p.submit_deliver_p99,
                 p.wall_micros as f64 / 1_000.0,
             );
         }
@@ -155,13 +186,18 @@ pub fn grid_json(pairs: &[(DeltaPoint, DeltaPoint)]) -> String {
         for (j, p) in [full, delta].into_iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"history\": {}, \"mode\": \"{}\", \"bytes_sent\": {}, \
-                 \"messages_sent\": {}, \"updates_sent\": {}, \"sync_pulls\": {}}}{}\n",
+                 \"messages_sent\": {}, \"updates_sent\": {}, \"sync_pulls\": {}, \
+                 \"submit_deliver_p50\": {}, \"submit_deliver_p90\": {}, \
+                 \"submit_deliver_p99\": {}}}{}\n",
                 p.history,
                 if p.delta { "delta" } else { "full" },
                 p.bytes_sent,
                 p.messages_sent,
                 p.updates_sent,
                 p.sync_pulls,
+                p.submit_deliver_p50,
+                p.submit_deliver_p90,
+                p.submit_deliver_p99,
                 if i + 1 == pairs.len() && j == 1 {
                     ""
                 } else {
@@ -208,6 +244,12 @@ mod tests {
         assert!(a.contains("\"mode\": \"delta\""));
         let (full, delta) = &pairs[1];
         assert!(full.bytes_sent > delta.bytes_sent);
+        // the latency percentiles are tick-based, so they are measured,
+        // nonzero, ordered, and part of the reproducible artifact
+        assert!(a.contains("\"submit_deliver_p50\""));
+        assert!(delta.submit_deliver_p50 > 0);
+        assert!(delta.submit_deliver_p99 >= delta.submit_deliver_p90);
+        assert!(delta.submit_deliver_p90 >= delta.submit_deliver_p50);
         print_table(&pairs); // smoke the shared renderer
     }
 }

@@ -1,0 +1,149 @@
+//! Flight-recorder counterexample artifacts.
+//!
+//! When a checker fails, the per-replica flight-recorder rings of the failed
+//! run are causally merged ([`ec_telemetry::merge_flight`]) and rendered
+//! next to the replayable scenario and the verdict, so the last few hundred
+//! protocol steps leading into the violation can be read as one timeline —
+//! which replica submitted what, when each delivery landed, where a crash
+//! cut a replica out of the exchange. A clean verdict leaves no artifact
+//! behind.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ec_telemetry::{merge_flight, render_flight, FLIGHT_CAPACITY};
+
+use crate::checker::Verdict;
+use crate::driver::RunOutcome;
+use crate::scenario::Scenario;
+
+/// Renders the flight-recorder artifact of a failed run: the verdict's
+/// violations, the replayable scenario (comment-prefixed, paste-ready for a
+/// regression test), and the causally merged event trace of every replica.
+/// Returns `None` when the verdict is clean.
+pub fn flight_artifact(
+    scenario: &Scenario,
+    verdict: &Verdict,
+    outcome: &RunOutcome,
+) -> Option<String> {
+    if verdict.ok() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# chaos counterexample: {} [{}]",
+        verdict.name, verdict.consistency
+    );
+    let _ = writeln!(out, "# {} violation(s):", verdict.violations.len());
+    for v in &verdict.violations {
+        let _ = writeln!(out, "#   {}: {}", v.check, v.detail);
+    }
+    let _ = writeln!(out, "# replayable scenario:");
+    for line in scenario.to_string().lines() {
+        let _ = writeln!(out, "#   {line}");
+    }
+    let _ = writeln!(
+        out,
+        "# flight recorder: {} replica(s), last {} event(s) each, causally merged",
+        outcome.flight.len(),
+        FLIGHT_CAPACITY,
+    );
+    out.push_str(&render_flight(&merge_flight(&outcome.flight)));
+    Some(out)
+}
+
+/// Writes the artifact of a failed run into `dir` (created if missing) as
+/// `<scenario-name>.flight.txt` and returns its path. Returns `Ok(None)`
+/// when the verdict is clean — passing runs write nothing.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_flight_artifact(
+    dir: &Path,
+    scenario: &Scenario,
+    verdict: &Verdict,
+    outcome: &RunOutcome,
+) -> io::Result<Option<PathBuf>> {
+    let Some(text) = flight_artifact(scenario, verdict, outcome) else {
+        return Ok(None);
+    };
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.flight.txt", scenario.name));
+    fs::write(&path, text)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_outcome;
+    use crate::driver::run_scenario;
+    use crate::scenario::{ClientOp, WorkloadOp};
+    use ec_replication::{Consistency, KvStore};
+
+    fn quiet_run() -> (Scenario, RunOutcome) {
+        let mut s = Scenario::quiet("artifact-quiet", 3, Consistency::Eventual);
+        s.workload = vec![ClientOp {
+            at: 10,
+            session: 0,
+            op: WorkloadOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+        }];
+        let outcome = run_scenario::<KvStore>(&s);
+        (s, outcome)
+    }
+
+    #[test]
+    fn clean_runs_emit_no_artifact() {
+        let (s, outcome) = quiet_run();
+        let verdict = check_outcome(&outcome);
+        assert!(verdict.ok(), "{verdict}");
+        assert_eq!(flight_artifact(&s, &verdict, &outcome), None);
+    }
+
+    #[test]
+    fn failed_runs_render_violations_scenario_and_trace() {
+        let (s, outcome) = quiet_run();
+        // doctor the outcome so the convergence check fires
+        let mut bad = outcome;
+        bad.snapshots[2] = b"doctored".to_vec();
+        let verdict = check_outcome(&bad);
+        assert!(!verdict.ok());
+        let text = flight_artifact(&s, &verdict, &bad).expect("failure must emit an artifact");
+        assert!(text.contains("# chaos counterexample: artifact-quiet"));
+        assert!(text.contains("convergence"), "{text}");
+        assert!(text.contains("# replayable scenario:"));
+        // the trace carries the write's lifecycle on every replica
+        assert!(text.contains("submitted p0#1"), "{text}");
+        assert!(text.contains("delivered p0#1"), "{text}");
+    }
+
+    #[test]
+    fn artifacts_are_written_next_to_the_counterexample() {
+        let (s, outcome) = quiet_run();
+        let mut bad = outcome;
+        bad.delivered[1].clear();
+        let verdict = check_outcome(&bad);
+        assert!(!verdict.ok());
+        let dir = std::env::temp_dir().join(format!("ec-flight-artifact-{}", std::process::id()));
+        let path = write_flight_artifact(&dir, &s, &verdict, &bad)
+            .expect("artifact write must succeed")
+            .expect("failing run must emit an artifact");
+        assert_eq!(path.file_name().unwrap(), "artifact-quiet.flight.txt");
+        let text = fs::read_to_string(&path).expect("artifact must be readable");
+        assert!(text.contains("flight recorder"));
+        // a clean verdict writes nothing
+        let clean = check_outcome(&run_scenario::<KvStore>(&s));
+        assert_eq!(
+            write_flight_artifact(&dir, &s, &clean, &run_scenario::<KvStore>(&s)).unwrap(),
+            None
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

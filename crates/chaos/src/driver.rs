@@ -22,6 +22,7 @@ use ec_replication::{
     StateMachine, ThreadEngine,
 };
 use ec_sim::{ProcessId, ProcessSet, Time};
+use ec_telemetry::Event;
 
 use crate::scenario::{NemesisOp, Scenario, WorkloadOp};
 
@@ -117,6 +118,11 @@ pub struct RunOutcome {
     pub sync_pulls: u64,
     /// The facade's cluster report (convergence, fault counters).
     pub report: ClusterReport,
+    /// Per-replica flight-recorder rings harvested at the horizon: the last
+    /// few hundred lifecycle events each replica recorded, plus the
+    /// simulator's crash/recovery marks. Causally merged and dumped next to
+    /// the counterexample when a checker fails (see [`crate::artifact`]).
+    pub flight: Vec<Vec<Event>>,
 }
 
 impl RunOutcome {
@@ -263,6 +269,7 @@ pub fn run_scenario<S: KvInterface>(scenario: &Scenario) -> RunOutcome {
         reads_dropped,
         sync_pulls: cluster.sync_pulls(),
         report: cluster.report(),
+        flight: cluster.flight_events(),
     }
 }
 

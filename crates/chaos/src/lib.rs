@@ -25,6 +25,9 @@
 //!   search ([`lin`]).
 //! * [`shrink`] — a greedy shrinker minimizing a failing scenario to a
 //!   replayable counterexample.
+//! * [`artifact`] — the flight-recorder dump: on checker failure, the
+//!   per-replica telemetry rings of the failed run are causally merged and
+//!   written next to the counterexample as one readable timeline.
 //! * [`fixtures`] — deliberately broken state machines ([`MergingKv`], an
 //!   injected treat-writes-as-commutative bug) that prove the checkers can
 //!   actually fail.
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod checker;
 pub mod driver;
 pub mod fixtures;
@@ -53,6 +57,7 @@ pub mod lin;
 pub mod scenario;
 pub mod shrink;
 
+pub use artifact::{flight_artifact, write_flight_artifact};
 pub use checker::{check_outcome, Verdict, Violation};
 pub use driver::{
     run_net_smoke, run_scenario, run_thread_smoke, KvInterface, OpRecord, RunOutcome,

@@ -581,6 +581,10 @@ pub struct EtobOmega {
     /// possible only while Ω is unstable; each one is a dropped prefix that
     /// disagreed with the compacted history.
     compact_conflicts: u64,
+    /// Optional telemetry recorder ([`crate::types::Instrumented`]):
+    /// lifecycle events and latency clocks, attached by the engines and
+    /// never consulted by the protocol itself.
+    telemetry: Option<Box<ec_telemetry::Recorder>>,
 }
 
 impl EtobOmega {
@@ -637,6 +641,7 @@ impl EtobOmega {
             compactions: 0,
             compacted_total: 0,
             compact_conflicts: 0,
+            telemetry: None,
         }
     }
 
@@ -732,10 +737,48 @@ impl EtobOmega {
         if self.graph.update(msg) {
             self.unsent.push(id);
             self.unpromoted.insert(id);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.admitted(id.origin.index() as u32, id.seq);
+            }
             true
         } else {
             false
         }
+    }
+
+    /// Drops a malformed peer message: bumps the counter and records the
+    /// rejection in the flight ring.
+    fn note_malformed(&mut self) {
+        self.malformed += 1;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.malformed();
+        }
+    }
+
+    /// Pushes the current logical tick into the attached recorder, if any.
+    /// Called at every handler entry so logical-time recorders timestamp
+    /// with the handler's simulation tick.
+    fn telemetry_tick(&mut self, now: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.set_tick(now);
+        }
+    }
+
+    /// Records every delivered entry beyond the recorder's watermark. The
+    /// delivery paths mutate `delivered` wholesale (suffix adoption,
+    /// verified-prefix reconstruction), so rather than instrumenting each
+    /// push this scans the new suffix once per mutation — O(new entries).
+    fn record_delivered_tail(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let folded = self.folded as u64;
+        let total = folded + self.delivered.len() as u64;
+        let start = t.delivered_watermark().saturating_sub(folded) as usize;
+        for m in self.delivered.iter().skip(start) {
+            t.delivered(m.id.origin.index() as u32, m.id.seq);
+        }
+        t.set_delivered_watermark(total);
     }
 
     /// `UpdatePromote()`: extends the promotion sequence with every message of
@@ -767,6 +810,9 @@ impl EtobOmega {
                     self.promote.push(msg);
                     self.promoted_ids.insert(id);
                     self.unpromoted.remove(&id);
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.promoted(id.origin.index() as u32, id.seq);
+                    }
                     appended = true;
                 }
             }
@@ -865,6 +911,7 @@ impl EtobOmega {
             if self.delivered != sequence {
                 self.delivered = sequence;
                 self.delivered_hashes = prefix_hashes(&self.delivered);
+                self.record_delivered_tail();
                 ctx.output(self.delivered.clone());
             }
             return;
@@ -883,6 +930,7 @@ impl EtobOmega {
         if self.delivered.as_slice() != tail {
             self.delivered = tail.to_vec();
             self.delivered_hashes = prefix_hashes_from(h, &self.delivered);
+            self.record_delivered_tail();
             ctx.output(self.delivered.clone());
         }
     }
@@ -913,6 +961,7 @@ impl EtobOmega {
             self.delivered_hashes.push(h);
             self.delivered.push(m);
         }
+        self.record_delivered_tail();
         ctx.output(self.delivered.clone());
     }
 
@@ -1012,6 +1061,9 @@ impl EtobOmega {
         self.last_promote_broadcast = self.last_promote_broadcast.max(target);
         self.compactions += 1;
         self.compacted_total += fold as u64;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.folded(target as u64);
+        }
     }
 
     /// Anti-entropy step: when enabled and due, retransmits graph state if
@@ -1086,6 +1138,7 @@ impl Algorithm for EtobOmega {
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
         let now = ctx.now().as_u64();
+        self.telemetry_tick(now);
         self.next_promote = now + self.config.promote_period;
         ctx.set_timer(self.config.promote_period);
         if self.config.resend_period > 0 {
@@ -1096,6 +1149,11 @@ impl Algorithm for EtobOmega {
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
         // On broadcastETOB(m, C(m)): UpdateCG(m, C(m)); send update(CG_i) to all.
+        let id = input.message.id;
+        self.telemetry_tick(ctx.now().as_u64());
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.submitted(id.origin.index() as u32, id.seq);
+        }
         self.admit(input.message);
         if self.config.batching_enabled() {
             // Coalesce: the update goes out at the next flush deadline and
@@ -1110,13 +1168,14 @@ impl Algorithm for EtobOmega {
     }
 
     fn on_message(&mut self, from: ProcessId, msg: EtobMsg, ctx: &mut Context<'_, Self>) {
+        self.telemetry_tick(ctx.now().as_u64());
         match msg {
             EtobMsg::Update(graph) => {
                 // On reception of update(CG_j): UnionCG(CG_j); UpdatePromote().
                 self.note_peer_knows(from, graph.digest());
                 for msg in graph.messages() {
                     if decode_node(msg).is_err() {
-                        self.malformed += 1;
+                        self.note_malformed();
                         continue;
                     }
                     if !self.graph.contains(msg.id) {
@@ -1135,7 +1194,7 @@ impl Algorithm for EtobOmega {
                 // knows a message I am missing — pull it.
                 for node in nodes {
                     if decode_node(&node).is_err() {
-                        self.malformed += 1;
+                        self.note_malformed();
                         continue;
                     }
                     self.admit(node);
@@ -1147,6 +1206,9 @@ impl Algorithm for EtobOmega {
                 }
                 if from != self.me && !self.graph.digest().covers(&frontier) {
                     self.sync_pulls += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.sync_pull();
+                    }
                     ctx.send(
                         from,
                         EtobMsg::SyncRequest {
@@ -1173,7 +1235,7 @@ impl Algorithm for EtobOmega {
             EtobMsg::Promote(sequence) => {
                 // On reception of promote(promote_j): adopt it iff Ω_i = p_j.
                 if decode_sequence(&sequence).is_err() {
-                    self.malformed += 1;
+                    self.note_malformed();
                     return;
                 }
                 if *ctx.fd() == from {
@@ -1189,7 +1251,7 @@ impl Algorithm for EtobOmega {
                     return;
                 }
                 if decode_sequence(&suffix).is_err() {
-                    self.malformed += 1;
+                    self.note_malformed();
                     return;
                 }
                 // `base` is an *absolute* wire value and resident state
@@ -1294,6 +1356,7 @@ impl Algorithm for EtobOmega {
         // re-arm would spawn one fresh perpetual chain per foreign fire —
         // quadratic timer proliferation once a second chain exists.)
         let now = ctx.now().as_u64();
+        self.telemetry_tick(now);
         if self.config.batching_enabled() && self.next_flush.is_some_and(|at| now >= at) {
             self.next_flush = None;
             self.broadcast_update(ctx);
@@ -1370,7 +1433,28 @@ impl crate::types::Compactable for EtobOmega {
         self.unpromoted.clear();
         self.delivered = tail;
         self.last_promote_broadcast = folded + self.promote.len();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            // The recovered prefix was delivered by the previous
+            // incarnation: advance the watermark past it so rejoining does
+            // not re-measure old deliveries, and stamp the rejoin itself.
+            t.set_delivered_watermark(base + self.delivered.len() as u64);
+            t.recovered();
+        }
         true
+    }
+}
+
+impl crate::types::Instrumented for EtobOmega {
+    fn attach_recorder(&mut self, recorder: ec_telemetry::Recorder) {
+        self.telemetry = Some(Box::new(recorder));
+    }
+
+    fn recorder(&self) -> Option<&ec_telemetry::Recorder> {
+        self.telemetry.as_deref()
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut ec_telemetry::Recorder> {
+        self.telemetry.as_deref_mut()
     }
 }
 

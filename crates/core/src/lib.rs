@@ -59,7 +59,7 @@ pub use transforms::{EcToEic, EcToEtob, EicToEc, EtobToEc};
 pub use types::{
     seq_hash_step, AppMessage, Compactable, DeliveredSequence, EcInput, EcOutput, EicInput,
     EicOutput, Either, EtobBroadcast, EventualConsensus, EventualIrrevocableConsensus,
-    EventualTotalOrderBroadcast, MsgId, Payload, SEQ_HASH_SEED,
+    EventualTotalOrderBroadcast, Instrumented, MsgId, Payload, SEQ_HASH_SEED,
 };
 pub use version::{SeqRanges, VersionVector};
 pub use workload::{BroadcastWorkload, KvOp, KvWorkload, ZipfMix};

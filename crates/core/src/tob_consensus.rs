@@ -175,6 +175,10 @@ pub struct ConsensusTob {
     /// Number of incoming messages dropped as malformed
     /// ([`crate::types::DecodeError`]). Dropped input never touches state.
     malformed: u64,
+    /// Optional telemetry recorder ([`crate::types::Instrumented`]):
+    /// lifecycle events and latency clocks, attached by the engines and
+    /// never consulted by the protocol itself.
+    telemetry: Option<Box<ec_telemetry::Recorder>>,
 }
 
 impl ConsensusTob {
@@ -194,7 +198,30 @@ impl ConsensusTob {
             delivered_ids: BTreeSet::new(),
             next_deliver_slot: 0,
             malformed: 0,
+            telemetry: None,
         }
+    }
+
+    /// Pushes the current logical tick into the attached recorder, if any.
+    fn telemetry_tick(&mut self, now: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.set_tick(now);
+        }
+    }
+
+    /// Records every delivered entry beyond the recorder's watermark (the
+    /// quorum path and the catch-up path both append to `delivered`, so one
+    /// suffix scan per change covers both).
+    fn record_delivered_tail(&mut self) {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let start = t.delivered_watermark() as usize;
+        for m in self.delivered.iter().skip(start) {
+            t.delivered(m.id.origin.index() as u32, m.id.seq);
+        }
+        let total = self.delivered.len() as u64;
+        t.set_delivered_watermark(total);
     }
 
     /// Number of incoming messages this process dropped as malformed. A
@@ -285,6 +312,7 @@ impl ConsensusTob {
             self.next_deliver_slot += 1;
         }
         if changed {
+            self.record_delivered_tail();
             ctx.output(self.delivered.clone());
         }
     }
@@ -309,11 +337,16 @@ impl Algorithm for ConsensusTob {
     type Fd = (ProcessId, ProcessSet);
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        self.telemetry_tick(ctx.now().as_u64());
         ctx.set_timer(self.config.resend_period);
     }
 
     fn on_input(&mut self, input: EtobBroadcast, ctx: &mut Context<'_, Self>) {
         let message = input.message;
+        self.telemetry_tick(ctx.now().as_u64());
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.submitted(message.id.origin.index() as u32, message.id.seq);
+        }
         self.pending_own.insert(message.id, message.clone());
         let leader = Self::leader(ctx);
         if leader == self.me {
@@ -325,6 +358,7 @@ impl Algorithm for ConsensusTob {
 
     fn on_message(&mut self, from: ProcessId, msg: TobMsg, ctx: &mut Context<'_, Self>) {
         let _ = from;
+        self.telemetry_tick(ctx.now().as_u64());
         match msg {
             TobMsg::Forward(message) => {
                 if Self::leader(ctx) == self.me {
@@ -334,7 +368,16 @@ impl Algorithm for ConsensusTob {
             TobMsg::Accept { slot, message } => {
                 self.next_slot = self.next_slot.max(slot + 1);
                 let id = message.id;
-                self.sequenced.insert(id);
+                if self.sequenced.insert(id) {
+                    // First sighting of this message in a slot: it is now
+                    // admitted to the total order (tentatively, pending the
+                    // quorum), the strong baseline's analogue of Algorithm
+                    // 5's graph admission + promotion.
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.admitted(id.origin.index() as u32, id.seq);
+                        t.promoted(id.origin.index() as u32, id.seq);
+                    }
+                }
                 self.proposals.insert(slot, message);
                 ctx.broadcast(TobMsg::Ack { slot, id });
                 if Self::leader(ctx) == self.me {
@@ -356,6 +399,9 @@ impl Algorithm for ConsensusTob {
                 if Self::leader(ctx) == from {
                     self.next_slot = self.next_slot.max(next_slot);
                     if (delivered as usize) > self.delivered.len() {
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.sync_pull();
+                        }
                         ctx.send(
                             from,
                             TobMsg::SyncRequest {
@@ -391,6 +437,9 @@ impl Algorithm for ConsensusTob {
                 // whatever arrived through the normal path meanwhile).
                 if decode_sequence(&suffix).is_err() {
                     self.malformed += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.malformed();
+                    }
                     return;
                 }
                 if Self::leader(ctx) == from {
@@ -408,6 +457,7 @@ impl Algorithm for ConsensusTob {
                         }
                         self.next_deliver_slot = self.next_deliver_slot.max(next_deliver_slot);
                         if changed {
+                            self.record_delivered_tail();
                             ctx.output(self.delivered.clone());
                         }
                     }
@@ -417,6 +467,7 @@ impl Algorithm for ConsensusTob {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Self>) {
+        self.telemetry_tick(ctx.now().as_u64());
         let leader = Self::leader(ctx);
         // Re-drive messages this process originated that are still pending.
         let pending: Vec<AppMessage> = self.pending_own.values().cloned().collect();
@@ -463,6 +514,20 @@ impl Algorithm for ConsensusTob {
 // 0, empty frontier, recovery unsupported) are exactly its behavior, and the
 // durable facade then recovers it by replaying the whole logged tail.
 impl crate::types::Compactable for ConsensusTob {}
+
+impl crate::types::Instrumented for ConsensusTob {
+    fn attach_recorder(&mut self, recorder: ec_telemetry::Recorder) {
+        self.telemetry = Some(Box::new(recorder));
+    }
+
+    fn recorder(&self) -> Option<&ec_telemetry::Recorder> {
+        self.telemetry.as_deref()
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut ec_telemetry::Recorder> {
+        self.telemetry.as_deref_mut()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -240,6 +240,35 @@ pub trait Compactable {
     }
 }
 
+/// Optional telemetry attachment for broadcast automata.
+///
+/// Engines attach a per-replica [`ec_telemetry::Recorder`] after
+/// construction; an instrumented automaton then timestamps its lifecycle
+/// events (submit/admit/promote/deliver/fold/sync-pull) into it and the
+/// facade harvests the recorder's histograms and flight ring at report
+/// time. Every method has a no-op default, so an automaton that records
+/// nothing (or a test double) implements the trait as an empty `impl`
+/// block and behaves exactly as before — recording is strictly additive
+/// and never observed by the protocol itself.
+pub trait Instrumented {
+    /// Attaches a recorder. The default discards it (nothing is recorded).
+    fn attach_recorder(&mut self, recorder: ec_telemetry::Recorder) {
+        let _ = recorder;
+    }
+
+    /// The attached recorder, if any.
+    fn recorder(&self) -> Option<&ec_telemetry::Recorder> {
+        None
+    }
+
+    /// Mutable access to the attached recorder, if any (used by wrappers —
+    /// e.g. the replication facade's `Replica` — to record their own
+    /// lifecycle events, such as `Applied`, into the same ring).
+    fn recorder_mut(&mut self) -> Option<&mut ec_telemetry::Recorder> {
+        None
+    }
+}
+
 /// Invocation `proposeEC_ℓ(v)` of eventual consensus instance `ℓ`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EcInput<V> {

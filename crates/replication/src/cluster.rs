@@ -437,6 +437,27 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
         self.deployment.sync_pulls()
     }
 
+    /// The merged latency summary of the cluster so far. Live on the
+    /// simulator; empty live on the thread and net engines, whose replica
+    /// internals surface at [`Cluster::finish`] (scrape a live net node
+    /// with [`Cluster::scrape`] instead).
+    pub fn telemetry(&self) -> ec_telemetry::TelemetryReport {
+        self.deployment.telemetry()
+    }
+
+    /// The per-replica flight-recorder traces so far (simulator only; the
+    /// chaos harness dumps these next to a failing counterexample). Empty
+    /// vectors on the real-time engines.
+    pub fn flight_events(&self) -> Vec<Vec<ec_telemetry::Event>> {
+        self.deployment.flight_events()
+    }
+
+    /// Scrapes the live text metrics exposition of replica `p`'s node over
+    /// its socket (net engine only; `None` elsewhere or if `p` is down).
+    pub fn scrape(&self, p: ProcessId) -> Option<String> {
+        self.deployment.scrape(p)
+    }
+
     /// The uniform cluster report, computed live: per-replica applied
     /// counts and snapshots, convergence of the replica outputs, and
     /// message costs.
@@ -457,6 +478,7 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             updates_sent: self.deployment.updates_sent(),
             faults_dropped: metrics.faults_dropped,
             faults_duplicated: metrics.faults_duplicated,
+            telemetry: self.deployment.telemetry(),
         };
         ClusterReport {
             engine: self.engine(),
@@ -488,6 +510,7 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
             updates_sent: fin.updates_sent,
             faults_dropped: fin.metrics.faults_dropped,
             faults_duplicated: fin.metrics.faults_duplicated,
+            telemetry: fin.telemetry,
         };
         ClusterReport {
             engine,
@@ -531,6 +554,10 @@ pub struct ShardReport {
     /// Extra message copies injected by link-fault duplication inside the
     /// group.
     pub faults_duplicated: u64,
+    /// Merged latency summary of the group's replicas: submit→deliver,
+    /// promote→stable and stability-lag histograms. Empty for live
+    /// real-time reports, whose replica internals surface only at finish.
+    pub telemetry: ec_telemetry::TelemetryReport,
 }
 
 impl ShardReport {
@@ -563,7 +590,11 @@ impl fmt::Display for ShardReport {
             self.updates_sent,
             self.faults_dropped,
             self.faults_duplicated,
-        )
+        )?;
+        if !self.telemetry.is_empty() {
+            write!(f, "; {}", self.telemetry)?;
+        }
+        Ok(())
     }
 }
 
@@ -621,6 +652,40 @@ impl ClusterReport {
             .map(|s| s.converged_at)
             .collect::<Option<Vec<Time>>>()
             .and_then(|times| times.into_iter().max())
+    }
+
+    /// The merged latency summary across all groups (histogram merge is
+    /// associative and commutative, so this equals any per-shard grouping).
+    pub fn telemetry(&self) -> ec_telemetry::TelemetryReport {
+        let mut merged = ec_telemetry::TelemetryReport::default();
+        for shard in &self.shards {
+            merged.merge(&shard.telemetry);
+        }
+        merged
+    }
+
+    /// The stable JSON export of the report's latency data: engine,
+    /// consistency, one telemetry object per shard and the merged totals.
+    /// Integer-only and timestamp-free, so two identical deterministic runs
+    /// export byte-identical strings.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"consistency\":\"{}\",\"engine\":\"{}\",\"shards\":[",
+            self.consistency, self.engine
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            shard.telemetry.write_json(&mut out);
+        }
+        out.push_str("],\"telemetry\":");
+        self.telemetry().write_json(&mut out);
+        out.push('}');
+        out
     }
 }
 

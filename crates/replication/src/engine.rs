@@ -29,20 +29,22 @@
 //! default).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ec_core::etob_omega::{EtobConfig, EtobOmega};
 use ec_core::tob_consensus::{ConsensusTob, ConsensusTobConfig};
-use ec_core::types::{AppMessage, Compactable, EventualTotalOrderBroadcast};
+use ec_core::types::{AppMessage, Compactable, EventualTotalOrderBroadcast, Instrumented};
 use ec_detectors::omega::OmegaOracle;
 use ec_detectors::scripted::{LieWindow, OverlayFd};
 use ec_detectors::sigma::SigmaOracle;
 use ec_detectors::PairFd;
-use ec_runtime::{sleep_ms, Runtime, RuntimeConfig};
+use ec_runtime::{sleep_ms, Runtime, RuntimeConfig, Stopwatch};
 use ec_sim::{
     FailureDetector, FailurePattern, Metrics, NetworkModel, OutputHistory, ProcessId, ProcessSet,
     RecoveryPolicy, Time, World, WorldBuilder,
 };
+use ec_telemetry::{Recorder, TelemetryReport, TimeSource, FLIGHT_CAPACITY};
 
 use crate::cluster::Consistency;
 use crate::durable::DurableOptions;
@@ -70,16 +72,34 @@ pub struct DeployPlan {
     pub durable: Option<DurableOptions>,
 }
 
-/// Builds one replica for a deployment, durable when the plan says so.
-fn make_replica<S, B>(p: ProcessId, broadcast: B, durable: &Option<DurableOptions>) -> Replica<S, B>
+/// Builds one replica for a deployment, durable when the plan says so. The
+/// broadcast layer gets its telemetry recorder attached *before* the replica
+/// wraps it, so durable recovery at `on_start` is already observed.
+fn make_replica<S, B>(
+    p: ProcessId,
+    mut broadcast: B,
+    durable: &Option<DurableOptions>,
+    source: &TimeSource,
+) -> Replica<S, B>
 where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
 {
+    broadcast.attach_recorder(Recorder::new(
+        p.index() as u32,
+        source.clone(),
+        FLIGHT_CAPACITY,
+    ));
     match durable {
         Some(options) => Replica::durable(broadcast, options.for_replica(p.index())),
         None => Replica::new(broadcast),
     }
+}
+
+/// The shared-epoch external clock of one real-time deployment: a single
+/// stopwatch started at deploy time, copied into every replica's recorder.
+fn wall_clock_source() -> TimeSource {
+    TimeSource::External(Arc::new(Stopwatch::start()))
 }
 
 /// A deployment target for a replica group: turns a [`DeployPlan`] into a
@@ -260,7 +280,9 @@ impl Engine for SimEngine {
                     .seed(self.seed)
                     .recovery_policy(self.recovery)
                     .build_with(
-                        move |p| make_replica(p, EtobOmega::new(p, etob), &durable),
+                        move |p| {
+                            make_replica(p, EtobOmega::new(p, etob), &durable, &TimeSource::Logical)
+                        },
                         omega,
                     );
                 EngineDeployment::SimEventual(Box::new(world))
@@ -275,7 +297,14 @@ impl Engine for SimEngine {
                     .seed(self.seed)
                     .recovery_policy(self.recovery)
                     .build_with(
-                        move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
+                        move |p| {
+                            make_replica(
+                                p,
+                                ConsensusTob::new(p, tob),
+                                &durable,
+                                &TimeSource::Logical,
+                            )
+                        },
                         fd,
                     );
                 EngineDeployment::SimStrong(Box::new(world))
@@ -348,8 +377,9 @@ impl Engine for ThreadEngine {
             Consistency::Eventual => {
                 let etob = plan.etob;
                 let durable = plan.durable.clone();
+                let clock = wall_clock_source();
                 let runtime = Runtime::spawn(plan.replicas, self.config, move |p| {
-                    make_replica(p, EtobOmega::new(p, etob), &durable)
+                    make_replica(p, EtobOmega::new(p, etob), &durable, &clock)
                 });
                 EngineDeployment::ThreadEventual(ThreadDeployment::new(
                     runtime,
@@ -360,10 +390,11 @@ impl Engine for ThreadEngine {
             Consistency::Strong => {
                 let tob = plan.tob;
                 let durable = plan.durable.clone();
+                let clock = wall_clock_source();
                 let runtime = Runtime::spawn_with_fd(
                     plan.replicas,
                     self.config,
-                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
+                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable, &clock),
                     |leader, n| (leader, ProcessSet::all(n)),
                 );
                 EngineDeployment::ThreadStrong(ThreadDeployment::new(
@@ -381,7 +412,7 @@ impl Engine for ThreadEngine {
 pub struct ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
 {
     runtime: Runtime<Replica<S, B>>,
     tick_ms: u64,
@@ -391,7 +422,7 @@ where
 impl<S, B> fmt::Debug for ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ThreadDeployment")
@@ -404,7 +435,7 @@ where
 impl<S, B> ThreadDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: Send,
 {
     fn new(runtime: Runtime<Replica<S, B>>, tick_ms: u64, n: usize) -> Self {
@@ -505,10 +536,11 @@ impl Engine for NetEngine {
             Consistency::Eventual => {
                 let etob = plan.etob;
                 let durable = plan.durable.clone();
+                let clock = wall_clock_source();
                 let cluster = NetCluster::launch(
                     plan.replicas,
                     self.config,
-                    move |p| make_replica(p, EtobOmega::new(p, etob), &durable),
+                    move |p| make_replica(p, EtobOmega::new(p, etob), &durable, &clock),
                     |leader, _n| leader,
                 );
                 EngineDeployment::NetEventual(NetDeployment::attach(
@@ -520,10 +552,11 @@ impl Engine for NetEngine {
             Consistency::Strong => {
                 let tob = plan.tob;
                 let durable = plan.durable.clone();
+                let clock = wall_clock_source();
                 let cluster = NetCluster::launch(
                     plan.replicas,
                     self.config,
-                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable),
+                    move |p| make_replica(p, ConsensusTob::new(p, tob), &durable, &clock),
                     |leader, n| (leader, ProcessSet::all(n)),
                 );
                 EngineDeployment::NetStrong(NetDeployment::attach(
@@ -541,7 +574,7 @@ impl Engine for NetEngine {
 pub struct NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     cluster: NetCluster<S, B>,
@@ -552,7 +585,7 @@ where
 impl<S, B> fmt::Debug for NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -566,7 +599,7 @@ where
 impl<S, B> NetDeployment<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn attach(cluster: NetCluster<S, B>, tick_ms: u64, n: usize) -> Self {
@@ -656,6 +689,13 @@ pub struct EngineFinal<S> {
     /// `update` broadcasts sent by the Algorithm 5 layers (0 for strong
     /// deployments, which have no batching amortization to report).
     pub updates_sent: u64,
+    /// Merged latency summary of all replicas (submit→deliver,
+    /// promote→stable, stability lag).
+    pub telemetry: TelemetryReport,
+    /// Per-replica flight-recorder traces: the retained lifecycle events of
+    /// each replica, oldest first (plus, on the simulator, the world-level
+    /// crash/recover events of that replica).
+    pub flight: Vec<Vec<ec_telemetry::Event>>,
 }
 
 impl<S: fmt::Debug> fmt::Debug for EngineFinal<S> {
@@ -690,6 +730,67 @@ where
     D: FailureDetector<Output = A::Fd>,
 {
     world.failures().correct()
+}
+
+/// Merges the recorders of `n` replicas (some possibly crashed or
+/// uninstrumented) into one report plus per-replica flight traces.
+fn harvest_telemetry<'a>(
+    recorders: impl Iterator<Item = Option<&'a Recorder>>,
+) -> (TelemetryReport, Vec<Vec<ec_telemetry::Event>>) {
+    let mut telemetry = TelemetryReport::default();
+    let flight = recorders
+        .map(|recorder| match recorder {
+            Some(r) => {
+                telemetry.merge(&r.report());
+                r.events()
+            }
+            None => Vec::new(),
+        })
+        .collect();
+    (telemetry, flight)
+}
+
+/// Live sim-side telemetry: merged recorder reports of every replica.
+fn sim_telemetry<S, B, D>(world: &World<Replica<S, B>, D>) -> TelemetryReport
+where
+    S: StateMachine,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
+    D: FailureDetector<Output = B::Fd>,
+{
+    let mut telemetry = TelemetryReport::default();
+    for p in world.process_ids() {
+        if let Some(r) = world.algorithm(p).broadcast_layer().recorder() {
+            telemetry.merge(&r.report());
+        }
+    }
+    telemetry
+}
+
+/// Live sim-side flight traces: per-replica recorder events plus the
+/// world's crash/recover events routed to the affected replica.
+fn sim_flight<S, B, D>(world: &World<Replica<S, B>, D>) -> Vec<Vec<ec_telemetry::Event>>
+where
+    S: StateMachine,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
+    D: FailureDetector<Output = B::Fd>,
+{
+    let mut flight: Vec<Vec<ec_telemetry::Event>> = world
+        .process_ids()
+        .map(|p| {
+            world
+                .algorithm(p)
+                .broadcast_layer()
+                .recorder()
+                .map(Recorder::events)
+                .unwrap_or_default()
+        })
+        .collect();
+    for event in world.fault_events() {
+        if let Some(slot) = flight.get_mut(event.origin as usize) {
+            slot.push(event);
+        }
+    }
+    flight
 }
 
 impl<S> EngineDeployment<S>
@@ -878,6 +979,40 @@ where
         }
     }
 
+    /// The merged latency summary so far. Live on the simulator (merged
+    /// recorder reports of every replica); empty on the thread and net
+    /// engines, whose replica internals are only harvested at
+    /// [`EngineDeployment::finish`] — scrape a live net node with
+    /// [`EngineDeployment::scrape`] instead.
+    pub fn telemetry(&self) -> TelemetryReport {
+        match self {
+            EngineDeployment::SimEventual(w) => sim_telemetry(w),
+            EngineDeployment::SimStrong(w) => sim_telemetry(w),
+            _ => TelemetryReport::default(),
+        }
+    }
+
+    /// The per-replica flight-recorder traces so far (simulator only; empty
+    /// vectors on the real-time engines, which harvest at finish).
+    pub fn flight_events(&self) -> Vec<Vec<ec_telemetry::Event>> {
+        match self {
+            EngineDeployment::SimEventual(w) => sim_flight(w),
+            EngineDeployment::SimStrong(w) => sim_flight(w),
+            _ => vec![Vec::new(); self.n()],
+        }
+    }
+
+    /// Scrapes the live metrics exposition of replica `p`'s node over its
+    /// socket (net engine only; `None` elsewhere, and on a node that is
+    /// down).
+    pub fn scrape(&self, p: ProcessId) -> Option<String> {
+        match self {
+            EngineDeployment::NetEventual(d) => d.cluster.scrape(p),
+            EngineDeployment::NetStrong(d) => d.cluster.scrape(p),
+            _ => None,
+        }
+    }
+
     /// Stops the deployment and harvests its final state. On the thread
     /// engine this joins every replica thread and reads the exact final
     /// automata; on the simulator it reads the live state.
@@ -888,9 +1023,11 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine,
-            B: EventualTotalOrderBroadcast + Compactable,
+            B: EventualTotalOrderBroadcast + Compactable + Instrumented,
             D: FailureDetector<Output = B::Fd>,
         {
+            let telemetry = sim_telemetry(&world);
+            let flight = sim_flight(&world);
             EngineFinal {
                 applied: world
                     .process_ids()
@@ -913,6 +1050,8 @@ where
                     .collect::<Vec<u64>>()
                     .iter()
                     .sum(),
+                telemetry,
+                flight,
             }
         }
 
@@ -923,7 +1062,7 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine + Send + 'static,
-            B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+            B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
             B::Msg: Send,
         {
             let ThreadDeployment {
@@ -935,6 +1074,9 @@ where
             let history = report.output_history(tick_ms);
             let finals = &report.final_states;
             let replica = |i: usize| finals.get(i).and_then(Option::as_ref);
+            let (telemetry, flight) = harvest_telemetry(
+                (0..n).map(|i| replica(i).and_then(|r| r.broadcast_layer().recorder())),
+            );
             EngineFinal {
                 applied: (0..n)
                     .map(|i| replica(i).map_or(0, Replica::applied))
@@ -955,6 +1097,8 @@ where
                 updates_sent: (0..n)
                     .filter_map(|i| replica(i).map(|r| updates(r.broadcast_layer())))
                     .sum(),
+                telemetry,
+                flight,
             }
         }
 
@@ -965,7 +1109,7 @@ where
         ) -> EngineFinal<S>
         where
             S: StateMachine + Send + 'static,
-            B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+            B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
             B::Msg: WireCodec + Send,
         {
             let NetDeployment {
@@ -983,6 +1127,9 @@ where
                 history.record(p, Time::new(ms / tick_ms), out);
             }
             let replica = |i: usize| final_states.get(i).and_then(Option::as_ref);
+            let (telemetry, flight) = harvest_telemetry(
+                (0..n).map(|i| replica(i).and_then(|r| r.broadcast_layer().recorder())),
+            );
             EngineFinal {
                 applied: (0..n)
                     .map(|i| replica(i).map_or(0, Replica::applied))
@@ -1003,6 +1150,8 @@ where
                 updates_sent: (0..n)
                     .filter_map(|i| replica(i).map(|r| updates(r.broadcast_layer())))
                     .sum(),
+                telemetry,
+                flight,
             }
         }
 

@@ -46,6 +46,12 @@ pub const MAX_FRAME_BODY: usize = 16 << 20;
 /// connections (which announce their replica index).
 pub const DRIVER: u32 = u32::MAX;
 
+/// The `from` value a metrics scraper announces in its [`Frame::Hello`]:
+/// like [`DRIVER`] it is no replica, but unlike the driver it must *not*
+/// capture the node's control stream — a scrape connection only ever
+/// carries one [`Frame::StatsRequest`] and its [`Frame::StatsText`] reply.
+pub const SCRAPER: u32 = u32::MAX - 1;
+
 impl WireCodec for ReplicaCommand {
     fn encode(&self, out: &mut Vec<u8>) {
         push_bytes(out, self.command.as_ref());
@@ -135,6 +141,16 @@ pub enum Frame<M> {
     /// back once its final outputs are flushed, so the driver can drain
     /// deterministically); replica → driver: that goodbye.
     Shutdown,
+    /// Scraper → replica: ask for the node's current telemetry in text
+    /// exposition form. Answered with [`Frame::StatsText`] on the same
+    /// connection.
+    StatsRequest,
+    /// Replica → scraper: the UTF-8 text metrics exposition of the node's
+    /// live telemetry recorder.
+    StatsText(
+        /// The exposition bytes (UTF-8 text, one metric per line).
+        Vec<u8>,
+    ),
 }
 
 impl<M: WireCodec> WireCodec for Frame<M> {
@@ -164,6 +180,11 @@ impl<M: WireCodec> WireCodec for Frame<M> {
             }
             Frame::Crash => out.push(5),
             Frame::Shutdown => out.push(6),
+            Frame::StatsRequest => out.push(7),
+            Frame::StatsText(text) => {
+                out.push(8);
+                push_bytes(out, text);
+            }
         }
     }
 
@@ -184,6 +205,8 @@ impl<M: WireCodec> WireCodec for Frame<M> {
             4 => Ok(Frame::Output(ReplicaOutput::decode(r)?)),
             5 => Ok(Frame::Crash),
             6 => Ok(Frame::Shutdown),
+            7 => Ok(Frame::StatsRequest),
+            8 => Ok(Frame::StatsText(r.read_bytes()?.to_vec())),
             tag => Err(DecodeError::BadTag {
                 context: "Frame",
                 tag,

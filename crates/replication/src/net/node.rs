@@ -30,12 +30,12 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use ec_core::types::{Compactable, EventualTotalOrderBroadcast};
+use ec_core::types::{Compactable, EventualTotalOrderBroadcast, Instrumented};
 use ec_detectors::{HeartbeatMsg, HeartbeatOmega};
 use ec_runtime::{run_handler, sleep_ms, RuntimeConfig, Stopwatch};
 use ec_sim::{Actions, Algorithm, Metrics, ProcessId};
 
-use crate::net::codec::{decode_body, encode_body, hello_body, Frame, WireCodec, DRIVER};
+use crate::net::codec::{decode_body, encode_body, hello_body, Frame, WireCodec, DRIVER, SCRAPER};
 use crate::net::transport::{read_frame, write_frame, PeerLink, ReadError};
 use crate::replica::{Replica, ReplicaCommand, ReplicaOutput};
 use crate::state_machine::StateMachine;
@@ -77,6 +77,12 @@ enum NetEvent<M> {
     Heartbeat { from: ProcessId, msg: HeartbeatMsg },
     /// A client command from the driver.
     Input(ReplicaCommand),
+    /// A telemetry scrape: render the live metrics exposition and write it
+    /// back over `reply`.
+    Stats {
+        /// The scrape connection to answer on.
+        reply: TcpStream,
+    },
     /// Stop taking steps, keep state for harvest, send no goodbye.
     Crash,
     /// Stop, flush outputs, echo a goodbye frame.
@@ -128,7 +134,7 @@ struct NodeSlot<M> {
 pub(crate) struct NetFinal<S, B>
 where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
 {
     /// Final replica of each node's last incarnation (crashed incarnations
     /// are overwritten by their restart).
@@ -147,7 +153,7 @@ where
 pub(crate) struct NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     n: usize,
@@ -167,7 +173,7 @@ where
 impl<S, B> std::fmt::Debug for NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -181,7 +187,7 @@ where
 impl<S, B> NetCluster<S, B>
 where
     S: StateMachine + Send + 'static,
-    B: EventualTotalOrderBroadcast + Compactable + Send + 'static,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented + Send + 'static,
     B::Msg: WireCodec + Send,
 {
     /// Binds one loopback listener per node, starts the acceptor, node and
@@ -403,6 +409,28 @@ where
         self.shared.stopwatch.elapsed_ms()
     }
 
+    /// Scrapes the live metrics exposition of node `p` over a fresh
+    /// connection: `Hello(SCRAPER)`, one `StatsRequest`, one `StatsText`
+    /// reply. `None` if the node is down or unreachable.
+    pub(crate) fn scrape(&self, p: ProcessId) -> Option<String> {
+        if self.down.get(p.index()).copied().unwrap_or(true) {
+            return None;
+        }
+        let addr = self.addr(p)?;
+        let mut stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(GOODBYE_WAIT_MS)))
+            .ok()?;
+        write_frame(&mut stream, &hello_body(SCRAPER)).ok()?;
+        write_frame(&mut stream, &encode_body::<B::Msg>(&Frame::StatsRequest)).ok()?;
+        let body = read_frame(&mut stream).ok()?;
+        match decode_body::<B::Msg>(&body) {
+            Ok(Frame::StatsText(text)) => String::from_utf8(text).ok(),
+            _ => None,
+        }
+    }
+
     /// Stops every node (goodbye protocol first, stop flag as backstop),
     /// joins their threads and harvests the final states.
     pub(crate) fn shutdown(mut self) -> NetFinal<S, B> {
@@ -528,7 +556,11 @@ fn serve_connection<M: WireCodec>(
             Some((Frame::Input(command), _)) => NetEvent::Input(command),
             Some((Frame::Crash, _)) => NetEvent::Crash,
             Some((Frame::Shutdown, _)) => NetEvent::Shutdown,
-            Some((Frame::Hello { .. } | Frame::Output(_), _)) => {
+            Some((Frame::StatsRequest, _)) => match stream.try_clone() {
+                Ok(reply) => NetEvent::Stats { reply },
+                Err(_) => return,
+            },
+            Some((Frame::Hello { .. } | Frame::Output(_) | Frame::StatsText(_), _)) => {
                 shared.malformed.fetch_add(1, Ordering::SeqCst);
                 return;
             }
@@ -628,7 +660,7 @@ fn dispatch_replica<S, B>(
     control: &ControlSlot,
 ) where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
     B::Msg: WireCodec,
 {
     let sent = actions.sends.len();
@@ -671,7 +703,7 @@ fn node_loop<S, B>(
 ) -> Replica<S, B>
 where
     S: StateMachine,
-    B: EventualTotalOrderBroadcast + Compactable,
+    B: EventualTotalOrderBroadcast + Compactable + Instrumented,
     B::Msg: WireCodec,
 {
     let mut omega = HeartbeatOmega::new(me, n, config.heartbeat);
@@ -714,6 +746,16 @@ where
                     a.on_message(from, msg, ctx)
                 });
                 dispatch_replica(me, actions, &mut links, &shared, &control);
+            }
+            Ok(NetEvent::Stats { mut reply }) => {
+                let report = replica
+                    .broadcast_layer()
+                    .recorder()
+                    .map(|r| r.report())
+                    .unwrap_or_default();
+                let text = report.to_exposition(me.index() as u32);
+                let body = encode_body::<B::Msg>(&Frame::StatsText(text.into_bytes()));
+                let _ = write_frame(&mut reply, &body);
             }
             Ok(NetEvent::Input(input)) => {
                 locked(&shared.metrics).inputs += 1;

@@ -4,8 +4,8 @@
 use std::fmt;
 
 use ec_core::types::{
-    AppMessage, Compactable, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast, MsgId,
-    Payload,
+    AppMessage, Compactable, DeliveredSequence, EtobBroadcast, EventualTotalOrderBroadcast,
+    Instrumented, MsgId, Payload,
 };
 use ec_sim::{Algorithm, Context, ProcessId};
 
@@ -123,7 +123,7 @@ pub struct ReplicaOutput {
 /// only fetches the suffix missed while down. Recovery is **lazy** —
 /// nothing touches the disk until `on_start` runs — so a pre-built spare
 /// automaton recovers the state of the instance it replaces.
-pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> {
+pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumented> {
     broadcast: B,
     state: S,
     applied: usize,
@@ -139,7 +139,7 @@ pub struct Replica<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable
     durable: Option<DurableStore>,
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Replica<S, B> {
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumented> Replica<S, B> {
     /// Wraps a broadcast layer.
     ///
     /// # Example
@@ -235,6 +235,14 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Replica<S, B
             snapshot: self.state.snapshot(),
         };
         if self.last_output.as_ref() != Some(&output) {
+            // flight-record the newest applied command (one event per
+            // visible state change, not per replayed tail entry)
+            if let Some(m) = self.tail.last() {
+                let (origin, seq) = (m.id.origin.index() as u32, m.id.seq);
+                if let Some(recorder) = self.broadcast.recorder_mut() {
+                    recorder.applied(origin, seq);
+                }
+            }
             self.last_output = Some(output.clone());
             ctx.output(output);
         }
@@ -349,8 +357,8 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Replica<S, B
     }
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + fmt::Debug> fmt::Debug
-    for Replica<S, B>
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumented + fmt::Debug>
+    fmt::Debug for Replica<S, B>
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Replica")
@@ -362,7 +370,9 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + fmt::Debug>
     }
 }
 
-impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable> Algorithm for Replica<S, B> {
+impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumented> Algorithm
+    for Replica<S, B>
+{
     type Msg = B::Msg;
     type Input = ReplicaCommand;
     type Output = ReplicaOutput;

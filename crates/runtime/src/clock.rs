@@ -38,6 +38,17 @@ impl Default for Stopwatch {
     }
 }
 
+// The telemetry clock for the real-time engines: a deployment starts one
+// stopwatch and shares it (it is `Copy`) with every replica's recorder, so
+// all flight-event timestamps of the deployment share one epoch. The
+// deterministic engine never constructs this — its recorders run on logical
+// ticks ([`ec_telemetry::TimeSource::Logical`]).
+impl ec_telemetry::Clock for Stopwatch {
+    fn now(&self) -> u64 {
+        self.elapsed_ms()
+    }
+}
+
 /// Blocks the calling thread for `ms` milliseconds (no-op for 0).
 pub fn sleep_ms(ms: u64) {
     if ms > 0 {

@@ -62,10 +62,13 @@ pub trait Algorithm {
 
     /// The modeled wire size of a message in bytes, used by the runners for
     /// the `bytes_sent` / `bytes_delivered` counters of
-    /// [`crate::Metrics`]. Messages are never actually serialized (both
-    /// execution engines pass them in memory), so this is an accounting
-    /// model; the default of `0` means "unmeasured" and leaves the byte
-    /// counters at zero for algorithms that do not override it.
+    /// [`crate::Metrics`]. The simulator and the thread runtime pass
+    /// messages in memory and charge this accounting model; the socket
+    /// engine (`ec_replication::net`) serializes for real through its wire
+    /// codec and measures bytes from the actual frames instead, with the
+    /// conformance suite keeping the two in agreement. The default of `0`
+    /// means "unmeasured" and leaves the byte counters at zero for
+    /// algorithms that do not override it.
     fn wire_size(msg: &Self::Msg) -> u64 {
         let _ = msg;
         0

@@ -173,6 +173,7 @@ impl WorldBuilder {
             crash_recorded: vec![0; self.n],
             last_activity: Time::ZERO,
             idle_window: self.quiescence_idle_window,
+            faults: ec_telemetry::EventRing::default(),
         };
         for (p, at) in recoveries {
             world.push_event(at, EventKind::Recover { process: p });
@@ -257,6 +258,11 @@ pub struct World<A: Algorithm, D: FailureDetector<Output = A::Fd>> {
     crash_recorded: Vec<usize>,
     last_activity: Time,
     idle_window: u64,
+    /// World-level fault events (crashes, recoveries) for the flight
+    /// recorder, timestamped by logical tick. Separate from the per-replica
+    /// recorders because the crashed process itself cannot record its own
+    /// demise.
+    faults: ec_telemetry::EventRing,
 }
 
 impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> fmt::Debug for World<A, D> {
@@ -299,6 +305,13 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
     /// The failure pattern of the run.
     pub fn failures(&self) -> &FailurePattern {
         &self.failures
+    }
+
+    /// World-level fault events (crashes and recoveries) recorded so far,
+    /// oldest first, for the flight recorder — the per-replica recorders
+    /// cannot see a crash from inside the crashed process.
+    pub fn fault_events(&self) -> Vec<ec_telemetry::Event> {
+        self.faults.events()
     }
 
     /// The automaton state of process `p` (for inspection in tests).
@@ -441,6 +454,12 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                         process,
                         at: self.now,
                     });
+                    self.faults.record(ec_telemetry::Event {
+                        at: self.now.as_u64(),
+                        kind: ec_telemetry::EventKind::Recovered,
+                        origin: process.index() as u32,
+                        seq: 0,
+                    });
                     self.metrics.recoveries += 1;
                     self.last_activity = self.now;
                     // rejoining runs the start handler again, re-arming the
@@ -559,6 +578,12 @@ impl<A: Algorithm, D: FailureDetector<Output = A::Fd>> World<A, D> {
                 self.trace.push(TraceEvent::Crashed {
                     process: p,
                     at: w.from,
+                });
+                self.faults.record(ec_telemetry::Event {
+                    at: w.from.as_u64(),
+                    kind: ec_telemetry::EventKind::Crashed,
+                    origin: p.index() as u32,
+                    seq: 0,
                 });
             }
         }

@@ -1,0 +1,43 @@
+//! # `ec-telemetry` — structured tracing, latency histograms, flight recorder
+//!
+//! The dependency-free observability layer under every engine:
+//!
+//! * [`event`] — typed lifecycle events ([`Event`], [`EventKind`]) and the
+//!   fixed-capacity, overwrite-on-full [`EventRing`] each replica records
+//!   into. Recording is zero-allocation: an event is a `Copy` struct written
+//!   into a preallocated slot.
+//! * [`hist`] — the log-linear (HDR-style) latency [`Histogram`]: O(1)
+//!   `record`, associative and commutative [`Histogram::merge`], and
+//!   integer per-mille quantiles (p50/p90/p99/p999) with ≤ 1/16 relative
+//!   bucket error.
+//! * [`clock`] — the [`Clock`] abstraction and [`TimeSource`]: logical
+//!   ticks on the deterministic simulator, an externally supplied monotonic
+//!   clock on the real-time engines. This crate itself never reads a wall
+//!   clock, so sim-path recording stays byte-deterministic by construction.
+//! * [`recorder`] — the per-replica [`Recorder`] tying the three together:
+//!   it timestamps events, matches submit/admit/promote times to
+//!   deliveries, and feeds the three latency histograms
+//!   (submit→deliver, promote→deliver, admit→deliver stability lag).
+//! * [`report`] — the mergeable [`TelemetryReport`] summary with a stable,
+//!   integer-only JSON export (sorted keys, no floats, no timestamps of
+//!   its own — two identical deterministic runs export identical bytes).
+//! * [`flight`] — the flight recorder: causally merge the last-N-events
+//!   rings of all replicas of a failed run into one human-readable trace
+//!   dumped next to the counterexample.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod event;
+pub mod flight;
+pub mod hist;
+pub mod recorder;
+pub mod report;
+
+pub use clock::{Clock, TimeSource};
+pub use event::{Event, EventKind, EventRing, FLIGHT_CAPACITY};
+pub use flight::{merge_flight, render_flight};
+pub use hist::Histogram;
+pub use recorder::Recorder;
+pub use report::TelemetryReport;

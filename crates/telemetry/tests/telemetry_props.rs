@@ -1,0 +1,115 @@
+//! Property-based tests of the latency histogram and report merging.
+//!
+//! Three families:
+//!
+//! 1. **Bucket boundary round-trips** — every value lands in a bucket whose
+//!    bounds contain it, with relative width ≤ 1/16, and bucket bounds are
+//!    themselves fixed points of the bucketing.
+//! 2. **Merge algebra** — `merge` is associative and commutative, and
+//!    merging partitions of a value set is indistinguishable from recording
+//!    the whole set into one histogram.
+//! 3. **Quantile monotonicity** — quantiles are non-decreasing in the
+//!    quantile argument, bounded by the recorded maximum, and never exceed
+//!    an observed value by more than a bucket width.
+
+use ec_telemetry::{Histogram, TelemetryReport};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..200)
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// A single-value histogram reports that value (within bucket error)
+    /// at every quantile: the bucket containing `v` has relative width
+    /// ≤ 1/16, so p50 of {v} is within v/16 of v, and max is exact.
+    #[test]
+    fn bucket_boundaries_round_trip(v in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        prop_assert_eq!(h.max(), v);
+        prop_assert_eq!(h.count(), 1);
+        let p50 = h.quantile(500);
+        // The quantile is clamped to the recorded max and can undershoot
+        // only by the bucket width below it.
+        prop_assert!(p50 <= v);
+        prop_assert!(v - p50 <= v / 16);
+    }
+
+    /// Merging is commutative and merging a partition equals bulk
+    /// recording.
+    #[test]
+    fn merge_commutes_and_matches_bulk(values in arb_values(), split in any::<u8>()) {
+        let pivot = values.len() * usize::from(split) / 256;
+        let (left, right) = values.split_at(pivot);
+        let all = hist_of(&values);
+        let mut ab = hist_of(left);
+        ab.merge(&hist_of(right));
+        let mut ba = hist_of(right);
+        ba.merge(&hist_of(left));
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&ab, &all);
+        prop_assert_eq!(ab.to_json(), all.to_json());
+    }
+
+    /// Merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Quantiles are non-decreasing in the quantile argument and bounded
+    /// by the recorded maximum.
+    #[test]
+    fn quantiles_are_monotone(values in arb_values()) {
+        let h = hist_of(&values);
+        let quantiles: Vec<u64> =
+            [0, 100, 250, 500, 750, 900, 990, 999, 1000].iter().map(|&q| h.quantile(q)).collect();
+        for pair in quantiles.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {:?}", quantiles);
+        }
+        let max = values.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(h.quantile(1000), max);
+        for &q in &quantiles {
+            prop_assert!(q <= max);
+        }
+    }
+
+    /// Report merging inherits the histogram algebra.
+    #[test]
+    fn report_merge_commutes(a in arb_values(), b in arb_values()) {
+        let mut ra = TelemetryReport::default();
+        for &v in &a { ra.submit_deliver.record(v); ra.stability_lag.record(v / 2); }
+        ra.events_recorded = a.len() as u64;
+        let mut rb = TelemetryReport::default();
+        for &v in &b { rb.submit_deliver.record(v); rb.promote_stable.record(v / 3); }
+        rb.events_recorded = b.len() as u64;
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+        prop_assert_eq!(ab.events_recorded, (a.len() + b.len()) as u64);
+    }
+}

@@ -25,6 +25,10 @@
 //!   a seeded randomized scenario explorer with a greedy shrinker, and
 //!   history-based consistency checkers (convergence, session order, and a
 //!   WGL-style linearizability search for strong runs).
+//! * [`telemetry`] — the dependency-free observability layer: per-replica
+//!   flight-recorder event rings, log-linear latency histograms
+//!   (submit→deliver, promote→deliver, stability lag), and the mergeable
+//!   report every engine surfaces through `ClusterReport`.
 //!
 //! # Quickstart
 //!
@@ -94,3 +98,4 @@ pub use ec_detectors as detectors;
 pub use ec_replication as replication;
 pub use ec_runtime as runtime;
 pub use ec_sim as sim;
+pub use ec_telemetry as telemetry;

@@ -11,8 +11,8 @@
 
 use eventual_consistency::chaos::shrink::shrink;
 use eventual_consistency::chaos::{
-    check_outcome, run_net_smoke, run_scenario, run_thread_smoke, ClientOp, MergingKv, NemesisOp,
-    Scenario, ScenarioGen, WorkloadOp,
+    check_outcome, run_net_smoke, run_scenario, run_thread_smoke, write_flight_artifact, ClientOp,
+    MergingKv, NemesisOp, Scenario, ScenarioGen, WorkloadOp,
 };
 use eventual_consistency::replication::{Consistency, KvStore, NetEngine, ThreadEngine};
 use eventual_consistency::sim::{LinkScope, ProcessId, RecoveryPolicy};
@@ -167,6 +167,24 @@ fn broken_state_machine_is_caught_shrunk_and_replayable() {
     let second = check_outcome(&run_scenario::<MergingKv>(&shrunk));
     assert_eq!(first, second, "the counterexample must replay exactly");
     assert!(!first.ok());
+
+    // the failure also emits a flight-recorder artifact next to the
+    // counterexample: the causally merged last-N-events trace of every
+    // replica, headed by the violations and the replayable scenario
+    let failed = run_scenario::<MergingKv>(&shrunk);
+    let verdict = check_outcome(&failed);
+    let dir = std::env::temp_dir().join(format!("ec-chaos-flight-{}", std::process::id()));
+    let path = write_flight_artifact(&dir, &shrunk, &verdict, &failed)
+        .expect("artifact write must succeed")
+        .expect("a failing run must emit a flight artifact");
+    let trace = std::fs::read_to_string(&path).expect("artifact must be readable");
+    println!("flight artifact at {}:\n{trace}", path.display());
+    assert!(trace.contains("# chaos counterexample: merging-kv-bug-shrunk"));
+    assert!(trace.contains("linearizability"), "{trace}");
+    // the timeline shows the witness writes being submitted and delivered
+    assert!(trace.contains("submitted"), "{trace}");
+    assert!(trace.contains("delivered"), "{trace}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

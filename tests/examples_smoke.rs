@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "leader_extraction",
     "partitioned_kv",
@@ -14,6 +14,7 @@ const EXAMPLES: [&str; 7] = [
     "runtime_demo",
     "chaos_demo",
     "net_kv",
+    "telemetry_demo",
 ];
 
 /// Runs all examples sequentially in one test so concurrent `cargo run`
