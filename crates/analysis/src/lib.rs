@@ -7,8 +7,9 @@
 //!   ambient randomness, or iterate hash-order collections;
 //! * **panic-safety** — code reachable from `on_message`/decode/digest paths
 //!   must return typed errors instead of panicking on peer input;
-//! * **lock-discipline** — the thread engine must not nest `parking_lot`
-//!   locks or block on a channel send while a guard is live;
+//! * **lock-discipline** — thread-spawning crates (the runtime engine, the
+//!   replication worker pool) must not nest locks, or block on a channel
+//!   send or a thread join while a guard is live;
 //! * **wire-hygiene** — every `*Msg` variant must be matched by name in its
 //!   handler and accounted in `wire_bytes`/`wire_size`.
 //!

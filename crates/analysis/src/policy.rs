@@ -9,7 +9,7 @@
 //! | `sim`            | ✓           | ✓            |                 | ✓            |
 //! | `detectors`      | ✓           | ✓            |                 | ✓            |
 //! | `cht`            | ✓           | ✓            |                 | ✓            |
-//! | `replication`    | ✓           | ✓            |                 | ✓            |
+//! | `replication`    | ✓           | ✓            | ✓               | ✓            |
 //! | `storage`        | ✓           | ✓            |                 | ✓            |
 //! | `telemetry`      | ✓           | ✓            |                 | ✓            |
 //! | `chaos`          | ✓           | ✓            |                 | ✓            |
@@ -19,8 +19,10 @@
 //! | `analysis`       | exempt (the analyzer itself)                        |
 //!
 //! `ec-runtime` is the thread-backed engine: wall clock and OS scheduling are
-//! its whole point, so determinism rules would be noise there — but it is the
-//! only crate where lock-discipline hazards exist at all. Vendored stubs
+//! its whole point, so determinism rules would be noise there. Since the
+//! throughput engine landed, `ec-replication` also spawns OS threads (the
+//! worker-pool shard stepper and the socket-backed net engine), so it carries
+//! lock-discipline on top of the strict deterministic row. Vendored stubs
 //! under `vendor/` are not walked.
 
 use crate::model::FileModel;
@@ -45,8 +47,16 @@ pub fn crate_policy(dir_name: &str) -> Option<RuleSet> {
         // on disk — no wall clock, no ambient randomness, no unordered maps.
         // `telemetry` likewise: it *abstracts* time behind `Clock`, and must
         // never read a wall clock itself, or sim runs lose reproducibility.
-        "core" | "sim" | "detectors" | "cht" | "replication" | "storage" | "telemetry"
-        | "chaos" => Some(deterministic),
+        "core" | "sim" | "detectors" | "cht" | "storage" | "telemetry" | "chaos" => {
+            Some(deterministic)
+        }
+        // `replication` spawns OS threads (worker-pool shard stepping, the
+        // socket net engine), so it gets lock-discipline on top of the
+        // strict deterministic row.
+        "replication" => Some(RuleSet {
+            lock_discipline: true,
+            ..deterministic
+        }),
         "runtime" => Some(RuleSet {
             determinism: false,
             panic_safety: false,
@@ -169,7 +179,6 @@ mod tests {
             "sim",
             "detectors",
             "cht",
-            "replication",
             "storage",
             "telemetry",
             "chaos",
@@ -178,6 +187,11 @@ mod tests {
             assert!(p.determinism && p.panic_safety && p.wire_hygiene);
             assert!(!p.lock_discipline);
         }
+        // replication is strict *plus* lock-discipline: it spawns the
+        // worker-pool stepper and the socket net engine threads
+        let rep = crate_policy("replication").expect("replication has a policy");
+        assert!(rep.determinism && rep.panic_safety && rep.wire_hygiene);
+        assert!(rep.lock_discipline);
         let rt = crate_policy("runtime").expect("runtime has a policy");
         assert!(rt.lock_discipline && rt.wire_hygiene);
         assert!(!rt.determinism && !rt.panic_safety);

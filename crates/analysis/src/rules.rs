@@ -30,6 +30,8 @@ pub mod rule_ids {
     pub const NESTED_LOCK: &str = "lock-discipline::nested-lock";
     /// A blocking channel send while a lock guard is live.
     pub const SEND_UNDER_LOCK: &str = "lock-discipline::send-under-lock";
+    /// A blocking thread join while a lock guard is live.
+    pub const JOIN_UNDER_LOCK: &str = "lock-discipline::join-under-lock";
     /// A `*Msg` variant never matched by name in a same-file `on_message`.
     pub const UNHANDLED_VARIANT: &str = "wire-hygiene::unhandled-variant";
     /// A `*Msg` variant never matched by name in `wire_bytes`/`wire_size`.
@@ -49,7 +51,7 @@ pub struct RuleSet {
     pub determinism: bool,
     /// Forbid panicking constructs on message-handling paths.
     pub panic_safety: bool,
-    /// Flag nested locks and channel sends under a live guard.
+    /// Flag nested locks, channel sends and thread joins under a live guard.
     pub lock_discipline: bool,
     /// Require `*Msg` variants to be handled and wire-accounted by name.
     pub wire_hygiene: bool,
@@ -303,7 +305,10 @@ fn scan_fn_for_panics(file: &SourceFile, def: &FnDef, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------------
 
 /// Flags, per function, a second `.lock()` taken while a guard is live (or in
-/// the same statement) and a `.send(` under the same conditions.
+/// the same statement), plus a `.send(` or a `.join(` under the same
+/// conditions. Joins matter for the worker-pool engines: blocking on a thread
+/// handle while holding a shared-state guard deadlocks as soon as the joined
+/// thread needs that same lock to make progress.
 ///
 /// Guard tracking is statement-shaped: `let g = …​.lock();` creates a guard
 /// that lives until its enclosing block closes or a bare `drop(g);` runs.
@@ -396,6 +401,23 @@ fn lock_discipline_fn(file: &SourceFile, def: &FnDef, out: &mut Vec<Finding>) {
                         t.line,
                         format!(
                             "`{}` performs a blocking channel send while a lock guard is live",
+                            def.name
+                        ),
+                    ));
+                }
+                "join"
+                    if k > def.body.0
+                        && toks[k - 1].is_punct('.')
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+                        && (!guards.is_empty() || stmt_locks > 0) =>
+                {
+                    out.push(finding(
+                        rule_ids::JOIN_UNDER_LOCK,
+                        file,
+                        t.line,
+                        format!(
+                            "`{}` blocks on a thread join while a lock guard is live; \
+                             the joined thread deadlocks if it needs that lock",
                             def.name
                         ),
                     ));
@@ -725,6 +747,43 @@ mod tests {
         assert_eq!(found[0].line, 3);
         assert_eq!(found[1].line, 10);
         assert_eq!(found[2].line, 14);
+    }
+
+    #[test]
+    fn lock_discipline_sees_joins_under_guards() {
+        let f = file(
+            "fn join_under(&self) {\n\
+                 let g = self.state.lock();\n\
+                 self.handle.join();\n\
+             }\n\
+             fn join_same_stmt(&self) {\n\
+                 let n = self.state.lock().len() + self.handle.join().unwrap();\n\
+             }\n\
+             fn join_after_drop(&self) {\n\
+                 let g = self.state.lock();\n\
+                 drop(g);\n\
+                 self.handle.join();\n\
+             }\n\
+             fn join_lock_free(&self) {\n\
+                 self.handle.join();\n\
+             }\n",
+        );
+        let found = run(
+            std::slice::from_ref(&f),
+            &RuleSet {
+                lock_discipline: true,
+                ..RuleSet::none()
+            },
+        );
+        assert_eq!(
+            rules_of(&found),
+            vec![
+                rule_ids::JOIN_UNDER_LOCK, // join_under
+                rule_ids::JOIN_UNDER_LOCK, // join_same_stmt
+            ]
+        );
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[1].line, 6);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! The `perf-smoke` entry point for E14: runs the throughput grid (E10's
+//! fixed 768-op zipf mix, shards ∈ {1, 2, 4, 8} × execution mode ∈
+//! {sequential, 4 workers}) once and writes `BENCH_throughput.json` to the
+//! current directory. The artifact carries both the deterministic columns
+//! (op counts, messages, convergence tick, snapshot hash, latency
+//! percentiles — byte-identical across runs, hosts and execution modes) and
+//! the host-dependent wall-clock columns the acceptance numbers live in;
+//! CI diffs only the deterministic projection (`deterministic_view`).
+//!
+//! Pass `--deterministic` to print the deterministic projection of an
+//! existing artifact on stdin instead of running the grid — the filter CI
+//! uses, kept in the binary so the stripping rule can never drift from the
+//! generator.
+
+use std::io::Read;
+
+use ec_bench::throughput::{deterministic_view, grid_json, print_table, run_grid};
+
+fn main() {
+    if std::env::args().any(|a| a == "--deterministic") {
+        let mut json = String::new();
+        std::io::stdin()
+            .read_to_string(&mut json)
+            .expect("read artifact from stdin");
+        print!("{}", deterministic_view(&json));
+        return;
+    }
+    println!(
+        "[E14] throughput engine: E10's 768-op zipf mix, 3 replicas per shard, batch flush = 5, \
+         shards x {{seq, par4}}"
+    );
+    let points = run_grid();
+    print_table(&points);
+    let json = grid_json(&points);
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

@@ -95,8 +95,18 @@ use crate::version::VersionVector;
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CausalGraph {
     nodes: BTreeMap<MsgId, AppMessage>,
-    /// Edges `(before, after)`.
-    edges: BTreeSet<(MsgId, MsgId)>,
+    /// Edges `(before, after)`, stored as the predecessor list of each
+    /// `after` node. Keyed by `after` because the promotion fixpoint asks
+    /// "are all predecessors of `id` promoted?" once per candidate per
+    /// pass — with a flat edge set that query was a full scan of every
+    /// edge in the graph; here it is one map lookup plus an inline list
+    /// (messages rarely declare more than a couple of dependencies, so
+    /// the list almost never allocates). Lists keep first-seen dependency
+    /// order and entries are dropped when their last edge retires, so two
+    /// graphs built from the same messages compare equal field-by-field.
+    preds: BTreeMap<MsgId, crate::inline::InlineVec<MsgId, 4>>,
+    /// Number of edges across all predecessor lists (wire accounting).
+    edge_count: usize,
     /// Exact digest of every identifier ever added — resident *and*
     /// compacted — maintained incrementally and never shrunk.
     digest: VersionVector,
@@ -116,9 +126,19 @@ impl CausalGraph {
     pub fn recovered(frontier: VersionVector) -> Self {
         CausalGraph {
             nodes: BTreeMap::new(),
-            edges: BTreeSet::new(),
+            preds: BTreeMap::new(),
+            edge_count: 0,
             digest: frontier.clone(),
             compacted: frontier,
+        }
+    }
+
+    /// Records the edge `(before, after)` unless it is already present.
+    fn add_edge(&mut self, before: MsgId, after: MsgId) {
+        let list = self.preds.entry(after).or_default();
+        if !list.contains(&before) {
+            list.push(before);
+            self.edge_count += 1;
         }
     }
 
@@ -130,7 +150,7 @@ impl CausalGraph {
             return false;
         }
         for dep in &message.deps {
-            self.edges.insert((*dep, message.id));
+            self.add_edge(*dep, message.id);
         }
         self.digest.insert(message.id);
         self.nodes.insert(message.id, message).is_none()
@@ -144,13 +164,16 @@ impl CausalGraph {
                 self.nodes.insert(*id, msg.clone());
             }
         }
-        self.edges.extend(
-            other
-                .edges
-                .iter()
-                .filter(|(b, a)| !self.compacted.contains(*b) && !self.compacted.contains(*a))
-                .copied(),
-        );
+        for (after, list) in &other.preds {
+            if self.compacted.contains(*after) {
+                continue;
+            }
+            for before in list {
+                if !self.compacted.contains(*before) {
+                    self.add_edge(*before, *after);
+                }
+            }
+        }
     }
 
     /// Retires a causally closed set of nodes folded into a snapshot: drops
@@ -166,8 +189,24 @@ impl CausalGraph {
             self.digest.insert(*id);
             self.nodes.remove(id);
         }
-        self.edges
-            .retain(|(b, a)| !retired.contains(b) && !retired.contains(a));
+        let mut dropped = 0usize;
+        self.preds.retain(|after, list| {
+            if retired.contains(after) {
+                dropped += list.len();
+                return false;
+            }
+            let before_len = list.len();
+            let kept: crate::inline::InlineVec<MsgId, 4> = list
+                .iter()
+                .copied()
+                .filter(|before| !retired.contains(before))
+                .collect();
+            dropped += before_len - kept.len();
+            let keep = !kept.is_empty();
+            *list = kept;
+            keep
+        });
+        self.edge_count -= dropped;
     }
 
     /// The identifiers retired by compaction.
@@ -205,7 +244,7 @@ impl CausalGraph {
     pub fn wire_bytes(&self) -> u64 {
         8 + self.nodes.values().map(AppMessage::wire_bytes).sum::<u64>()
             + 8
-            + 32 * self.edges.len() as u64
+            + 32 * self.edge_count as u64
     }
 
     /// Number of *resident* messages (compacted history excluded) — the
@@ -224,12 +263,16 @@ impl CausalGraph {
         self.nodes.contains_key(&id)
     }
 
-    /// The causal predecessors of `id` recorded in the graph.
+    /// The causal predecessors of `id` recorded in the graph. One map
+    /// lookup plus an inline-list walk — the promotion fixpoint calls this
+    /// once per candidate per pass, so it must not scan the whole edge set.
     pub fn predecessors(&self, id: MsgId) -> impl Iterator<Item = MsgId> + '_ {
-        self.edges
+        self.preds
+            .get(&id)
+            .map(|list| list.as_slice())
+            .unwrap_or(&[])
             .iter()
-            .filter(move |(_, after)| *after == id)
-            .map(|(before, _)| *before)
+            .copied()
     }
 
     /// The messages of the graph, keyed by identifier.
@@ -237,9 +280,12 @@ impl CausalGraph {
         self.nodes.values()
     }
 
-    /// The causal edges of the graph.
+    /// The causal edges of the graph, grouped by successor in identifier
+    /// order (each successor's dependencies in first-seen order).
     pub fn edges(&self) -> impl Iterator<Item = (MsgId, MsgId)> + '_ {
-        self.edges.iter().copied()
+        self.preds
+            .iter()
+            .flat_map(|(after, list)| list.iter().map(move |before| (*before, *after)))
     }
 }
 
@@ -585,6 +631,10 @@ pub struct EtobOmega {
     /// lifecycle events and latency clocks, attached by the engines and
     /// never consulted by the protocol itself.
     telemetry: Option<Box<ec_telemetry::Recorder>>,
+    /// Reusable candidate buffer for the `UpdatePromote()` fixpoint. The
+    /// fixpoint runs on every update delivery, so a fresh `Vec` per pass
+    /// was measurable allocator churn on the per-operation hot path.
+    promote_scratch: Vec<MsgId>,
 }
 
 impl EtobOmega {
@@ -642,6 +692,7 @@ impl EtobOmega {
             compacted_total: 0,
             compact_conflicts: 0,
             telemetry: None,
+            promote_scratch: Vec::new(),
         }
     }
 
@@ -788,14 +839,19 @@ impl EtobOmega {
     /// predecessors arrive. Returns `true` if the sequence grew.
     fn update_promote(&mut self) -> bool {
         let before = self.promote.len();
+        // The candidate list is a reusable scratch buffer: the fixpoint
+        // runs on every update delivery, so collecting a fresh `Vec` per
+        // pass was measurable allocator churn on the E10 hot path.
+        let mut scratch = std::mem::take(&mut self.promote_scratch);
         loop {
             let mut appended = false;
             // Deterministic scan order: by message identifier. Only the
             // incrementally maintained pending set is scanned, so a pass
             // costs O(pending), independent of how much promoted history
             // the graph retains.
-            let candidates: Vec<MsgId> = self.unpromoted.iter().copied().collect();
-            for id in candidates {
+            scratch.clear();
+            scratch.extend(self.unpromoted.iter().copied());
+            for &id in &scratch {
                 let deps_satisfied = self
                     .graph
                     .predecessors(id)
@@ -820,6 +876,7 @@ impl EtobOmega {
                 break;
             }
         }
+        self.promote_scratch = scratch;
         self.promote.len() > before
     }
 

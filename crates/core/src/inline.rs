@@ -1,0 +1,300 @@
+//! `SmallVec`-style inline storage, hand-rolled for the hot paths.
+//!
+//! The per-operation path of Algorithm 5 is dominated by many *tiny*
+//! collections: a message's causal dependency list is almost always one
+//! identifier (session chaining) and never more than a handful, yet a
+//! `Vec<MsgId>` puts every one of them on the heap and makes every
+//! `AppMessage` clone an allocation. [`InlineVec`] stores up to `N`
+//! elements inline — no allocation, `Copy`-cheap clones — and spills to a
+//! `Vec` only beyond that, so the common case is allocation-free while the
+//! rare long list stays correct.
+//!
+//! The type is deliberately restricted to `T: Copy + Default` (identifiers,
+//! small plain records): that keeps the implementation 100% safe Rust — no
+//! `MaybeUninit`, nothing for the panic-safety analyzer to reason about —
+//! which matters more here than generality. Collections of non-`Copy`
+//! payloads keep using `Vec` and are optimized by *reuse* instead (see
+//! `EtobOmega`'s scratch buffers).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+///
+/// Dereferences to `[T]`, so all slice reads (`len`, `iter`, indexing,
+/// `contains`) work unchanged; mutation is limited to [`InlineVec::push`],
+/// [`InlineVec::clear`] and slice-level element writes — exactly what the
+/// dep-list and buffer hot paths need.
+///
+/// # Example
+///
+/// ```
+/// use ec_core::inline::InlineVec;
+///
+/// let mut deps: InlineVec<u64, 2> = InlineVec::new();
+/// deps.push(7);
+/// assert_eq!(deps.as_slice(), &[7]);
+/// deps.push(8);
+/// deps.push(9); // spills to the heap, keeping order
+/// assert_eq!(deps.len(), 3);
+/// assert!(!deps.spilled() || deps.len() > 2);
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+#[derive(Clone)]
+enum Repr<T, const N: usize> {
+    Inline { buf: [T; N], len: usize },
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (inline, no allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            repr: Repr::Inline {
+                buf: [T::default(); N],
+                len: 0,
+            },
+        }
+    }
+
+    /// Appends an element, spilling to the heap at the `N + 1`-th.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < N {
+                    // analysis:allow(panic-safety::index, reason = "guarded by the `*len < N` branch condition on the line above, so the write is provably in bounds")
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(N * 2);
+                    // analysis:allow(panic-safety::index, reason = "the Inline invariant is len <= N, so the prefix slice is provably in bounds")
+                    spilled.extend_from_slice(&buf[..*len]);
+                    spilled.push(value);
+                    self.repr = Repr::Spilled(spilled);
+                }
+            }
+            Repr::Spilled(vec) => vec.push(value),
+        }
+    }
+
+    /// Removes every element. A spilled vector stays spilled (its capacity
+    /// is retained for reuse).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Spilled(vec) => vec.clear(),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            // analysis:allow(panic-safety::index, reason = "the Inline invariant is len <= N, so the prefix slice is provably in bounds")
+            Repr::Inline { buf, len } => &buf[..*len],
+            Repr::Spilled(vec) => vec.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => &mut buf[..*len],
+            Repr::Spilled(vec) => vec.as_mut_slice(),
+        }
+    }
+
+    /// Returns `true` once the vector has spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spilled(_))
+    }
+
+    /// The elements as an owned `Vec` (copies; the vector is unchanged).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Hash, const N: usize> Hash for InlineVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // hash exactly like the equivalent slice/Vec, so replacing a Vec
+        // field with an InlineVec never changes derived `Hash` results
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(vec: Vec<T>) -> Self {
+        if vec.len() > N {
+            InlineVec {
+                repr: Repr::Spilled(vec),
+            }
+        } else {
+            vec.into_iter().collect()
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<H: Hash>(value: &H) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn stays_inline_up_to_capacity_and_spills_beyond() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty() && !v.spilled());
+        for k in 0..3 {
+            v.push(k);
+            assert!(!v.spilled(), "within capacity must stay inline");
+        }
+        v.push(3);
+        assert!(v.spilled(), "beyond capacity must spill");
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn clear_retains_spilled_capacity_and_resets_inline() {
+        let mut inline: InlineVec<u8, 2> = [1, 2].into_iter().collect();
+        inline.clear();
+        assert!(inline.is_empty() && !inline.spilled());
+        let mut spilled: InlineVec<u8, 2> = [1, 2, 3].into_iter().collect();
+        spilled.clear();
+        assert!(spilled.is_empty() && spilled.spilled());
+        spilled.push(9);
+        assert_eq!(spilled.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn equality_and_hash_match_the_equivalent_vec() {
+        let a: InlineVec<u64, 2> = [5, 6, 7].into_iter().collect(); // spilled
+        let b: InlineVec<u64, 4> = [5, 6, 7].into_iter().collect(); // inline
+        assert_eq!(a, vec![5, 6, 7]);
+        assert_eq!(b, vec![5, 6, 7]);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(
+            hash_of(&a),
+            hash_of(&b),
+            "inline and spilled representations must hash identically"
+        );
+        assert_eq!(a, [5u64, 6, 7]);
+        assert_ne!(b, vec![5, 6]);
+    }
+
+    #[test]
+    fn from_vec_and_slice_reads_round_trip() {
+        let v: InlineVec<u16, 2> = Vec::from([1, 2, 3, 4]).into();
+        assert!(v.spilled());
+        assert_eq!(v.to_vec(), vec![1, 2, 3, 4]);
+        let w: InlineVec<u16, 8> = Vec::from([1, 2]).into();
+        assert!(!w.spilled());
+        assert!(w.contains(&2), "slice methods work through Deref");
+        assert_eq!(w.iter().copied().sum::<u16>(), 3);
+        let mut m = w.clone();
+        m.as_mut_slice()[0] = 9;
+        assert_eq!(m.as_slice(), &[9, 2]);
+        assert_eq!(format!("{m:?}"), "[9, 2]");
+    }
+
+    #[test]
+    fn extend_and_collect_preserve_order_across_the_spill_boundary() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.extend([1, 2]);
+        v.extend([3, 4, 5]);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4, 5]);
+        let total: u32 = (&v).into_iter().copied().sum();
+        assert_eq!(total, 15);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod ec_omega;
 pub mod etob_omega;
 pub mod harness;
+pub mod inline;
 pub mod spec;
 pub mod tob_consensus;
 pub mod transforms;

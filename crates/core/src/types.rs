@@ -20,7 +20,7 @@ use crate::version::VersionVector;
 /// let id = MsgId::new(ProcessId::new(2), 7);
 /// assert_eq!(format!("{id}"), "p2#7");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId {
     /// The broadcasting process.
     pub origin: ProcessId,
@@ -56,6 +56,13 @@ impl fmt::Display for MsgId {
 /// client's `Vec<u8>` is moved behind the `Arc`.
 pub type Payload = Arc<[u8]>;
 
+/// The causal dependency list `C(m)` of a message. Session-chained
+/// commands declare exactly one dependency, so the list lives inline
+/// ([`crate::inline::InlineVec`]) and cloning an [`AppMessage`] on the
+/// broadcast fan-out or delivery path allocates nothing; a rare longer
+/// list spills to the heap transparently.
+pub type DepList = crate::inline::InlineVec<MsgId, 2>;
+
 /// An application message broadcast through (E)TOB: an identifier, an opaque
 /// payload, and the identifiers of the messages it causally depends on (the
 /// paper's `C(m)` passed to `broadcastETOB(m, C(m))`).
@@ -65,8 +72,9 @@ pub struct AppMessage {
     pub id: MsgId,
     /// Opaque application payload (shared zero-copy across fan-outs).
     pub payload: Payload,
-    /// Identifiers of causal predecessors declared at broadcast time.
-    pub deps: Vec<MsgId>,
+    /// Identifiers of causal predecessors declared at broadcast time
+    /// (inline up to two entries, so clones stay allocation-free).
+    pub deps: DepList,
 }
 
 impl AppMessage {
@@ -75,16 +83,20 @@ impl AppMessage {
         AppMessage {
             id,
             payload: payload.into(),
-            deps: Vec::new(),
+            deps: DepList::new(),
         }
     }
 
     /// Creates a message with declared causal dependencies `C(m)`.
-    pub fn with_deps(id: MsgId, payload: impl Into<Payload>, deps: Vec<MsgId>) -> Self {
+    pub fn with_deps(
+        id: MsgId,
+        payload: impl Into<Payload>,
+        deps: impl IntoIterator<Item = MsgId>,
+    ) -> Self {
         AppMessage {
             id,
             payload: payload.into(),
-            deps,
+            deps: deps.into_iter().collect(),
         }
     }
 
@@ -132,7 +144,7 @@ impl EtobBroadcast {
         origin: ProcessId,
         seq: u64,
         payload: impl Into<Payload>,
-        deps: Vec<MsgId>,
+        deps: impl IntoIterator<Item = MsgId>,
     ) -> Self {
         EtobBroadcast {
             message: AppMessage::with_deps(MsgId::new(origin, seq), payload, deps),

@@ -56,7 +56,11 @@ impl WireCodec for AppMessage {
         for _ in 0..count {
             deps.push(MsgId::decode(r)?);
         }
-        Ok(AppMessage { id, payload, deps })
+        Ok(AppMessage {
+            id,
+            payload,
+            deps: deps.into(),
+        })
     }
 }
 

@@ -114,7 +114,7 @@ impl BroadcastWorkload {
                 id: b.message.id,
                 by: *origin,
                 at: Time::new(*at),
-                deps: b.message.deps.clone(),
+                deps: b.message.deps.to_vec(),
             })
             .collect()
     }

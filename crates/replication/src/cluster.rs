@@ -281,6 +281,25 @@ impl<S: StateMachine + Send + 'static> Cluster<S> {
         id
     }
 
+    /// Submits a slice of commands through `session` at facade time `at` in
+    /// one pass, chaining each command on its predecessor (the first on the
+    /// session's current frontier). One call replaces `commands.len()`
+    /// facade round-trips, so a driver feeding a hot cluster spends its
+    /// time in the protocol, not in per-command bookkeeping. Returns the
+    /// identifiers in submission order.
+    pub fn submit_batch(
+        &mut self,
+        session: &mut Session,
+        commands: &[ReplicaCommand],
+        at: u64,
+    ) -> Vec<MsgId> {
+        let mut ids = Vec::with_capacity(commands.len());
+        for command in commands {
+            ids.push(self.submit(session, command.clone(), at));
+        }
+        ids
+    }
+
     /// Submits a command directly to replica `entry` at facade time `at`,
     /// without session causal threading (any dependencies already declared
     /// on the command are kept).

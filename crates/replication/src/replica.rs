@@ -229,6 +229,41 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumente
             state.apply(m.payload.as_ref());
         }
         self.state = state;
+        self.emit_output(ctx);
+    }
+
+    /// Adopts a freshly delivered sequence as the resident tail.
+    ///
+    /// Deliveries almost always *extend* the previous tail — the broadcast
+    /// layer only rewrites the prefix while Ω is unstable — so the common
+    /// case applies just the new suffix to the live state. The previous
+    /// implementation rebuilt from a clone of the base state on every
+    /// delivery, replaying the whole tail each time: per-operation cost
+    /// grew with the delivered history and dominated the E10 profile.
+    fn adopt_tail(&mut self, new_tail: Vec<AppMessage>, ctx: &mut Context<'_, Self>) {
+        let is_extension = new_tail.len() >= self.tail.len()
+            && self.tail.iter().zip(&new_tail).all(|(a, b)| a.id == b.id);
+        if !is_extension {
+            // prefix rewrite: fall back to the full replay
+            self.tail = new_tail;
+            self.rebuild(ctx);
+            return;
+        }
+        if new_tail.len() == self.tail.len() && self.last_output.is_some() {
+            // identical sequence re-delivered — identifiers determine
+            // payloads, so the visible state cannot have changed
+            return;
+        }
+        for m in new_tail.iter().skip(self.tail.len()) {
+            self.state.apply(m.payload.as_ref());
+        }
+        self.tail = new_tail;
+        self.emit_output(ctx);
+    }
+
+    /// Emits a [`ReplicaOutput`] if the visible state changed since the
+    /// last one, keeping `applied` in sync with the adopted tail.
+    fn emit_output(&mut self, ctx: &mut Context<'_, Self>) {
         self.applied = self.base_applied + self.tail.len();
         let output = ReplicaOutput {
             applied: self.applied,
@@ -347,11 +382,12 @@ impl<S: StateMachine, B: EventualTotalOrderBroadcast + Compactable + Instrumente
                 Context::new(ctx.me(), ctx.now(), ctx.n(), ctx.fd().clone(), &mut actions);
             f(&mut self.broadcast, &mut ictx);
         }
-        let deliveries = self.relay(actions, ctx);
+        let mut deliveries = self.relay(actions, ctx);
         self.reconcile_fold();
-        if let Some(last) = deliveries.last() {
-            self.tail = last.clone();
-            self.rebuild(ctx);
+        // Only the newest delivered sequence matters (each one supersedes
+        // the previous); taking it by value avoids cloning the whole tail.
+        if let Some(last) = deliveries.pop() {
+            self.adopt_tail(last, ctx);
         }
         self.persist();
     }

@@ -16,7 +16,7 @@ use std::fmt;
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(format!("{p}"), "p2");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(usize);
 
 impl ProcessId {

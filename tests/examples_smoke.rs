@@ -6,7 +6,7 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "leader_extraction",
     "partitioned_kv",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 8] = [
     "chaos_demo",
     "net_kv",
     "telemetry_demo",
+    "throughput_demo",
 ];
 
 /// Runs all examples sequentially in one test so concurrent `cargo run`
